@@ -1,0 +1,102 @@
+//! Deterministic workload generators.
+//!
+//! Every rank generates the same global data from the same seed, then
+//! keeps only what it owns — the standard trick for reproducible
+//! distributed initialization without an input file.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A symmetric, diagonally dominant (hence SPD) sparse matrix in
+/// coordinate form: `(row, col, value)` with both triangle entries
+/// emitted, plus a dominant diagonal. Mirrors the unstructured matrix of
+/// the NAS CG benchmark at an adjustable density.
+pub fn spd_coords(n: usize, offdiag_per_row: usize, seed: u64) -> Vec<(usize, u32, f64)> {
+    assert!(n >= 2);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut upper: Vec<(usize, usize, f64)> = Vec::with_capacity(n * offdiag_per_row / 2);
+    for i in 0..n {
+        for _ in 0..offdiag_per_row.div_ceil(2) {
+            let j = rng.gen_range(0..n);
+            if j != i {
+                let (a, b) = if i < j { (i, j) } else { (j, i) };
+                let v = rng.gen_range(0.01..1.0);
+                upper.push((a, b, v));
+            }
+        }
+    }
+    // Row sums for diagonal dominance.
+    let mut rowsum = vec![0.0f64; n];
+    for &(a, b, v) in &upper {
+        rowsum[a] += v.abs();
+        rowsum[b] += v.abs();
+    }
+    let mut out: Vec<(usize, u32, f64)> = Vec::with_capacity(upper.len() * 2 + n);
+    for &(a, b, v) in &upper {
+        out.push((a, b as u32, v));
+        out.push((b, a as u32, v));
+    }
+    for (i, rs) in rowsum.iter().enumerate() {
+        out.push((i, i as u32, rs + 1.0));
+    }
+    out
+}
+
+/// Initial particle counts for the MP3D-style simulation: `base`
+/// particles per cell everywhere, `hot` per cell inside `hot_rows`.
+pub fn particle_counts(
+    rows: usize,
+    cols: usize,
+    base: f64,
+    hot: f64,
+    hot_rows: std::ops::Range<usize>,
+    seed: u64,
+) -> Vec<Vec<f64>> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..rows)
+        .map(|i| {
+            let level = if hot_rows.contains(&i) { hot } else { base };
+            (0..cols)
+                .map(|_| (level + rng.gen_range(0.0..1.0)).floor())
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spd_is_symmetric_and_dominant() {
+        let n = 50;
+        let coords = spd_coords(n, 6, 42);
+        let mut dense = vec![vec![0.0f64; n]; n];
+        for &(i, j, v) in &coords {
+            dense[i][j as usize] += v; // duplicates accumulate on both sides
+        }
+        for i in 0..n {
+            for j in 0..n {
+                assert!((dense[i][j] - dense[j][i]).abs() < 1e-12, "asym at {i},{j}");
+            }
+            let off: f64 = (0..n).filter(|&j| j != i).map(|j| dense[i][j].abs()).sum();
+            assert!(dense[i][i] > off, "row {i} not dominant");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(spd_coords(30, 4, 7), spd_coords(30, 4, 7));
+        assert_ne!(spd_coords(30, 4, 7), spd_coords(30, 4, 8));
+    }
+
+    #[test]
+    fn particle_hot_region_is_hotter() {
+        let c = particle_counts(16, 8, 1.5, 10.0, 0..4, 3);
+        let hot: f64 = c[..4].iter().flatten().sum();
+        let cold: f64 = c[4..8].iter().flatten().sum();
+        assert!(hot > 2.0 * cold, "hot {hot} vs cold {cold}");
+        // Counts are whole particles.
+        assert!(c.iter().flatten().all(|x| x.fract() == 0.0 && *x >= 0.0));
+    }
+}

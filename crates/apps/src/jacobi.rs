@@ -1,0 +1,239 @@
+//! Jacobi iteration (§5: first benchmark application).
+//!
+//! Solves a Laplace problem on an `n × n` grid with fixed boundaries by
+//! repeated 5-point averaging between two buffers. Rows are
+//! block-distributed; each cycle exchanges boundary rows with the
+//! neighbors and sweeps the owned interior rows. This is the paper's
+//! Figure 1/2 program, written against the Dyn-MPI API.
+
+use dynmpi::{AccessMode, CommPattern, DenseMatrix, Drsd, DynMpi, DynMpiConfig, RedistArray};
+use dynmpi_comm::HostMeters;
+
+use crate::result::AppResult;
+use crate::work;
+
+/// Jacobi parameters.
+#[derive(Clone, Debug)]
+pub struct JacobiParams {
+    /// Grid dimension (paper default 2048).
+    pub n: usize,
+    /// Phase cycles (paper default 250).
+    pub iters: usize,
+    /// Execute the real numeric kernel (disable for large timing-only
+    /// sweeps; virtual timings are identical either way).
+    pub exercise_kernel: bool,
+    /// Request an explicit rebalance before this cycle (testing and the
+    /// REDISTRIBUTE-annotation analogue).
+    pub rebalance_at: Option<usize>,
+}
+
+impl JacobiParams {
+    /// The paper's §5.1 configuration.
+    pub fn paper() -> Self {
+        JacobiParams {
+            n: 2048,
+            iters: 250,
+            exercise_kernel: true,
+            rebalance_at: None,
+        }
+    }
+
+    /// A small configuration for tests.
+    pub fn small(n: usize, iters: usize) -> Self {
+        JacobiParams {
+            n,
+            iters,
+            exercise_kernel: true,
+            rebalance_at: None,
+        }
+    }
+}
+
+/// Boundary condition: hot left edge, cold elsewhere.
+fn initial(i: usize, j: usize, n: usize) -> f64 {
+    let _ = (i, n);
+    if j == 0 {
+        100.0
+    } else {
+        0.0
+    }
+}
+
+/// Runs Jacobi on one rank. SPMD: call from every rank with identical
+/// parameters.
+pub fn run<T: HostMeters>(t: &T, p: &JacobiParams, cfg: DynMpiConfig) -> AppResult {
+    let n = p.n;
+    assert!(n >= 4, "grid too small");
+    let mut rt = DynMpi::init(t, n, cfg);
+    let a_id = rt.register_dense("A", n);
+    let b_id = rt.register_dense("B", n);
+    let ph = rt.init_phase(1, n - 1, CommPattern::NearestNeighbor);
+    // Both buffers are alternately read (with a halo) and written.
+    rt.add_access(ph, a_id, AccessMode::ReadWrite, Drsd::with_halo(1));
+    rt.add_access(ph, b_id, AccessMode::ReadWrite, Drsd::with_halo(1));
+
+    let mut ma = DenseMatrix::<f64>::new(n, n);
+    let mut mb = DenseMatrix::<f64>::new(n, n);
+    {
+        let mut arrays: Vec<&mut dyn RedistArray> = vec![&mut ma, &mut mb];
+        rt.setup(&mut arrays);
+    }
+    ma.fill_rows(&rt.local_rows(a_id), |i, j| initial(i, j, n));
+    mb.fill_rows(&rt.local_rows(b_id), |i, j| initial(i, j, n));
+
+    let row_work = (n - 2) as f64 * work::JACOBI_POINT;
+    for step in 0..p.iters {
+        rt.begin_cycle();
+        if p.rebalance_at == Some(step) {
+            rt.request_rebalance();
+        }
+        if rt.participating() {
+            // Even steps read B / write A, odd steps the reverse.
+            let (src_id, src, dst) = if step % 2 == 0 {
+                (b_id, &mut mb, &mut ma)
+            } else {
+                (a_id, &mut ma, &mut mb)
+            };
+            rt.ghost_exchange(src_id, &mut *src);
+            if p.exercise_kernel {
+                for i in rt.my_rows(ph).iter() {
+                    sweep_row(src, dst, i, n);
+                }
+            }
+            rt.charge_rows(ph, |_| row_work);
+        }
+        let mut arrays: Vec<&mut dyn RedistArray> = vec![&mut ma, &mut mb];
+        rt.end_cycle(&mut arrays);
+    }
+
+    // Checksum over the final written buffer (globally consistent).
+    let final_m = if p.iters % 2 == 1 { &mb } else { &ma };
+    let local: f64 = if rt.participating() && p.exercise_kernel {
+        rt.my_rows(ph)
+            .iter()
+            .map(|i| final_m.row(i).iter().sum::<f64>())
+            .sum()
+    } else {
+        0.0
+    };
+    let checksum = rt.allreduce_sum(&[local])[0];
+    AppResult {
+        checksum: p.exercise_kernel.then_some(checksum),
+        cycle_times: rt.local_cycle_times().to_vec(),
+        events: rt.events().to_vec(),
+        redist_seconds: rt.redistribution_seconds(),
+        participating: rt.participating(),
+        final_rows: rt.my_rows(ph).len(),
+    }
+}
+
+/// One row of the 5-point sweep: `dst[i] ← avg of src neighbors`.
+fn sweep_row(src: &DenseMatrix<f64>, dst: &mut DenseMatrix<f64>, i: usize, n: usize) {
+    let up = src.row(i - 1);
+    let down = src.row(i + 1);
+    let mid = src.row(i);
+    // The three source rows and the destination row never alias: copy the
+    // stencil inputs once per row (cheap relative to the row itself).
+    let mut out = vec![0.0; n];
+    out[0] = mid[0];
+    out[n - 1] = mid[n - 1];
+    for j in 1..n - 1 {
+        out[j] = 0.25 * (up[j] + down[j] + mid[j - 1] + mid[j + 1]);
+    }
+    // Preserve the fixed boundary columns from the destination's own
+    // initial condition.
+    let d = dst.row_mut(i);
+    for j in 1..n - 1 {
+        d[j] = out[j];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynmpi_comm::run_threads;
+
+    /// Sequential reference sweep for validation.
+    fn reference(n: usize, iters: usize) -> f64 {
+        let mut a: Vec<Vec<f64>> = (0..n)
+            .map(|i| (0..n).map(|j| initial(i, j, n)).collect())
+            .collect();
+        let mut b = a.clone();
+        for step in 0..iters {
+            let (src, dst) = if step % 2 == 0 {
+                (&b, &mut a)
+            } else {
+                (&a, &mut b)
+            };
+            // Mirror the distributed structure exactly: read src, write
+            // only dst's interior.
+            let mut next = dst.clone();
+            for i in 1..n - 1 {
+                for j in 1..n - 1 {
+                    next[i][j] =
+                        0.25 * (src[i - 1][j] + src[i + 1][j] + src[i][j - 1] + src[i][j + 1]);
+                }
+            }
+            *dst = next;
+        }
+        let last = if iters % 2 == 1 { &b } else { &a };
+        last[1..n - 1].iter().map(|r| r.iter().sum::<f64>()).sum()
+    }
+
+    #[test]
+    fn matches_sequential_reference() {
+        let n = 16;
+        let iters = 7;
+        let expect = reference(n, iters);
+        for ranks in [1usize, 2, 3] {
+            let outs = run_threads(ranks, |t| {
+                run(t, &JacobiParams::small(n, iters), DynMpiConfig::no_adapt())
+            });
+            for r in &outs {
+                let c = r.checksum.unwrap();
+                assert!(
+                    (c - expect).abs() < 1e-9 * expect.abs().max(1.0),
+                    "{ranks} ranks: {c} vs {expect}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rebalance_does_not_change_answer() {
+        let n = 16;
+        let iters = 12;
+        let expect = reference(n, iters);
+        let outs = run_threads(3, |t| {
+            let cfg = DynMpiConfig {
+                grace_period: 2,
+                ..Default::default()
+            };
+            let mut p = JacobiParams::small(n, iters);
+            p.rebalance_at = Some(3);
+            run(t, &p, cfg)
+        });
+        for r in &outs {
+            let c = r.checksum.unwrap();
+            assert!(
+                (c - expect).abs() < 1e-9 * expect.abs().max(1.0),
+                "{c} vs {expect}"
+            );
+            // A load-change event must have been processed.
+            assert!(r.events.iter().any(|e| e.kind() == "load-change"));
+        }
+    }
+
+    #[test]
+    fn kernel_skip_still_reports_times() {
+        let outs = run_threads(2, |t| {
+            let mut p = JacobiParams::small(12, 5);
+            p.exercise_kernel = false;
+            run(t, &p, DynMpiConfig::no_adapt())
+        });
+        for r in &outs {
+            assert!(r.checksum.is_none());
+            assert_eq!(r.cycle_times.len(), 5);
+        }
+    }
+}

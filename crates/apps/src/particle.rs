@@ -1,0 +1,296 @@
+//! Particle simulation — a scaled-down MP3D analogue (§5, §5.4).
+//!
+//! Particles live in an `rows × cols` cell grid; each time step a fixed
+//! fraction of every cell's particles drifts to the neighboring cells
+//! (deterministically, so runs are reproducible). Rows are
+//! block-distributed; flux into a row owned by another node is sent
+//! explicitly. Per-row compute cost is proportional to the particles in
+//! the row, so iterations are **nonuniform** — the case that forces
+//! per-iteration grace-period timing (§4.2) and the Figure 7 study.
+
+use dynmpi::{AccessMode, CommPattern, DenseMatrix, Drsd, DynMpi, DynMpiConfig, RedistArray};
+use dynmpi_comm::{CommOps, HostMeters};
+
+use crate::gen;
+use crate::result::AppResult;
+use crate::work;
+
+/// Particle-simulation parameters.
+#[derive(Clone, Debug)]
+pub struct ParticleParams {
+    /// Grid rows (paper: 256).
+    pub rows: usize,
+    /// Grid columns (paper: 256).
+    pub cols: usize,
+    /// Baseline particles per cell (paper: 1–2).
+    pub base: f64,
+    /// Particles per cell in the hot region (Fig. 7's `Part`).
+    pub hot: f64,
+    /// Hot region: the top half of node 0's initial rows (per §5.4) when
+    /// `hot_rows` is `None`; otherwise the explicit row range.
+    pub hot_rows: Option<std::ops::Range<usize>>,
+    /// Time steps (paper: 200).
+    pub iters: usize,
+    /// Fraction of a cell's particles drifting to each vertical neighbor
+    /// per step.
+    pub drift: f64,
+    pub seed: u64,
+}
+
+impl ParticleParams {
+    /// The §5.1 configuration: one node with twice the particles.
+    pub fn paper(nodes: usize) -> Self {
+        let block = 256 / nodes;
+        ParticleParams {
+            rows: 256,
+            cols: 256,
+            base: 1.5,
+            hot: 3.0,
+            hot_rows: Some(0..block),
+            iters: 200,
+            drift: 0.05,
+            seed: 11,
+        }
+    }
+
+    /// The Figure 7 configuration: `part` particles per cell in the top
+    /// half of P0's rows, 8 nodes.
+    pub fn fig7(part: f64) -> Self {
+        let block = 256 / 8;
+        ParticleParams {
+            rows: 256,
+            cols: 256,
+            base: 1.5,
+            hot: part,
+            hot_rows: Some(0..block / 2),
+            iters: 200,
+            drift: 0.05,
+            seed: 11,
+        }
+    }
+
+    /// A small configuration for tests.
+    pub fn small(rows: usize, cols: usize, iters: usize) -> Self {
+        ParticleParams {
+            rows,
+            cols,
+            base: 2.0,
+            hot: 8.0,
+            hot_rows: Some(0..rows / 4),
+            iters,
+            drift: 0.1,
+            seed: 11,
+        }
+    }
+}
+
+const TAG_FLUX_UP: u64 = 40;
+const TAG_FLUX_DOWN: u64 = 41;
+
+/// Runs the particle simulation on one rank; the checksum is the total
+/// particle mass (conserved).
+pub fn run<T: HostMeters>(t: &T, p: &ParticleParams, cfg: DynMpiConfig) -> AppResult {
+    let (nr, nc) = (p.rows, p.cols);
+    let mut rt = DynMpi::init(t, nr, cfg);
+    let c_id = rt.register_dense("cells", nr);
+    let ph = rt.init_phase(0, nr, CommPattern::NearestNeighbor);
+    rt.add_access(ph, c_id, AccessMode::ReadWrite, Drsd::iter_space());
+
+    let mut cells = DenseMatrix::<f64>::new(nr, nc);
+    {
+        let mut arrays: Vec<&mut dyn RedistArray> = vec![&mut cells];
+        rt.setup(&mut arrays);
+    }
+    let hot_rows = p.hot_rows.clone().unwrap_or(0..nr / 8);
+    let init = gen::particle_counts(nr, nc, p.base, p.hot, hot_rows, p.seed);
+    cells.fill_rows(&rt.my_rows(ph), |i, j| init[i][j]);
+
+    for _step in 0..p.iters {
+        rt.begin_cycle();
+        if rt.participating() {
+            step_cells(t, &rt, ph, &mut cells, p);
+            rt.charge_rows(ph, {
+                let cells = &cells;
+                move |i| cells.row(i).iter().sum::<f64>() * work::PARTICLE
+            });
+        }
+        let mut arrays: Vec<&mut dyn RedistArray> = vec![&mut cells];
+        rt.end_cycle(&mut arrays);
+    }
+
+    let local: f64 = rt
+        .my_rows(ph)
+        .iter()
+        .map(|i| cells.row(i).iter().sum::<f64>())
+        .sum();
+    let checksum = rt.allreduce_sum(&[local])[0];
+    AppResult {
+        checksum: Some(checksum),
+        cycle_times: rt.local_cycle_times().to_vec(),
+        events: rt.events().to_vec(),
+        redist_seconds: rt.redistribution_seconds(),
+        participating: rt.participating(),
+        final_rows: rt.my_rows(ph).len(),
+    }
+}
+
+/// One drift step: horizontal drift within rows, vertical drift between
+/// rows (with explicit flux messages across ownership boundaries).
+fn step_cells<T: HostMeters>(
+    t: &T,
+    rt: &DynMpi<'_, T>,
+    ph: usize,
+    cells: &mut DenseMatrix<f64>,
+    p: &ParticleParams,
+) {
+    let mine = rt.my_rows(ph);
+    if mine.is_empty() {
+        return;
+    }
+    let nr = p.rows;
+    let nc = p.cols;
+    let d = p.drift;
+    let dist = rt.distribution();
+    let rel = rt.rel_rank().expect("participating");
+    let me = rt.world_rank();
+
+    // Vertical outflow per row, staged so updates don't cascade.
+    let mut up_flux: Vec<(usize, Vec<f64>)> = Vec::new(); // flux INTO row i-1
+    let mut down_flux: Vec<(usize, Vec<f64>)> = Vec::new(); // flux INTO row i+1
+    for i in mine.iter() {
+        let row = cells.row_mut(i);
+        // Horizontal drift first (purely local): a fraction d shifts
+        // right, wrapping.
+        let moved_right: Vec<f64> = row.iter().map(|c| c * d).collect();
+        for j in 0..nc {
+            row[j] -= moved_right[j];
+        }
+        for j in 0..nc {
+            row[(j + 1) % nc] += moved_right[j];
+        }
+        // Vertical outflow.
+        let up: Vec<f64> = if i > 0 {
+            row.iter().map(|c| c * d).collect()
+        } else {
+            vec![]
+        };
+        let down: Vec<f64> = if i + 1 < nr {
+            row.iter().map(|c| c * d).collect()
+        } else {
+            vec![]
+        };
+        for j in 0..nc {
+            if i > 0 {
+                row[j] -= up[j];
+            }
+            if i + 1 < nr {
+                row[j] -= down[j];
+            }
+        }
+        if i > 0 {
+            up_flux.push((i - 1, up));
+        }
+        if i + 1 < nr {
+            down_flux.push((i + 1, down));
+        }
+    }
+
+    // Apply local flux; send boundary flux to the owning node.
+    for (target, flux) in up_flux.into_iter().chain(down_flux) {
+        let owner_rel = dist.owner(target);
+        if owner_rel == rel {
+            let row = cells.row_mut(target);
+            for j in 0..nc {
+                row[j] += flux[j];
+            }
+        } else {
+            let tag = if target < mine.first().unwrap() {
+                TAG_FLUX_UP
+            } else {
+                TAG_FLUX_DOWN
+            };
+            let _ = me;
+            t.send_slice(rt.world_rank_of(owner_rel), tag, &flux);
+        }
+    }
+
+    // Receive flux into my boundary rows from the owners of the adjacent
+    // rows (if they exist and are foreign).
+    let lo = mine.first().unwrap();
+    let hi = mine.last().unwrap();
+    if lo > 0 {
+        let owner = dist.owner(lo - 1);
+        if owner != rel {
+            let flux: Vec<f64> = t.recv_vec(rt.world_rank_of(owner), TAG_FLUX_DOWN);
+            let row = cells.row_mut(lo);
+            for j in 0..nc {
+                row[j] += flux[j];
+            }
+        }
+    }
+    if hi + 1 < nr {
+        let owner = dist.owner(hi + 1);
+        if owner != rel {
+            let flux: Vec<f64> = t.recv_vec(rt.world_rank_of(owner), TAG_FLUX_UP);
+            let row = cells.row_mut(hi);
+            for j in 0..nc {
+                row[j] += flux[j];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynmpi_comm::run_threads;
+
+    fn total(p: &ParticleParams) -> f64 {
+        let init = gen::particle_counts(
+            p.rows,
+            p.cols,
+            p.base,
+            p.hot,
+            p.hot_rows.clone().unwrap(),
+            p.seed,
+        );
+        init.iter().flatten().sum()
+    }
+
+    #[test]
+    fn mass_is_conserved() {
+        let p = ParticleParams::small(16, 8, 10);
+        let expect = total(&p);
+        for ranks in [1usize, 2, 4] {
+            let outs = run_threads(ranks, |t| run(t, &p, DynMpiConfig::no_adapt()));
+            for r in &outs {
+                let c = r.checksum.unwrap();
+                assert!(
+                    (c - expect).abs() < 1e-9 * expect,
+                    "{ranks} ranks: mass {c} vs {expect}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn results_agree_across_rank_counts() {
+        let p = ParticleParams::small(12, 6, 6);
+        let a = run_threads(1, |t| run(t, &p, DynMpiConfig::no_adapt()))[0]
+            .checksum
+            .unwrap();
+        let b = run_threads(3, |t| run(t, &p, DynMpiConfig::no_adapt()))[0]
+            .checksum
+            .unwrap();
+        assert!((a - b).abs() < 1e-9 * a);
+    }
+
+    #[test]
+    fn hot_region_makes_rows_nonuniform() {
+        let p = ParticleParams::small(16, 8, 1);
+        let init = gen::particle_counts(16, 8, p.base, p.hot, 0..4, p.seed);
+        let hot_row: f64 = init[0].iter().sum();
+        let cold_row: f64 = init[10].iter().sum();
+        assert!(hot_row > 2.0 * cold_row);
+    }
+}

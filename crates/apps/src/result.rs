@@ -1,0 +1,47 @@
+//! Common per-rank result type for the benchmark applications.
+
+use dynmpi::RuntimeEvent;
+
+/// What one rank reports after running an application.
+#[derive(Clone, Debug)]
+pub struct AppResult {
+    /// Application-level checksum (identical across ranks; used to prove
+    /// adaptation never changes answers). `None` when the numerical
+    /// kernel was skipped.
+    pub checksum: Option<f64>,
+    /// Wall (virtual) seconds per phase cycle on this rank.
+    pub cycle_times: Vec<f64>,
+    /// Adaptation events this rank recorded.
+    pub events: Vec<RuntimeEvent>,
+    /// Total seconds this rank spent inside redistribution.
+    pub redist_seconds: f64,
+    /// Whether this rank was still participating at the end.
+    pub participating: bool,
+    /// Rows this rank owned at the end.
+    pub final_rows: usize,
+}
+
+impl AppResult {
+    /// Sum of this rank's cycle times.
+    pub fn total_time(&self) -> f64 {
+        self.cycle_times.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_time_sums() {
+        let r = AppResult {
+            checksum: Some(1.0),
+            cycle_times: vec![0.5, 0.25],
+            events: vec![],
+            redist_seconds: 0.0,
+            participating: true,
+            final_rows: 10,
+        };
+        assert!((r.total_time() - 0.75).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,85 @@
+//! Ablation: successive balancing vs relative power ("naive").
+//!
+//! The abstract claims a 25 % improvement over standard adaptive load
+//! balancing. This harness runs SOR with both balancers across CP counts
+//! and reports the settled cycle time of each.
+
+use dynmpi::{BalancerKind, DropPolicy, DynMpiConfig};
+use dynmpi_apps::harness::{run_sim, AppSpec, Experiment};
+use dynmpi_apps::sor::SorParams;
+use dynmpi_bench::{fmt_s, print_table, write_rows, BenchArgs};
+use dynmpi_sim::{LoadScript, NodeSpec};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    table: &'static str,
+    nodes: usize,
+    cps: u32,
+    naive_cycle_s: f64,
+    sb_cycle_s: f64,
+    gain_pct: f64,
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let (n, iters, node) = if args.quick {
+        (512, 90usize, NodeSpec::with_speed(20e6))
+    } else {
+        (1024, 150usize, NodeSpec::ultra5_360())
+    };
+    let mut rows = Vec::new();
+    let mut table = Vec::new();
+    for nodes in [8usize, 16] {
+        for cps in [1u32, 2, 3] {
+            let script = LoadScript::dedicated().at_cycle(nodes - 1, 10, cps);
+            let settled = |balancer: BalancerKind| {
+                let mk = |iters: usize| {
+                    let p = SorParams {
+                        n,
+                        iters,
+                        omega: 1.5,
+                        exercise_kernel: false,
+                    };
+                    run_sim(
+                        &Experiment::new(AppSpec::Sor(p), nodes)
+                            .with_node_spec(node)
+                            .with_cfg(DynMpiConfig {
+                                balancer,
+                                drop_policy: DropPolicy::Never,
+                                ..Default::default()
+                            })
+                            .with_script(script.clone()),
+                    )
+                };
+                let short = mk(iters);
+                let long = mk(2 * iters);
+                (long.makespan - short.makespan) / iters as f64
+            };
+            let naive = settled(BalancerKind::RelativePower);
+            let sb = settled(BalancerKind::SuccessiveBalancing);
+            let gain = (naive - sb) / naive * 100.0;
+            table.push(vec![
+                nodes.to_string(),
+                cps.to_string(),
+                fmt_s(naive),
+                fmt_s(sb),
+                format!("{gain:+.1}%"),
+            ]);
+            rows.push(Row {
+                table: "ablation_balancer",
+                nodes,
+                cps,
+                naive_cycle_s: naive,
+                sb_cycle_s: sb,
+                gain_pct: gain,
+            });
+        }
+    }
+    print_table(
+        "Ablation — settled SOR cycle time: relative power vs successive balancing",
+        &["nodes", "CPs", "naive(s)", "succ-bal(s)", "gain"],
+        &table,
+    );
+    write_rows(&args.out_dir, "ablation_balancer", &rows);
+}

@@ -1,0 +1,86 @@
+//! Ablation: physical vs logical node dropping (§2.2).
+//!
+//! Logical dropping keeps a "removed" node in the computation with a
+//! minimum share so ranks stay static; physical dropping removes it and
+//! reassigns relative ranks. The paper states the difference "can be
+//! significant". This harness measures both on SOR with a heavily loaded
+//! node.
+
+use dynmpi::{DropPolicy, DynMpiConfig};
+use dynmpi_apps::harness::{run_sim, AppSpec, Experiment};
+use dynmpi_apps::sor::SorParams;
+use dynmpi_bench::{fmt_s, print_table, write_rows, BenchArgs};
+use dynmpi_sim::{LoadScript, NodeSpec};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    table: &'static str,
+    nodes: usize,
+    cps: u32,
+    logical_cycle_s: f64,
+    physical_cycle_s: f64,
+    physical_gain_pct: f64,
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let (n, iters, node) = if args.quick {
+        (512, 90usize, NodeSpec::with_speed(20e6))
+    } else {
+        (1024, 150usize, NodeSpec::ultra5_360())
+    };
+    let mut rows = Vec::new();
+    let mut table = Vec::new();
+    for nodes in [8usize, 16, 32] {
+        let cps = 3u32;
+        let script = LoadScript::dedicated().at_cycle(nodes - 1, 10, cps);
+        let settled = |policy: DropPolicy| {
+            let mk = |iters: usize| {
+                let p = SorParams {
+                    n,
+                    iters,
+                    omega: 1.5,
+                    exercise_kernel: false,
+                };
+                run_sim(
+                    &Experiment::new(AppSpec::Sor(p), nodes)
+                        .with_node_spec(node)
+                        .with_cfg(DynMpiConfig {
+                            drop_policy: policy,
+                            min_rows_logical: 2,
+                            ..Default::default()
+                        })
+                        .with_script(script.clone()),
+                )
+            };
+            let short = mk(iters);
+            let long = mk(2 * iters);
+            (long.makespan - short.makespan) / iters as f64
+        };
+        let logical = settled(DropPolicy::Logical);
+        let physical = settled(DropPolicy::Always);
+        let gain = (logical - physical) / logical * 100.0;
+        table.push(vec![
+            nodes.to_string(),
+            cps.to_string(),
+            fmt_s(logical),
+            fmt_s(physical),
+            format!("{gain:+.1}%"),
+        ]);
+        rows.push(Row {
+            table: "ablation_drop_mode",
+            nodes,
+            cps,
+            logical_cycle_s: logical,
+            physical_cycle_s: physical,
+            physical_gain_pct: gain,
+        });
+    }
+    print_table(
+        "Ablation — settled SOR cycle time: logical vs physical node dropping (3 CPs)",
+        &["nodes", "CPs", "logical(s)", "physical(s)", "physical gain"],
+        &table,
+    );
+    write_rows(&args.out_dir, "ablation_drop_mode", &rows);
+}

@@ -1,0 +1,128 @@
+//! # dynmpi-bench — harnesses regenerating the paper's tables and figures
+//!
+//! One binary per figure of the evaluation (§5), plus ablation harnesses
+//! for the design decisions:
+//!
+//! | binary | reproduces |
+//! |---|---|
+//! | `fig3_alloc` | §4.1/Fig. 3 — projection vs. contiguous allocation |
+//! | `fig4_overall` | Fig. 4 — 4 apps × {2,4,8} nodes × {dedicated, no-adapt, Dyn-MPI} |
+//! | `fig5_redist_points` | Fig. 5 — Jacobi with 0/1/2 redistribution points |
+//! | `fig6_node_removal` | Fig. 6 — SOR keep-vs-drop on 8/16/32 nodes |
+//! | `fig7_grace_period` | Fig. 7 — particle sim, grace period 1 vs 5 |
+//! | `tab_microbench` | §4.3 — two-node comp/comm micro-benchmarks |
+//! | `ablation_balancer` | successive balancing vs relative power |
+//! | `ablation_drop_mode` | physical vs logical node dropping (§2.2) |
+//! | `ablation_monitor` | `dmpi_ps` vs `vmstat` load readings (§4.2) |
+//!
+//! Binaries print the figure's table to stdout and append JSON rows to
+//! `results/*.jsonl` for EXPERIMENTS.md. Pass `--quick` for scaled-down
+//! inputs (same shapes, minutes → seconds).
+
+use std::io::Write;
+use std::path::Path;
+
+use serde::Serialize;
+
+/// Common CLI handling: `--quick` and an optional `--out DIR`.
+pub struct BenchArgs {
+    pub quick: bool,
+    pub out_dir: String,
+}
+
+impl BenchArgs {
+    pub fn parse() -> Self {
+        let mut quick = false;
+        let mut out_dir = "results".to_string();
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--quick" => quick = true,
+                "--out" => out_dir = args.next().expect("--out needs a directory"),
+                "--help" | "-h" => {
+                    eprintln!("usage: [--quick] [--out DIR]");
+                    std::process::exit(0);
+                }
+                other => {
+                    eprintln!("unknown argument {other}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        BenchArgs { quick, out_dir }
+    }
+}
+
+/// Appends serialized rows to `<out_dir>/<name>.jsonl`.
+pub fn write_rows<T: Serialize>(out_dir: &str, name: &str, rows: &[T]) {
+    let dir = Path::new(out_dir);
+    if std::fs::create_dir_all(dir).is_err() {
+        eprintln!("warning: cannot create {out_dir}; skipping JSON output");
+        return;
+    }
+    let path = dir.join(format!("{name}.jsonl"));
+    let mut f = std::fs::File::create(&path).expect("create results file");
+    for r in rows {
+        writeln!(f, "{}", serde_json::to_string(r).unwrap()).unwrap();
+    }
+    eprintln!("wrote {}", path.display());
+}
+
+/// Renders an aligned text table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            s.push_str(&format!("{:<w$}  ", c, w = widths[i]));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
+    line(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>());
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Formats seconds with 3 decimals.
+pub fn fmt_s(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats a ratio with 2 decimals.
+pub fn fmt_x(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_without_panic() {
+        print_table(
+            "t",
+            &["a", "bb"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+    }
+
+    #[test]
+    fn rows_write_to_tmp() {
+        #[derive(Serialize)]
+        struct R {
+            x: u32,
+        }
+        let dir = std::env::temp_dir().join("dynmpi_bench_test");
+        write_rows(dir.to_str().unwrap(), "t", &[R { x: 1 }, R { x: 2 }]);
+        let content = std::fs::read_to_string(dir.join("t.jsonl")).unwrap();
+        assert_eq!(content.lines().count(), 2);
+    }
+}

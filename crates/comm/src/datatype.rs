@@ -1,0 +1,107 @@
+//! Plain-old-data element types and byte conversion.
+//!
+//! Message payloads travel as byte vectors; typed sends and receives cast
+//! element slices to and from bytes. The `Pod` trait marks types for which
+//! this is sound: no padding, no invalid bit patterns, no pointers.
+
+/// Marker for types that can be safely reinterpreted as raw bytes.
+///
+/// # Safety
+///
+/// Implementors must be `Copy`, have no padding bytes, and admit every bit
+/// pattern as a valid value. All implementations live in this module; the
+/// trait is sealed by convention (do not implement it downstream unless the
+/// same guarantees hold).
+pub unsafe trait Pod: Copy + Send + 'static {}
+
+unsafe impl Pod for u8 {}
+unsafe impl Pod for i8 {}
+unsafe impl Pod for u16 {}
+unsafe impl Pod for i16 {}
+unsafe impl Pod for u32 {}
+unsafe impl Pod for i32 {}
+unsafe impl Pod for u64 {}
+unsafe impl Pod for i64 {}
+unsafe impl Pod for f32 {}
+unsafe impl Pod for f64 {}
+
+/// Serializes a slice of POD elements to bytes (native endianness; both
+/// transports stay within one process, so this is lossless).
+pub fn to_bytes<P: Pod>(data: &[P]) -> Vec<u8> {
+    let len = std::mem::size_of_val(data);
+    let mut out = vec![0u8; len];
+    // SAFETY: `P: Pod` has no padding, so reading its bytes is defined;
+    // lengths match by construction.
+    unsafe {
+        std::ptr::copy_nonoverlapping(data.as_ptr().cast::<u8>(), out.as_mut_ptr(), len);
+    }
+    out
+}
+
+/// Deserializes bytes produced by [`to_bytes`] back into elements.
+///
+/// Panics if the byte length is not a multiple of the element size.
+pub fn from_bytes<P: Pod>(bytes: &[u8]) -> Vec<P> {
+    let esz = std::mem::size_of::<P>();
+    assert!(esz > 0, "zero-sized POD elements are not supported");
+    assert!(
+        bytes.len() % esz == 0,
+        "byte length {} is not a multiple of element size {}",
+        bytes.len(),
+        esz
+    );
+    let n = bytes.len() / esz;
+    let mut out = Vec::<P>::with_capacity(n);
+    // SAFETY: `P: Pod` accepts any bit pattern; the destination has
+    // capacity for `n` elements and is properly aligned by Vec; lengths
+    // match.
+    unsafe {
+        std::ptr::copy_nonoverlapping(bytes.as_ptr(), out.as_mut_ptr().cast::<u8>(), bytes.len());
+        out.set_len(n);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_round_trip() {
+        let v = vec![1.5f64, -2.25, 0.0, f64::MAX, f64::MIN_POSITIVE];
+        assert_eq!(from_bytes::<f64>(&to_bytes(&v)), v);
+    }
+
+    #[test]
+    fn u32_round_trip() {
+        let v: Vec<u32> = (0..100u32).map(|i| i.wrapping_mul(2654435761)).collect();
+        assert_eq!(from_bytes::<u32>(&to_bytes(&v)), v);
+    }
+
+    #[test]
+    fn empty_round_trip() {
+        let v: Vec<i64> = vec![];
+        let b = to_bytes(&v);
+        assert!(b.is_empty());
+        assert!(from_bytes::<i64>(&b).is_empty());
+    }
+
+    #[test]
+    fn nan_bits_preserved() {
+        let v = vec![f64::NAN];
+        let r = from_bytes::<f64>(&to_bytes(&v));
+        assert_eq!(r[0].to_bits(), v[0].to_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn misaligned_length_panics() {
+        let _ = from_bytes::<f64>(&[0u8; 7]);
+    }
+
+    #[test]
+    fn byte_length_is_exact() {
+        let v = vec![0u16; 7];
+        assert_eq!(to_bytes(&v).len(), 14);
+    }
+}

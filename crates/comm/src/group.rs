@@ -1,0 +1,116 @@
+//! Rank groups (sub-communicators).
+//!
+//! Dyn-MPI removes nodes from the computation (§4.4), after which
+//! collectives run over the *active* subset with **relative ranks**
+//! (§2.2). A [`Group`] maps relative ranks to world ranks.
+
+/// An ordered subset of world ranks. Relative rank = index in `members`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Group {
+    members: Vec<usize>,
+    my_rel: Option<usize>,
+}
+
+impl Group {
+    /// The full world `0..size` as seen from world rank `me`.
+    pub fn world(me: usize, size: usize) -> Group {
+        assert!(me < size, "rank {me} out of world 0..{size}");
+        Group {
+            members: (0..size).collect(),
+            my_rel: Some(me),
+        }
+    }
+
+    /// A group over `members` (world ranks, strictly increasing) as seen
+    /// from world rank `me` (which may or may not be a member).
+    pub fn new(members: Vec<usize>, me: usize) -> Group {
+        assert!(!members.is_empty(), "empty group");
+        assert!(
+            members.windows(2).all(|w| w[0] < w[1]),
+            "group members must be strictly increasing: {members:?}"
+        );
+        let my_rel = members.iter().position(|&m| m == me);
+        Group { members, my_rel }
+    }
+
+    /// Number of members.
+    pub fn size(&self) -> usize {
+        self.members.len()
+    }
+
+    /// My relative rank, if I am a member.
+    pub fn rel(&self) -> Option<usize> {
+        self.my_rel
+    }
+
+    /// My relative rank; panics if I am not a member.
+    pub fn rel_unchecked(&self) -> usize {
+        self.my_rel
+            .expect("calling rank is not a member of this group")
+    }
+
+    /// World rank of relative rank `rel`.
+    pub fn world_rank(&self, rel: usize) -> usize {
+        self.members[rel]
+    }
+
+    /// Is `world` a member?
+    pub fn contains(&self, world: usize) -> bool {
+        self.members.binary_search(&world).is_ok()
+    }
+
+    /// All member world ranks.
+    pub fn members(&self) -> &[usize] {
+        &self.members
+    }
+
+    /// Relative rank of a world rank, if a member.
+    pub fn rel_of(&self, world: usize) -> Option<usize> {
+        self.members.binary_search(&world).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn world_group() {
+        let g = Group::world(2, 4);
+        assert_eq!(g.size(), 4);
+        assert_eq!(g.rel(), Some(2));
+        assert_eq!(g.world_rank(3), 3);
+        assert!(g.contains(0));
+    }
+
+    #[test]
+    fn subset_relative_ranks() {
+        // Node 2 removed from a 4-node world.
+        let g = Group::new(vec![0, 1, 3], 3);
+        assert_eq!(g.size(), 3);
+        assert_eq!(g.rel(), Some(2));
+        assert_eq!(g.world_rank(2), 3);
+        assert_eq!(g.rel_of(3), Some(2));
+        assert_eq!(g.rel_of(2), None);
+        assert!(!g.contains(2));
+    }
+
+    #[test]
+    fn non_member_view() {
+        let g = Group::new(vec![0, 1, 3], 2);
+        assert_eq!(g.rel(), None);
+        assert!(std::panic::catch_unwind(|| g.rel_unchecked()).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_members_rejected() {
+        let _ = Group::new(vec![0, 2, 1], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty group")]
+    fn empty_group_rejected() {
+        let _ = Group::new(vec![], 0);
+    }
+}

@@ -1,0 +1,444 @@
+//! Typed point-to-point operations and collectives.
+//!
+//! [`CommOps`] is an extension trait with a blanket implementation for
+//! every [`Transport`], so both the simulator and the thread backend get
+//! the same algorithms: dissemination barrier, binomial broadcast and
+//! reduction, ring allgather, linear (buffered) scatter/gather/alltoall.
+//! All collectives operate over a [`Group`] and must be called by every
+//! group member in the same order (SPMD discipline).
+
+use crate::datatype::{from_bytes, to_bytes, Pod};
+use crate::group::Group;
+use crate::transport::{Transport, RESERVED_TAG_BASE};
+
+// Internal tag sub-spaces, one per collective kind. Tag reuse across
+// successive collectives is safe because both transports deliver FIFO per
+// (source, destination) pair.
+const TAG_BARRIER: u64 = RESERVED_TAG_BASE;
+const TAG_BCAST: u64 = RESERVED_TAG_BASE + 0x1000;
+const TAG_REDUCE: u64 = RESERVED_TAG_BASE + 0x2000;
+const TAG_GATHER: u64 = RESERVED_TAG_BASE + 0x3000;
+const TAG_SCATTER: u64 = RESERVED_TAG_BASE + 0x4000;
+const TAG_ALLGATHER: u64 = RESERVED_TAG_BASE + 0x5000;
+const TAG_ALLTOALL: u64 = RESERVED_TAG_BASE + 0x6000;
+
+fn check_app_tag(tag: u64) {
+    assert!(
+        tag < RESERVED_TAG_BASE,
+        "application tag {tag} collides with the reserved collective tag space"
+    );
+}
+
+/// Typed p2p and collective operations over any transport.
+pub trait CommOps: Transport {
+    /// Sends a typed slice to `dst`.
+    fn send_slice<P: Pod>(&self, dst: usize, tag: u64, data: &[P]) {
+        check_app_tag(tag);
+        self.send_bytes(dst, tag, to_bytes(data));
+    }
+
+    /// Receives a typed vector from `src`.
+    fn recv_vec<P: Pod>(&self, src: usize, tag: u64) -> Vec<P> {
+        check_app_tag(tag);
+        from_bytes(&self.recv_bytes(src, tag))
+    }
+
+    /// Receives a typed vector from any rank.
+    fn recv_vec_any<P: Pod>(&self, tag: u64) -> (usize, Vec<P>) {
+        check_app_tag(tag);
+        let (src, bytes) = self.recv_bytes_any(tag);
+        (src, from_bytes(&bytes))
+    }
+
+    /// Buffered exchange: send to one neighbor, receive from another.
+    /// Safe against deadlock because sends are buffered.
+    fn sendrecv<P: Pod>(
+        &self,
+        dst: usize,
+        send_tag: u64,
+        data: &[P],
+        src: usize,
+        recv_tag: u64,
+    ) -> Vec<P> {
+        self.send_slice(dst, send_tag, data);
+        self.recv_vec(src, recv_tag)
+    }
+
+    /// Dissemination barrier over `g`. O(log n) rounds.
+    fn barrier(&self, g: &Group) {
+        let n = g.size();
+        let rel = g.rel_unchecked();
+        let mut k = 1usize;
+        let mut round = 0u64;
+        while k < n {
+            let to = g.world_rank((rel + k) % n);
+            let from = g.world_rank((rel + n - k) % n);
+            self.send_bytes(to, TAG_BARRIER + round, Vec::new());
+            let _ = self.recv_bytes(from, TAG_BARRIER + round);
+            k <<= 1;
+            round += 1;
+        }
+    }
+
+    /// Binomial-tree broadcast from relative rank `root`. The root passes
+    /// `Some(data)`; everyone receives the broadcast value.
+    fn bcast<P: Pod>(&self, g: &Group, root: usize, data: Option<&[P]>) -> Vec<P> {
+        let n = g.size();
+        let rel = g.rel_unchecked();
+        assert!(root < n, "bcast root {root} out of group of {n}");
+        let vr = (rel + n - root) % n;
+        let mut buf: Option<Vec<P>> = if vr == 0 {
+            Some(data.expect("bcast root must supply data").to_vec())
+        } else {
+            None
+        };
+        // Receive phase: find the bit where we hang off the tree.
+        let mut mask = 1usize;
+        while mask < n {
+            if vr & mask != 0 {
+                let src_vr = vr - mask;
+                let src = g.world_rank((src_vr + root) % n);
+                buf = Some(from_bytes(&self.recv_bytes(src, TAG_BCAST)));
+                break;
+            }
+            mask <<= 1;
+        }
+        // Forward phase: relay to every subtree hanging below our receive
+        // bit (for the root, below the first power of two ≥ n).
+        let data = buf.expect("bcast: no data after receive phase");
+        let mut m = mask >> 1;
+        while m > 0 {
+            if vr + m < n {
+                let dst = g.world_rank((vr + m + root) % n);
+                self.send_bytes(dst, TAG_BCAST, to_bytes(&data));
+            }
+            m >>= 1;
+        }
+        data
+    }
+
+    /// Binomial-tree reduction to relative rank `root` with a commutative,
+    /// associative combine `f(acc, incoming)`. Returns `Some` on the root.
+    fn reduce<P: Pod>(
+        &self,
+        g: &Group,
+        root: usize,
+        data: &[P],
+        f: impl Fn(&mut [P], &[P]),
+    ) -> Option<Vec<P>> {
+        let n = g.size();
+        let rel = g.rel_unchecked();
+        assert!(root < n, "reduce root {root} out of group of {n}");
+        let vr = (rel + n - root) % n;
+        let mut acc = data.to_vec();
+        let mut mask = 1usize;
+        while mask < n {
+            if vr & mask == 0 {
+                let peer_vr = vr | mask;
+                if peer_vr < n {
+                    let src = g.world_rank((peer_vr + root) % n);
+                    let incoming: Vec<P> = from_bytes(&self.recv_bytes(src, TAG_REDUCE));
+                    assert_eq!(incoming.len(), acc.len(), "reduce length mismatch");
+                    f(&mut acc, &incoming);
+                }
+            } else {
+                let peer_vr = vr & !mask;
+                let dst = g.world_rank((peer_vr + root) % n);
+                self.send_bytes(dst, TAG_REDUCE, to_bytes(&acc));
+                return None;
+            }
+            mask <<= 1;
+        }
+        Some(acc)
+    }
+
+    /// Reduction + broadcast: everyone gets the combined value.
+    fn allreduce<P: Pod>(&self, g: &Group, data: &[P], f: impl Fn(&mut [P], &[P])) -> Vec<P> {
+        let reduced = self.reduce(g, 0, data, f);
+        self.bcast(g, 0, reduced.as_deref())
+    }
+
+    /// Sum-allreduce for f64 slices.
+    fn allreduce_sum_f64(&self, g: &Group, data: &[f64]) -> Vec<f64> {
+        self.allreduce(g, data, |acc, inc| {
+            for (a, b) in acc.iter_mut().zip(inc) {
+                *a += b;
+            }
+        })
+    }
+
+    /// Max-allreduce for f64 slices.
+    fn allreduce_max_f64(&self, g: &Group, data: &[f64]) -> Vec<f64> {
+        self.allreduce(g, data, |acc, inc| {
+            for (a, b) in acc.iter_mut().zip(inc) {
+                *a = a.max(*b);
+            }
+        })
+    }
+
+    /// Max-allreduce for u64 slices.
+    fn allreduce_max_u64(&self, g: &Group, data: &[u64]) -> Vec<u64> {
+        self.allreduce(g, data, |acc, inc| {
+            for (a, b) in acc.iter_mut().zip(inc) {
+                *a = (*a).max(*b);
+            }
+        })
+    }
+
+    /// Gathers variable-length contributions to relative rank `root`.
+    /// Returns `Some(per-member vectors, indexed by relative rank)` on the
+    /// root.
+    fn gatherv<P: Pod>(&self, g: &Group, root: usize, data: &[P]) -> Option<Vec<Vec<P>>> {
+        let n = g.size();
+        let rel = g.rel_unchecked();
+        assert!(root < n);
+        if rel != root {
+            self.send_bytes(g.world_rank(root), TAG_GATHER, to_bytes(data));
+            return None;
+        }
+        let mut out: Vec<Vec<P>> = Vec::with_capacity(n);
+        for r in 0..n {
+            if r == root {
+                out.push(data.to_vec());
+            } else {
+                out.push(from_bytes(&self.recv_bytes(g.world_rank(r), TAG_GATHER)));
+            }
+        }
+        Some(out)
+    }
+
+    /// Scatters per-member vectors from relative rank `root`; each member
+    /// receives its slice. The root passes `Some(parts)` with
+    /// `parts.len() == g.size()`.
+    fn scatterv<P: Pod>(&self, g: &Group, root: usize, parts: Option<&[Vec<P>]>) -> Vec<P> {
+        let n = g.size();
+        let rel = g.rel_unchecked();
+        assert!(root < n);
+        if rel == root {
+            let parts = parts.expect("scatterv root must supply parts");
+            assert_eq!(parts.len(), n, "scatterv parts must match group size");
+            for r in 0..n {
+                if r != root {
+                    self.send_bytes(g.world_rank(r), TAG_SCATTER, to_bytes(&parts[r]));
+                }
+            }
+            parts[root].clone()
+        } else {
+            from_bytes(&self.recv_bytes(g.world_rank(root), TAG_SCATTER))
+        }
+    }
+
+    /// Ring allgather of variable-length contributions: returns all
+    /// members' data, indexed by relative rank. n−1 rounds, each passing
+    /// one block around the ring.
+    fn allgatherv<P: Pod>(&self, g: &Group, data: &[P]) -> Vec<Vec<P>> {
+        let n = g.size();
+        let rel = g.rel_unchecked();
+        let mut blocks: Vec<Option<Vec<P>>> = vec![None; n];
+        blocks[rel] = Some(data.to_vec());
+        let next = g.world_rank((rel + 1) % n);
+        let prev = g.world_rank((rel + n - 1) % n);
+        for k in 0..n.saturating_sub(1) {
+            let send_idx = (rel + n - k) % n;
+            let recv_idx = (rel + n - k - 1) % n;
+            let outgoing = blocks[send_idx].as_ref().expect("ring invariant");
+            self.send_bytes(next, TAG_ALLGATHER, to_bytes(outgoing));
+            blocks[recv_idx] = Some(from_bytes(&self.recv_bytes(prev, TAG_ALLGATHER)));
+        }
+        blocks
+            .into_iter()
+            .map(|b| b.expect("ring complete"))
+            .collect()
+    }
+
+    /// Personalized all-to-all: member `i` sends `parts[j]` to member `j`;
+    /// returns what everyone sent to me, indexed by relative rank. Linear
+    /// buffered exchange, staggered to spread NIC load.
+    fn alltoallv<P: Pod>(&self, g: &Group, parts: &[Vec<P>]) -> Vec<Vec<P>> {
+        let n = g.size();
+        let rel = g.rel_unchecked();
+        assert_eq!(parts.len(), n, "alltoallv parts must match group size");
+        for k in 1..n {
+            let dst = (rel + k) % n;
+            self.send_bytes(g.world_rank(dst), TAG_ALLTOALL, to_bytes(&parts[dst]));
+        }
+        let mut out: Vec<Vec<P>> = (0..n).map(|_| Vec::new()).collect();
+        out[rel] = parts[rel].clone();
+        for k in 1..n {
+            let src = (rel + n - k) % n;
+            out[src] = from_bytes(&self.recv_bytes(g.world_rank(src), TAG_ALLTOALL));
+        }
+        out
+    }
+}
+
+impl<T: Transport + ?Sized> CommOps for T {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::thread::run_threads;
+
+    fn world(t: &impl Transport) -> Group {
+        Group::world(t.rank(), t.size())
+    }
+
+    #[test]
+    fn barrier_completes_various_sizes() {
+        for n in [1usize, 2, 3, 5, 8] {
+            run_threads(n, |t| {
+                for _ in 0..3 {
+                    t.barrier(&world(t));
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn bcast_all_roots_all_sizes() {
+        for n in [1usize, 2, 3, 4, 7] {
+            for root in 0..n {
+                let out = run_threads(n, |t| {
+                    let g = world(t);
+                    let data: Vec<u64> = vec![99, root as u64];
+                    let src = (t.rank() == root).then_some(&data[..]);
+                    t.bcast(&g, root, src)
+                });
+                for v in out {
+                    assert_eq!(v, vec![99, root as u64]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_sum_matches_sequential() {
+        for n in [1usize, 2, 3, 6, 8] {
+            let out = run_threads(n, |t| {
+                let g = world(t);
+                let mine = vec![t.rank() as f64, 1.0];
+                t.reduce(&g, 0, &mine, |a, b| {
+                    for (x, y) in a.iter_mut().zip(b) {
+                        *x += y;
+                    }
+                })
+            });
+            let expect: f64 = (0..n).map(|r| r as f64).sum();
+            assert_eq!(out[0].as_ref().unwrap(), &vec![expect, n as f64]);
+            assert!(out[1..].iter().all(|o| o.is_none()));
+        }
+    }
+
+    #[test]
+    fn allreduce_everyone_agrees() {
+        let out = run_threads(5, |t| {
+            let g = world(t);
+            t.allreduce_sum_f64(&g, &[t.rank() as f64 + 1.0])
+        });
+        for v in out {
+            assert_eq!(v, vec![15.0]);
+        }
+    }
+
+    #[test]
+    fn allreduce_max() {
+        let out = run_threads(4, |t| {
+            let g = world(t);
+            t.allreduce_max_u64(&g, &[t.rank() as u64 * 10, 7])
+        });
+        for v in out {
+            assert_eq!(v, vec![30, 7]);
+        }
+    }
+
+    #[test]
+    fn gatherv_variable_lengths() {
+        let out = run_threads(4, |t| {
+            let g = world(t);
+            let mine: Vec<u32> = (0..t.rank() as u32).collect();
+            t.gatherv(&g, 2, &mine)
+        });
+        let rootwise = out[2].as_ref().unwrap();
+        for (r, v) in rootwise.iter().enumerate() {
+            assert_eq!(v, &(0..r as u32).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn scatterv_distributes() {
+        let out = run_threads(3, |t| {
+            let g = world(t);
+            let parts: Vec<Vec<i64>> = (0..3).map(|r| vec![r as i64; r + 1]).collect();
+            let src = (t.rank() == 0).then_some(&parts[..]);
+            t.scatterv(&g, 0, src)
+        });
+        for (r, v) in out.iter().enumerate() {
+            assert_eq!(v, &vec![r as i64; r + 1]);
+        }
+    }
+
+    #[test]
+    fn allgatherv_ring() {
+        for n in [1usize, 2, 3, 5] {
+            let out = run_threads(n, |t| {
+                let g = world(t);
+                let mine: Vec<u64> = vec![t.rank() as u64; t.rank() + 1];
+                t.allgatherv(&g, &mine)
+            });
+            for v in out {
+                for (r, block) in v.iter().enumerate() {
+                    assert_eq!(block, &vec![r as u64; r + 1]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn alltoallv_personalized() {
+        let out = run_threads(3, |t| {
+            let g = world(t);
+            let parts: Vec<Vec<u32>> = (0..3).map(|j| vec![(t.rank() * 10 + j) as u32]).collect();
+            t.alltoallv(&g, &parts)
+        });
+        for (me, v) in out.iter().enumerate() {
+            for (src, block) in v.iter().enumerate() {
+                assert_eq!(block, &vec![(src * 10 + me) as u32]);
+            }
+        }
+    }
+
+    #[test]
+    fn collectives_on_subgroup() {
+        // World of 4; group excludes rank 2 (a "removed" node).
+        let out = run_threads(4, |t| {
+            if t.rank() == 2 {
+                return vec![];
+            }
+            let g = Group::new(vec![0, 1, 3], t.rank());
+            t.allreduce_sum_f64(&g, &[1.0])
+        });
+        assert_eq!(out[0], vec![3.0]);
+        assert_eq!(out[1], vec![3.0]);
+        assert_eq!(out[3], vec![3.0]);
+        assert!(out[2].is_empty());
+    }
+
+    #[test]
+    fn sendrecv_ring_shift() {
+        let out = run_threads(4, |t| {
+            let n = t.size();
+            let r = t.rank();
+            let got = t.sendrecv((r + 1) % n, 5, &[r as u64], (r + n - 1) % n, 5);
+            got[0]
+        });
+        assert_eq!(out, vec![3, 0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved collective tag space")]
+    fn reserved_tags_rejected_for_app_traffic() {
+        run_threads(1, |t| {
+            t.send_slice(0, RESERVED_TAG_BASE, &[0u8]);
+        });
+    }
+}

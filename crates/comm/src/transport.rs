@@ -1,0 +1,72 @@
+//! The transport abstraction.
+//!
+//! Everything above this layer — typed point-to-point, collectives, the
+//! Dyn-MPI runtime, the applications — is written once against
+//! [`Transport`]. Two implementations exist: the virtual-time simulator
+//! ([`crate::SimTransport`]) used for all paper experiments, and a real
+//! multi-threaded channel transport ([`crate::ThreadTransport`]) proving
+//! the stack runs on actual concurrency.
+
+/// Reserved tag space boundary: application tags must stay below this;
+/// internal (collective) traffic uses tags at or above it.
+pub const RESERVED_TAG_BASE: u64 = 1 << 32;
+
+/// A point-to-point byte transport between `size()` ranks.
+pub trait Transport {
+    /// This rank's id in `0..size()`.
+    fn rank(&self) -> usize;
+
+    /// Number of ranks.
+    fn size(&self) -> usize;
+
+    /// Sends `payload` to `dst` under `tag`. Buffered: returns once the
+    /// message is injected, not when it is received.
+    fn send_bytes(&self, dst: usize, tag: u64, payload: Vec<u8>);
+
+    /// Receives the next message from `src` under `tag`, blocking.
+    fn recv_bytes(&self, src: usize, tag: u64) -> Vec<u8>;
+
+    /// Receives the next message under `tag` from any rank, blocking.
+    fn recv_bytes_any(&self, tag: u64) -> (usize, Vec<u8>);
+
+    /// Wallclock seconds (virtual or real, per transport).
+    fn wtime(&self) -> f64;
+
+    /// Consumes `work` units of CPU. On the simulator this advances
+    /// virtual time under the node's current load; on real transports the
+    /// work is assumed to be performed by the caller's own code and this
+    /// is a no-op.
+    fn compute(&self, _work: f64) {}
+
+    /// Marks the end of one application phase cycle (drives cycle-triggered
+    /// load scripts on the simulator; no-op elsewhere).
+    fn phase_cycle_completed(&self) {}
+}
+
+/// Transports also used by the Dyn-MPI runtime expose the host's
+/// measurement facilities (§4.2 of the paper). The thread transport
+/// implements these with real OS facilities where possible and benign
+/// stand-ins otherwise.
+pub trait HostMeters: Transport {
+    /// `dmpi_ps` reading for the node hosting rank `r`: running-or-ready
+    /// process count including the application.
+    fn dmpi_ps(&self, r: usize) -> u32;
+
+    /// CPU time consumed by this rank per `/proc`, in seconds, truncated
+    /// to the accounting tick.
+    fn proc_cpu_seconds(&self) -> f64;
+
+    /// The `/proc` accounting tick in seconds (0 ⇒ exact readings).
+    fn proc_tick_seconds(&self) -> f64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserved_tag_base_leaves_room() {
+        assert!(RESERVED_TAG_BASE > u64::from(u32::MAX));
+        assert!(RESERVED_TAG_BASE < u64::MAX / 2);
+    }
+}

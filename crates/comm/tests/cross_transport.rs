@@ -1,0 +1,133 @@
+//! Cross-transport equivalence: every collective must produce identical
+//! results on the real thread transport and the virtual-time simulator.
+
+use dynmpi_comm::{run_threads, CommOps, Group, SimTransport, Transport};
+use dynmpi_sim::{Cluster, NodeSpec};
+
+/// Runs `f` on both transports with `n` ranks and returns both results.
+fn on_both<R, F>(n: usize, f: F) -> (Vec<R>, Vec<R>)
+where
+    R: Send + Clone,
+    F: Fn(&dyn DynTransport) -> R + Send + Sync,
+{
+    let threads = run_threads(n, |t| f(&TransportObj(t)));
+    let sim = Cluster::homogeneous(n, NodeSpec::default())
+        .run_spmd(|ctx| {
+            let t = SimTransport::new(ctx);
+            f(&TransportObj(&t))
+        })
+        .results;
+    (threads, sim)
+}
+
+/// Object-safe shim so one closure can serve both concrete transports.
+trait DynTransport {
+    fn rank(&self) -> usize;
+    fn size(&self) -> usize;
+    fn allreduce_sum(&self, g: &Group, data: &[f64]) -> Vec<f64>;
+    fn allgatherv(&self, g: &Group, data: &[u64]) -> Vec<Vec<u64>>;
+    fn bcast(&self, g: &Group, root: usize, data: Option<&[i64]>) -> Vec<i64>;
+    fn alltoallv(&self, g: &Group, parts: &[Vec<u32>]) -> Vec<Vec<u32>>;
+    fn sendrecv_ring(&self, val: u64) -> u64;
+}
+
+struct TransportObj<'a, T: Transport>(&'a T);
+
+impl<T: Transport> DynTransport for TransportObj<'_, T> {
+    fn rank(&self) -> usize {
+        self.0.rank()
+    }
+    fn size(&self) -> usize {
+        self.0.size()
+    }
+    fn allreduce_sum(&self, g: &Group, data: &[f64]) -> Vec<f64> {
+        self.0.allreduce_sum_f64(g, data)
+    }
+    fn allgatherv(&self, g: &Group, data: &[u64]) -> Vec<Vec<u64>> {
+        self.0.allgatherv(g, data)
+    }
+    fn bcast(&self, g: &Group, root: usize, data: Option<&[i64]>) -> Vec<i64> {
+        self.0.bcast(g, root, data)
+    }
+    fn alltoallv(&self, g: &Group, parts: &[Vec<u32>]) -> Vec<Vec<u32>> {
+        self.0.alltoallv(g, parts)
+    }
+    fn sendrecv_ring(&self, val: u64) -> u64 {
+        let n = self.0.size();
+        let r = self.0.rank();
+        let got = self.0.sendrecv((r + 1) % n, 3, &[val], (r + n - 1) % n, 3);
+        got[0]
+    }
+}
+
+#[test]
+fn allreduce_matches_across_transports() {
+    for n in [1usize, 2, 5] {
+        let (a, b) = on_both(n, |t| {
+            let g = Group::world(t.rank(), t.size());
+            t.allreduce_sum(&g, &[t.rank() as f64, 1.0])
+        });
+        assert_eq!(a, b, "n={n}");
+        assert_eq!(a[0], vec![(0..n).map(|r| r as f64).sum(), n as f64]);
+    }
+}
+
+#[test]
+fn allgatherv_matches_across_transports() {
+    let (a, b) = on_both(4, |t| {
+        let g = Group::world(t.rank(), t.size());
+        t.allgatherv(&g, &vec![t.rank() as u64; t.rank() + 1])
+    });
+    assert_eq!(a, b);
+    for blocks in &a {
+        for (r, blk) in blocks.iter().enumerate() {
+            assert_eq!(blk, &vec![r as u64; r + 1]);
+        }
+    }
+}
+
+#[test]
+fn bcast_matches_across_transports() {
+    for root in 0..3 {
+        let (a, b) = on_both(3, move |t| {
+            let g = Group::world(t.rank(), t.size());
+            let data = vec![root as i64, -7];
+            t.bcast(&g, root, (t.rank() == root).then_some(&data[..]))
+        });
+        assert_eq!(a, b);
+        assert!(a.iter().all(|v| v == &[root as i64, -7]));
+    }
+}
+
+#[test]
+fn alltoallv_matches_across_transports() {
+    let (a, b) = on_both(3, |t| {
+        let g = Group::world(t.rank(), t.size());
+        let parts: Vec<Vec<u32>> = (0..3)
+            .map(|j| vec![(t.rank() * 10 + j) as u32; j + 1])
+            .collect();
+        t.alltoallv(&g, &parts)
+    });
+    assert_eq!(a, b);
+}
+
+#[test]
+fn ring_shift_matches_across_transports() {
+    let (a, b) = on_both(5, |t| t.sendrecv_ring(t.rank() as u64 * 3));
+    assert_eq!(a, b);
+    assert_eq!(a, vec![12, 0, 3, 6, 9]);
+}
+
+#[test]
+fn subgroup_collectives_match() {
+    let (a, b) = on_both(4, |t| {
+        if t.rank() == 1 {
+            return vec![-1.0];
+        }
+        let g = Group::new(vec![0, 2, 3], t.rank());
+        t.allreduce_sum(&g, &[t.rank() as f64])
+    });
+    assert_eq!(a, b);
+    assert_eq!(a[0], vec![5.0]);
+    assert_eq!(a[1], vec![-1.0]);
+}

@@ -1,0 +1,163 @@
+//! Runtime configuration.
+
+/// Which distribution algorithm the runtime uses (§4.3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BalancerKind {
+    /// Proportional to relative power `speed / (1 + ncp)` — the "naive"
+    /// baseline the paper attributes to CRAUL-style systems.
+    RelativePower,
+    /// Successive balancing: relative power corrected by the CPU cost of
+    /// communication on loaded nodes (the paper's contribution).
+    SuccessiveBalancing,
+}
+
+/// What to do with nodes whose participation hurts (§4.4, §2.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DropPolicy {
+    /// Never remove nodes; keep rebalancing over everyone.
+    Never,
+    /// Decide from the post-redistribution measurement vs. the predicted
+    /// unloaded-configuration time (the paper's automatic policy).
+    Auto,
+    /// Always remove loaded nodes after the post-redistribution grace
+    /// period (used by the Figure 6 harness to force the Drop arm).
+    Always,
+    /// *Logical* dropping: loaded nodes stay in the computation with a
+    /// minimum share so ranks remain static (§2.2's alternative).
+    Logical,
+}
+
+/// Tunables of the Dyn-MPI runtime. Defaults follow the paper.
+#[derive(Clone, Debug)]
+pub struct DynMpiConfig {
+    /// Master switch: with adaptation off the runtime only monitors
+    /// (the "no Dyn-MPI" arm of every experiment).
+    pub adapt: bool,
+    /// Cycles of measurement after a load change before redistributing
+    /// (paper default: 5).
+    pub grace_period: u32,
+    /// Cycles of measurement after a redistribution before the node
+    /// removal decision (paper default: 10).
+    pub post_redist_period: u32,
+    /// Distribution algorithm.
+    pub balancer: BalancerKind,
+    /// Node removal policy.
+    pub drop_policy: DropPolicy,
+    /// Minimum rows kept by a logically dropped node.
+    pub min_rows_logical: usize,
+    /// Redistribute only if the new assignment moves more than this
+    /// fraction of all rows (avoids thrashing on measurement noise).
+    pub rebalance_threshold: f64,
+    /// Re-admit removed nodes when their load clears (future-work
+    /// extension; off by default to match the paper).
+    pub allow_rejoin: bool,
+    /// Consecutive load-free cycles a removed node must show before
+    /// rejoin.
+    pub rejoin_after_cycles: u32,
+    /// Expected scheduler-slice wait per blocking receive per competing
+    /// process, as a fraction of the quantum. With the OS wake-up boost
+    /// the residual wait is small (default 0.05); refined by the
+    /// micro-benchmark calibration of §4.3.
+    pub wait_factor: f64,
+    /// OS scheduler quantum in seconds, for the communication penalty
+    /// model.
+    pub quantum_seconds: f64,
+    /// Safety margin: drop nodes only if the predicted unloaded
+    /// configuration is at least this much faster (1.0 = any
+    /// improvement).
+    pub drop_margin: f64,
+    /// Stop reacting to load changes after this many redistributions
+    /// (the Figure 5 "Redist Once" arm). `None` = unlimited.
+    pub max_redistributions: Option<u32>,
+    /// Successive balancing never assigns a participating node less than
+    /// this fraction of its relative-power share — balancing alone must
+    /// not idle a node; *removal* (§4.4) is the separate facility for
+    /// that.
+    pub balance_floor: f64,
+}
+
+impl Default for DynMpiConfig {
+    fn default() -> Self {
+        DynMpiConfig {
+            adapt: true,
+            grace_period: 5,
+            post_redist_period: 10,
+            balancer: BalancerKind::SuccessiveBalancing,
+            drop_policy: DropPolicy::Auto,
+            min_rows_logical: 1,
+            rebalance_threshold: 0.02,
+            allow_rejoin: false,
+            rejoin_after_cycles: 3,
+            wait_factor: 0.05,
+            quantum_seconds: 0.010,
+            drop_margin: 1.0,
+            max_redistributions: None,
+            balance_floor: 0.8,
+        }
+    }
+}
+
+impl DynMpiConfig {
+    /// The paper's configuration with adaptation disabled entirely.
+    pub fn no_adapt() -> Self {
+        DynMpiConfig {
+            adapt: false,
+            ..Default::default()
+        }
+    }
+
+    /// Validates invariants; called by `DynMpi::init`.
+    pub fn validate(&self) {
+        assert!(
+            self.grace_period >= 1,
+            "grace period must be at least 1 cycle"
+        );
+        assert!(
+            self.post_redist_period >= 1,
+            "post-redistribution period must be ≥ 1"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.rebalance_threshold),
+            "rebalance threshold must be a fraction"
+        );
+        assert!(self.wait_factor >= 0.0 && self.quantum_seconds >= 0.0);
+        assert!(self.drop_margin > 0.0);
+        assert!(
+            (0.0..=1.0).contains(&self.balance_floor),
+            "balance floor is a fraction"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = DynMpiConfig::default();
+        assert_eq!(c.grace_period, 5);
+        assert_eq!(c.post_redist_period, 10);
+        assert_eq!(c.balancer, BalancerKind::SuccessiveBalancing);
+        assert_eq!(c.drop_policy, DropPolicy::Auto);
+        assert!(c.adapt);
+        c.validate();
+    }
+
+    #[test]
+    fn no_adapt_preset() {
+        let c = DynMpiConfig::no_adapt();
+        assert!(!c.adapt);
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "grace period")]
+    fn zero_grace_rejected() {
+        let c = DynMpiConfig {
+            grace_period: 0,
+            ..Default::default()
+        };
+        c.validate();
+    }
+}

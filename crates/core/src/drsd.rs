@@ -1,0 +1,174 @@
+//! (Deferred) Regular Section Descriptors.
+//!
+//! RSDs describe an array reference as `start : end : step` (§2.2, after
+//! Havlak & Kennedy). *Deferred* RSDs leave the bounds as expressions over
+//! the partitioned loop's bounds, evaluated at run time once the loop
+//! bounds for a node are known — which is what lets Dyn-MPI know, for any
+//! distribution, exactly which rows each node touches and therefore what
+//! must move on redistribution (§4.4).
+
+use crate::rowset::RowSet;
+
+/// A bound expression deferred until loop bounds are known.
+///
+/// Evaluation receives the node's partitioned loop bounds `[lo, hi]`
+/// (inclusive, in global row indices).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Bound {
+    /// A fixed global index.
+    Const(i64),
+    /// `loop start + offset` (e.g. `B[start_iter - 1]` ⇒ `Start(-1)`).
+    Start(i64),
+    /// `loop end + offset` (e.g. `B[end_iter + 1]` ⇒ `End(1)`).
+    End(i64),
+}
+
+impl Bound {
+    fn eval(self, lo: i64, hi: i64) -> i64 {
+        match self {
+            Bound::Const(c) => c,
+            Bound::Start(off) => lo + off,
+            Bound::End(off) => hi + off,
+        }
+    }
+}
+
+/// Access mode of an array reference.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccessMode {
+    Read,
+    Write,
+    ReadWrite,
+}
+
+/// A deferred regular section descriptor over the distributed (first)
+/// dimension.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Drsd {
+    pub start: Bound,
+    pub end: Bound,
+    pub step: u32,
+}
+
+impl Drsd {
+    /// The identity section: exactly the rows the loop iterates
+    /// (`A[i]` in the loop body).
+    pub fn iter_space() -> Drsd {
+        Drsd {
+            start: Bound::Start(0),
+            end: Bound::End(0),
+            step: 1,
+        }
+    }
+
+    /// The loop rows widened by a halo on each side (`B[i-1] … B[i+1]` ⇒
+    /// `with_halo(1)`): the nearest-neighbor read pattern.
+    pub fn with_halo(h: i64) -> Drsd {
+        Drsd {
+            start: Bound::Start(-h),
+            end: Bound::End(h),
+            step: 1,
+        }
+    }
+
+    /// An explicit section with constant bounds (whole-array references,
+    /// e.g. the gathered vector in CG's mat-vec).
+    pub fn fixed(start: i64, end: i64) -> Drsd {
+        Drsd {
+            start: Bound::Const(start),
+            end: Bound::Const(end),
+            step: 1,
+        }
+    }
+
+    /// A strided section.
+    pub fn strided(start: Bound, end: Bound, step: u32) -> Drsd {
+        assert!(step > 0, "DRSD step must be positive");
+        Drsd { start, end, step }
+    }
+
+    /// Evaluates the descriptor for a node whose partitioned loop covers
+    /// global rows `[lo, hi]` inclusive, clamped to `0..nrows`.
+    /// An empty loop range (`hi < lo`) yields the empty set.
+    pub fn eval(&self, lo: usize, hi: usize, nrows: usize) -> RowSet {
+        if hi < lo {
+            return RowSet::new();
+        }
+        let s = self.start.eval(lo as i64, hi as i64);
+        let e = self.end.eval(lo as i64, hi as i64);
+        if e < s {
+            return RowSet::new();
+        }
+        let s = s.max(0) as usize;
+        let e = e.max(0) as usize;
+        RowSet::strided(s, (e + 1).min(nrows), self.step as usize).clamp(nrows)
+    }
+}
+
+/// One array reference in a phase: which array, how it is accessed, and
+/// the section it touches.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ArrayAccess {
+    pub array: usize,
+    pub mode: AccessMode,
+    pub drsd: Drsd,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_space_matches_loop() {
+        let d = Drsd::iter_space();
+        assert_eq!(d.eval(3, 7, 100).ranges(), &[3..8]);
+    }
+
+    #[test]
+    fn halo_extends_and_clamps() {
+        let d = Drsd::with_halo(1);
+        assert_eq!(d.eval(3, 7, 100).ranges(), &[2..9]);
+        // Clamped at both array edges.
+        assert_eq!(d.eval(0, 7, 100).ranges(), &[0..9]);
+        assert_eq!(d.eval(90, 99, 100).ranges(), &[89..100]);
+    }
+
+    #[test]
+    fn fixed_section_ignores_loop() {
+        let d = Drsd::fixed(0, 9);
+        assert_eq!(d.eval(42, 57, 100).ranges(), &[0..10]);
+        // Clamped to the array.
+        assert_eq!(d.eval(0, 0, 5).ranges(), &[0..5]);
+    }
+
+    #[test]
+    fn strided_section() {
+        let d = Drsd::strided(Bound::Start(0), Bound::End(0), 2);
+        assert_eq!(
+            d.eval(0, 8, 100).iter().collect::<Vec<_>>(),
+            vec![0, 2, 4, 6, 8]
+        );
+    }
+
+    #[test]
+    fn empty_loop_is_empty() {
+        let d = Drsd::with_halo(1);
+        assert!(d.eval(5, 4, 100).is_empty());
+    }
+
+    #[test]
+    fn inverted_bounds_are_empty() {
+        let d = Drsd {
+            start: Bound::Const(10),
+            end: Bound::Const(5),
+            step: 1,
+        };
+        assert!(d.eval(0, 99, 100).is_empty());
+    }
+
+    #[test]
+    fn negative_start_clamps_to_zero() {
+        let d = Drsd::with_halo(3);
+        assert_eq!(d.eval(0, 2, 100).ranges(), &[0..6]);
+    }
+}

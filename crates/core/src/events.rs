@@ -1,0 +1,92 @@
+//! Runtime event log.
+//!
+//! Every adaptation decision the runtime takes is recorded so harnesses
+//! (and the figure generators) can reconstruct the timeline: when load was
+//! detected, how long redistribution took, which nodes were dropped and
+//! why.
+
+use crate::timing::TimingMode;
+
+/// One adaptation event, stamped with the phase cycle it occurred in.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RuntimeEvent {
+    /// The per-cycle load vector diverged from the last stable one; the
+    /// grace period begins.
+    LoadChangeDetected { cycle: u64, loads: Vec<u32> },
+    /// Grace-period measurement finished with the given timing mode.
+    GraceComplete { cycle: u64, mode: TimingMode },
+    /// A redistribution was executed.
+    Redistributed {
+        cycle: u64,
+        seconds: f64,
+        rows_moved: usize,
+        counts: Vec<usize>,
+    },
+    /// The balancer's new assignment moved too few rows to be worth it.
+    RedistributionSkipped { cycle: u64, moved_fraction: f64 },
+    /// The node-removal decision was evaluated after the
+    /// post-redistribution grace period.
+    DropEvaluated {
+        cycle: u64,
+        predicted_unloaded: f64,
+        measured_max: f64,
+        dropped: bool,
+    },
+    /// Loaded nodes were physically removed.
+    NodesDropped { cycle: u64, nodes: Vec<usize> },
+    /// A previously removed node was re-admitted (extension feature).
+    NodeRejoined { cycle: u64, node: usize },
+}
+
+impl RuntimeEvent {
+    /// The phase cycle the event happened in.
+    pub fn cycle(&self) -> u64 {
+        match self {
+            RuntimeEvent::LoadChangeDetected { cycle, .. }
+            | RuntimeEvent::GraceComplete { cycle, .. }
+            | RuntimeEvent::Redistributed { cycle, .. }
+            | RuntimeEvent::RedistributionSkipped { cycle, .. }
+            | RuntimeEvent::DropEvaluated { cycle, .. }
+            | RuntimeEvent::NodesDropped { cycle, .. }
+            | RuntimeEvent::NodeRejoined { cycle, .. } => *cycle,
+        }
+    }
+
+    /// Short tag for summaries.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            RuntimeEvent::LoadChangeDetected { .. } => "load-change",
+            RuntimeEvent::GraceComplete { .. } => "grace-complete",
+            RuntimeEvent::Redistributed { .. } => "redistributed",
+            RuntimeEvent::RedistributionSkipped { .. } => "redist-skipped",
+            RuntimeEvent::DropEvaluated { .. } => "drop-evaluated",
+            RuntimeEvent::NodesDropped { .. } => "nodes-dropped",
+            RuntimeEvent::NodeRejoined { .. } => "node-rejoined",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_and_kind_accessors() {
+        let e = RuntimeEvent::Redistributed {
+            cycle: 12,
+            seconds: 0.5,
+            rows_moved: 100,
+            counts: vec![50, 50],
+        };
+        assert_eq!(e.cycle(), 12);
+        assert_eq!(e.kind(), "redistributed");
+        let d = RuntimeEvent::DropEvaluated {
+            cycle: 30,
+            predicted_unloaded: 1.0,
+            measured_max: 2.0,
+            dropped: true,
+        };
+        assert_eq!(d.cycle(), 30);
+        assert_eq!(d.kind(), "drop-evaluated");
+    }
+}

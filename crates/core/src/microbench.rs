@@ -1,0 +1,186 @@
+//! Micro-benchmark calibration of the communication-penalty model (§4.3).
+//!
+//! The paper determines effective distributions "by executing
+//! micro-benchmarks … for different computation to communication ratios".
+//! This module reproduces that: it runs synthetic two-node
+//! nearest-neighbor programs on the simulator, sweeping the loaded node's
+//! work fraction to find the empirically best split, and fits the
+//! [`CommModel::wait_factor`](crate::balance::CommModel) that makes
+//! successive balancing predict that split.
+
+use dynmpi_comm::{SimTransport, Transport};
+use dynmpi_sim::{Cluster, LoadScript, NodeSpec, SimTime};
+
+use crate::balance::{successive_balance_with_floor, CommModel, NodeLoad};
+
+/// One probe point: a computation/communication ratio and a load level.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ProbePoint {
+    /// Total per-cycle compute work (units) across both nodes.
+    pub total_work: f64,
+    /// Bytes exchanged with each neighbor per cycle.
+    pub msg_bytes: usize,
+    /// Competing processes on node 0.
+    pub ncp: u32,
+}
+
+/// Result of probing one point: the measured best fraction for the loaded
+/// node and the naive (relative power) fraction for reference.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ProbeResult {
+    pub point: ProbePoint,
+    /// Loaded-node work fraction minimizing the measured cycle time.
+    pub best_fraction: f64,
+    /// `1/(1+ncp) / (1 + 1/(1+ncp))` — the relative-power fraction.
+    pub naive_fraction: f64,
+    /// Cycle time at the best fraction (seconds).
+    pub best_cycle: f64,
+    /// Cycle time at the naive fraction (seconds).
+    pub naive_cycle: f64,
+}
+
+/// Runs one synthetic two-node program: node 0 carries `frac` of the
+/// work and one ghost exchange with node 1 per cycle. Returns the mean
+/// cycle time in virtual seconds.
+pub fn measure_two_node_cycle(speed: f64, point: ProbePoint, frac: f64, cycles: usize) -> f64 {
+    let script = LoadScript::dedicated().at_time(0, SimTime::ZERO, point.ncp);
+    let cluster = Cluster::homogeneous(2, NodeSpec::with_speed(speed)).with_script(script);
+    let out = cluster.run_spmd(|ctx| {
+        let t = SimTransport::new(ctx);
+        let me = t.rank();
+        let work = if me == 0 {
+            point.total_work * frac
+        } else {
+            point.total_work * (1.0 - frac)
+        };
+        let other = 1 - me;
+        let payload = vec![0u8; point.msg_bytes];
+        // Warm-up cycle to de-skew the ranks, then measure.
+        for _ in 0..2 {
+            t.compute(work);
+            t.send_bytes(other, 1, payload.clone());
+            let _ = t.recv_bytes(other, 1);
+        }
+        let start = t.wtime();
+        for _ in 0..cycles {
+            t.compute(work);
+            t.send_bytes(other, 1, payload.clone());
+            let _ = t.recv_bytes(other, 1);
+        }
+        (t.wtime() - start) / cycles as f64
+    });
+    // The slower rank's mean cycle is the cycle time.
+    out.results.iter().cloned().fold(0.0, f64::max)
+}
+
+/// Probes one point: sweeps the loaded node's fraction on a grid and
+/// returns the argmin along with the naive split's performance.
+pub fn probe(speed: f64, point: ProbePoint, grid: usize, cycles: usize) -> ProbeResult {
+    let avail0 = 1.0 / f64::from(point.ncp + 1);
+    let naive = avail0 / (avail0 + 1.0);
+    let mut best_fraction = naive;
+    let mut best_cycle = f64::INFINITY;
+    for k in 0..=grid {
+        let frac = naive * k as f64 / grid as f64; // 0 ..= naive
+        let c = measure_two_node_cycle(speed, point, frac, cycles);
+        if c < best_cycle {
+            best_cycle = c;
+            best_fraction = frac;
+        }
+    }
+    let naive_cycle = measure_two_node_cycle(speed, point, naive, cycles);
+    ProbeResult {
+        point,
+        best_fraction,
+        naive_fraction: naive,
+        best_cycle,
+        naive_cycle,
+    }
+}
+
+/// Fits the `wait_factor` of the penalty model to a set of probe results:
+/// picks the factor (on a grid) whose successive-balancing split best
+/// matches the measured optima, in total squared error.
+pub fn fit_wait_factor(results: &[ProbeResult], quantum: f64) -> f64 {
+    let mut best = 0.5;
+    let mut best_err = f64::INFINITY;
+    for k in 0..=40 {
+        let wf = k as f64 * 0.05; // 0.0 ..= 2.0
+        let mut err = 0.0;
+        for r in results {
+            let model = CommModel {
+                blocking_recvs_per_cycle: 1.0,
+                quantum,
+                wait_factor: wf,
+            };
+            let loads = [
+                NodeLoad {
+                    ncp: r.point.ncp,
+                    speed: 1.0,
+                },
+                NodeLoad::unloaded(1.0),
+            ];
+            // 1000 virtual rows of uniform weight.
+            let w = vec![r.point.total_work / 1000.0; 1000];
+            let d = successive_balance_with_floor(&w, &loads, &model, 0, 0.0);
+            let predicted = d.counts()[0] as f64 / 1000.0;
+            err += (predicted - r.best_fraction).powi(2);
+        }
+        if err < best_err {
+            best_err = err;
+            best = wf;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unloaded_split_is_even() {
+        let p = ProbePoint {
+            total_work: 2.0e5,
+            msg_bytes: 4096,
+            ncp: 0,
+        };
+        let a = measure_two_node_cycle(1e6, p, 0.5, 5);
+        let b = measure_two_node_cycle(1e6, p, 0.3, 5);
+        assert!(
+            a < b,
+            "even split must beat 30/70 when unloaded: {a} vs {b}"
+        );
+    }
+
+    #[test]
+    fn loaded_node_best_fraction_below_naive() {
+        // Communication-heavy point: the loaded node should get less than
+        // its relative power share.
+        let p = ProbePoint {
+            total_work: 4.0e4,
+            msg_bytes: 16_384,
+            ncp: 2,
+        };
+        let r = probe(1e6, p, 8, 6);
+        assert!(
+            r.best_fraction <= r.naive_fraction + 1e-9,
+            "best {} vs naive {}",
+            r.best_fraction,
+            r.naive_fraction
+        );
+        assert!(r.best_cycle <= r.naive_cycle + 1e-9);
+    }
+
+    #[test]
+    fn fit_produces_reasonable_factor() {
+        let p = ProbePoint {
+            total_work: 4.0e4,
+            msg_bytes: 16_384,
+            ncp: 2,
+        };
+        let r = probe(1e6, p, 8, 6);
+        let wf = fit_wait_factor(&[r], 0.010);
+        assert!((0.0..=2.0).contains(&wf), "wait factor {wf}");
+    }
+}

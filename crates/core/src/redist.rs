@@ -1,0 +1,399 @@
+//! Effecting a redistribution (§4.4).
+//!
+//! Given the old and new distributions (each over its own active group),
+//! every participant (1) determines ownership, (2) sends away rows it no
+//! longer owns, (3) receives rows it now owns, (4) fetches the ghost rows
+//! its DRSDs say it reads but does not own, and (5) drops storage that is
+//! neither owned nor a needed ghost. Rows that stay put are untouched —
+//! the projection allocation's pointer reuse.
+//!
+//! All participants compute the identical transfer schedule from shared
+//! state, so messages need no headers: a `(src, dst, array)` triple fully
+//! determines the row set.
+
+use dynmpi_comm::{CommOps, Group, Transport};
+
+use crate::array::RedistArray;
+use crate::dist::Distribution;
+use crate::drsd::{AccessMode, ArrayAccess};
+use crate::rowset::RowSet;
+
+/// Runtime-internal tag space (above the collective tags).
+const TAG_MOVE: u64 = 1 << 33;
+const TAG_GHOST: u64 = (1 << 33) + 0x10_0000;
+
+/// Cost accounting for one redistribution.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct RedistOutcome {
+    /// Wall time of the whole operation (including the closing barrier).
+    pub seconds: f64,
+    /// Rows whose ownership moved to or from this rank.
+    pub rows_moved: usize,
+    /// Payload bytes this rank sent.
+    pub bytes_sent: u64,
+}
+
+/// Computes the ghost rows every member of `group` needs for `array`,
+/// given the distribution and the phase access list: the union of all
+/// read sections evaluated over the member's owned ranges, minus what it
+/// owns.
+pub fn ghost_needs(
+    dist: &Distribution,
+    rel: usize,
+    array: usize,
+    accesses: &[ArrayAccess],
+    nrows: usize,
+) -> RowSet {
+    let owned = dist.rows_of(rel);
+    let mut need = RowSet::new();
+    for acc in accesses {
+        if acc.array != array || acc.mode == AccessMode::Write {
+            continue;
+        }
+        for r in owned.ranges() {
+            need = need.union(&acc.drsd.eval(r.start, r.end - 1, nrows));
+        }
+    }
+    need.diff(&owned)
+}
+
+/// Executes a redistribution. Must be called collectively by every member
+/// of `old_group` ∪ `new_group` (a rank leaving the computation
+/// participates as a sender; a rank joining participates as a receiver).
+///
+/// `accesses` is the flattened access list across all phases, used for
+/// ghost-row acquisition.
+#[allow(clippy::too_many_arguments)]
+pub fn execute<T: Transport>(
+    t: &T,
+    me: usize,
+    old_group: &Group,
+    old_dist: &Distribution,
+    new_group: &Group,
+    new_dist: &Distribution,
+    accesses: &[ArrayAccess],
+    arrays: &mut [&mut dyn RedistArray],
+) -> RedistOutcome {
+    let t0 = t.wtime();
+    let nrows = old_dist.nrows();
+    assert_eq!(nrows, new_dist.nrows(), "row-space mismatch");
+
+    let my_old = old_group
+        .rel_of(me)
+        .map(|r| old_dist.rows_of(r))
+        .unwrap_or_default();
+    let my_new = new_group
+        .rel_of(me)
+        .map(|r| new_dist.rows_of(r))
+        .unwrap_or_default();
+
+    let mut rows_moved = 0usize;
+    let mut bytes_sent = 0u64;
+
+    // ---- Phase A: ownership moves -------------------------------------
+    for (ai, arr) in arrays.iter_mut().enumerate() {
+        let tag = TAG_MOVE + ai as u64;
+        // Sends: rows I had that someone else now owns.
+        for dst_rel in 0..new_group.size() {
+            let dst = new_group.world_rank(dst_rel);
+            if dst == me {
+                continue;
+            }
+            let mv = my_old.intersect(&new_dist.rows_of(dst_rel));
+            if mv.is_empty() {
+                continue;
+            }
+            let payload = arr.pack_rows(&mv, true);
+            rows_moved += mv.len();
+            bytes_sent += payload.len() as u64;
+            t.send_bytes(dst, tag, payload);
+        }
+        // Receives: rows I now own that someone else had.
+        for src_rel in 0..old_group.size() {
+            let src = old_group.world_rank(src_rel);
+            if src == me {
+                continue;
+            }
+            let mv = my_new.intersect(&old_dist.rows_of(src_rel));
+            if mv.is_empty() {
+                continue;
+            }
+            let payload = t.recv_bytes(src, tag);
+            rows_moved += mv.len();
+            arr.unpack_rows(&mv, &payload);
+        }
+    }
+
+    // ---- Phase B: ghost acquisition ------------------------------------
+    // Sources are the *new* owners, who now hold every row.
+    for (ai, arr) in arrays.iter_mut().enumerate() {
+        let tag = TAG_GHOST + ai as u64;
+        // What each member needs (identical computation everywhere).
+        for dst_rel in 0..new_group.size() {
+            let dst = new_group.world_rank(dst_rel);
+            if dst == me {
+                continue;
+            }
+            let need = ghost_needs(new_dist, dst_rel, ai, accesses, nrows);
+            let from_me = need.intersect(&my_new);
+            if from_me.is_empty() {
+                continue;
+            }
+            let payload = arr.pack_rows(&from_me, false);
+            bytes_sent += payload.len() as u64;
+            t.send_bytes(dst, tag, payload);
+        }
+        if let Some(my_rel) = new_group.rel_of(me) {
+            let need = ghost_needs(new_dist, my_rel, ai, accesses, nrows);
+            for src_rel in 0..new_group.size() {
+                let src = new_group.world_rank(src_rel);
+                if src == me {
+                    continue;
+                }
+                let from_src = need.intersect(&new_dist.rows_of(src_rel));
+                if from_src.is_empty() {
+                    continue;
+                }
+                let payload = t.recv_bytes(src, tag);
+                arr.unpack_rows(&from_src, &payload);
+            }
+        }
+    }
+
+    // ---- Phase C: release stale storage --------------------------------
+    for (ai, arr) in arrays.iter_mut().enumerate() {
+        let keep = if let Some(my_rel) = new_group.rel_of(me) {
+            my_new.union(&ghost_needs(new_dist, my_rel, ai, accesses, nrows))
+        } else {
+            RowSet::new()
+        };
+        let stale = arr.present_rows().diff(&keep);
+        arr.drop_rows(&stale);
+    }
+
+    // Close with a barrier over everyone involved so the measured time
+    // covers the full collective operation.
+    let mut members: Vec<usize> = old_group
+        .members()
+        .iter()
+        .chain(new_group.members())
+        .copied()
+        .collect();
+    members.sort_unstable();
+    members.dedup();
+    let all = Group::new(members, me);
+    t.barrier(&all);
+
+    RedistOutcome {
+        seconds: t.wtime() - t0,
+        rows_moved,
+        bytes_sent,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::DenseMatrix;
+    use crate::drsd::Drsd;
+    use crate::sparse::SparseMatrix;
+    use dynmpi_comm::run_threads;
+
+    fn read_halo(array: usize) -> ArrayAccess {
+        ArrayAccess {
+            array,
+            mode: AccessMode::Read,
+            drsd: Drsd::with_halo(1),
+        }
+    }
+
+    #[test]
+    fn ghost_needs_halo() {
+        let d = Distribution::block_from_counts(&[4, 4, 4]);
+        let acc = [read_halo(0)];
+        // Middle node needs one row on each side.
+        assert_eq!(
+            ghost_needs(&d, 1, 0, &acc, 12).iter().collect::<Vec<_>>(),
+            vec![3, 8]
+        );
+        // Edge nodes clamp.
+        assert_eq!(
+            ghost_needs(&d, 0, 0, &acc, 12).iter().collect::<Vec<_>>(),
+            vec![4]
+        );
+        assert_eq!(
+            ghost_needs(&d, 2, 0, &acc, 12).iter().collect::<Vec<_>>(),
+            vec![7]
+        );
+    }
+
+    #[test]
+    fn ghost_needs_ignores_writes_and_other_arrays() {
+        let d = Distribution::block_from_counts(&[4, 4]);
+        let acc = [
+            ArrayAccess {
+                array: 0,
+                mode: AccessMode::Write,
+                drsd: Drsd::with_halo(2),
+            },
+            read_halo(1),
+        ];
+        assert!(ghost_needs(&d, 0, 0, &acc, 8).is_empty());
+        assert!(!ghost_needs(&d, 0, 1, &acc, 8).is_empty());
+    }
+
+    #[test]
+    fn ghost_needs_empty_owner() {
+        let d = Distribution::block_from_counts(&[8, 0]);
+        let acc = [read_halo(0)];
+        assert!(ghost_needs(&d, 1, 0, &acc, 8).is_empty());
+    }
+
+    /// Full end-to-end redistribution over the thread transport: values
+    /// must land on the right nodes and ghosts must be fresh.
+    #[test]
+    fn redistribute_dense_same_group() {
+        let nrows = 12;
+        let out = run_threads(3, move |t| {
+            let me = t.rank();
+            let g = Group::world(me, 3);
+            let old = Distribution::block_from_counts(&[4, 4, 4]);
+            let new = Distribution::block_from_counts(&[2, 6, 4]);
+            let acc = [read_halo(0)];
+
+            let mut m = DenseMatrix::<f64>::new(nrows, 2);
+            let mine = old.rows_of(me);
+            let ghosts = ghost_needs(&old, me, 0, &acc, nrows);
+            m.fill_rows(&mine.union(&ghosts), |i, j| (i * 10 + j) as f64);
+
+            let mut arrays: Vec<&mut dyn RedistArray> = vec![&mut m];
+            let oc = execute(t, me, &g, &old, &g, &new, &acc, &mut arrays);
+            assert!(oc.seconds >= 0.0);
+
+            // Every owned + ghost row must be present with correct values.
+            let mine_new = new.rows_of(me);
+            let ghosts_new = ghost_needs(&new, me, 0, &acc, nrows);
+            for i in mine_new.union(&ghosts_new).iter() {
+                assert_eq!(m.row(i), &[(i * 10) as f64, (i * 10 + 1) as f64], "row {i}");
+            }
+            // Stale rows must be gone.
+            assert_eq!(m.present_rows(), mine_new.union(&ghosts_new));
+            m.present_rows().len()
+        });
+        assert_eq!(out.iter().sum::<usize>() >= 12, true);
+    }
+
+    #[test]
+    fn redistribute_with_node_leaving() {
+        // 3 nodes → node 2 dropped; its rows must land on the survivors.
+        let nrows = 9;
+        let out = run_threads(3, move |t| {
+            let me = t.rank();
+            let old_g = Group::world(me, 3);
+            let new_g = Group::new(vec![0, 1], me);
+            let old = Distribution::block_from_counts(&[3, 3, 3]);
+            let new = Distribution::block_from_counts(&[5, 4]);
+            let acc = [read_halo(0)];
+
+            let mut m = DenseMatrix::<f64>::new(nrows, 1);
+            let mine = old.rows_of(me);
+            let ghosts = ghost_needs(&old, me, 0, &acc, nrows);
+            m.fill_rows(&mine.union(&ghosts), |i, _| i as f64);
+
+            let mut arrays: Vec<&mut dyn RedistArray> = vec![&mut m];
+            execute(t, me, &old_g, &old, &new_g, &new, &acc, &mut arrays);
+
+            if me == 2 {
+                assert!(
+                    m.present_rows().is_empty(),
+                    "dropped node must hold nothing"
+                );
+                0
+            } else {
+                let mine_new = new.rows_of(me);
+                for i in mine_new.iter() {
+                    assert_eq!(m.row(i)[0], i as f64);
+                }
+                mine_new.len()
+            }
+        });
+        assert_eq!(out[0] + out[1], 9);
+    }
+
+    #[test]
+    fn redistribute_with_node_joining() {
+        // 2 active nodes; node 2 rejoins.
+        let nrows = 8;
+        run_threads(3, move |t| {
+            let me = t.rank();
+            let old_g = Group::new(vec![0, 1], me);
+            let new_g = Group::world(me, 3);
+            let old = Distribution::block_from_counts(&[4, 4]);
+            let new = Distribution::block_from_counts(&[3, 3, 2]);
+            let acc = [read_halo(0)];
+
+            let mut m = DenseMatrix::<f64>::new(nrows, 1);
+            if me != 2 {
+                let mine = old.rows_of(me);
+                let ghosts = ghost_needs(&old, me, 0, &acc, nrows);
+                m.fill_rows(&mine.union(&ghosts), |i, _| (100 + i) as f64);
+            }
+
+            let mut arrays: Vec<&mut dyn RedistArray> = vec![&mut m];
+            execute(t, me, &old_g, &old, &new_g, &new, &acc, &mut arrays);
+
+            let mine_new = new.rows_of(me);
+            for i in mine_new.iter() {
+                assert_eq!(m.row(i)[0], (100 + i) as f64, "rank {me} row {i}");
+            }
+        });
+    }
+
+    #[test]
+    fn redistribute_sparse_and_dense_together() {
+        let nrows = 10;
+        run_threads(2, move |t| {
+            let me = t.rank();
+            let g = Group::world(me, 2);
+            let old = Distribution::block_from_counts(&[5, 5]);
+            let new = Distribution::block_from_counts(&[2, 8]);
+            let acc = [read_halo(0)]; // halo on the dense array only
+
+            let mut d = DenseMatrix::<f64>::new(nrows, 3);
+            let mut s = SparseMatrix::<f64>::new(nrows, 100);
+            let mine = old.rows_of(me);
+            let ghosts = ghost_needs(&old, me, 0, &acc, nrows);
+            d.fill_rows(&mine.union(&ghosts), |i, j| (i + j) as f64);
+            for i in mine.iter() {
+                s.set(i, (i * 7 % 100) as u32, i as f64);
+                if i % 2 == 0 {
+                    s.set(i, 99, -1.0);
+                }
+            }
+
+            let mut arrays: Vec<&mut dyn RedistArray> = vec![&mut d, &mut s];
+            execute(t, me, &g, &old, &g, &new, &acc, &mut arrays);
+
+            for i in new.rows_of(me).iter() {
+                assert_eq!(d.row(i)[0], i as f64);
+                assert_eq!(s.row(i).get((i * 7 % 100) as u32), Some(&(i as f64)));
+                assert_eq!(s.row(i).get(99).is_some(), i % 2 == 0);
+            }
+        });
+    }
+
+    #[test]
+    fn identity_redistribution_moves_nothing() {
+        run_threads(2, |t| {
+            let me = t.rank();
+            let g = Group::world(me, 2);
+            let d = Distribution::block_from_counts(&[4, 4]);
+            let mut m = DenseMatrix::<f64>::new(8, 1);
+            m.fill_rows(&d.rows_of(me), |i, _| i as f64);
+            let mut arrays: Vec<&mut dyn RedistArray> = vec![&mut m];
+            let oc = execute(t, me, &g, &d, &g, &d, &[], &mut arrays);
+            assert_eq!(oc.rows_moved, 0);
+            assert_eq!(oc.bytes_sent, 0);
+        });
+    }
+}

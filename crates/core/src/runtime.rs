@@ -1,0 +1,1564 @@
+//! The Dyn-MPI runtime (§4).
+//!
+//! One [`DynMpi`] instance lives on each rank. The application registers
+//! its redistributable arrays, phases, and DRSD accesses, then brackets
+//! every phase cycle with [`DynMpi::begin_cycle`] / [`DynMpi::end_cycle`].
+//! `end_cycle` is where everything happens:
+//!
+//! 1. every active rank's cycle time is gathered; the root reads the
+//!    `dmpi_ps` monitors and broadcasts a consistent load vector;
+//! 2. the replicated state machine advances:
+//!    `Stable → Grace(5) → [redistribute] → PostRedist(10) → {Stable | drop}`;
+//! 3. removed ranks receive a per-cycle status message from the active
+//!    root (the *send-out-only* global communication of §4.4) so they stay
+//!    current on membership and can rejoin.
+//!
+//! All decisions are pure functions of broadcast data, so every rank
+//! reaches the identical conclusion without further coordination.
+
+use dynmpi_comm::{from_bytes, to_bytes, CommOps, Group, HostMeters};
+
+use crate::array::{ArrayMeta, RedistArray};
+use crate::balance::{
+    predict_cycle_time, relative_power, successive_balance_with_floor, CommModel, NodeLoad,
+};
+use crate::config::{BalancerKind, DropPolicy, DynMpiConfig};
+use crate::dist::Distribution;
+use crate::drsd::{AccessMode, ArrayAccess, Drsd};
+use crate::events::RuntimeEvent;
+use crate::redist::{self, RedistOutcome};
+use crate::rowset::RowSet;
+use crate::timing::RowTimer;
+
+/// Status messages from the active root to removed ranks.
+const TAG_STATUS: u64 = (1 << 33) + 0x20_0000;
+/// Pipelined control plane: per-cycle samples up to the root and state
+/// blobs back down, tagged per epoch (membership generation).
+const TAG_CTRL_UP: u64 = 1 << 34;
+const TAG_CTRL_DOWN: u64 = (1 << 34) + 1;
+/// Control pipeline depth: decisions at cycle `k` use data from cycle
+/// `k − CTRL_LAG`, so no rank ever blocks on another's in-flight control
+/// message — monitoring stays off the critical path (the paper's
+/// daemon-based design point).
+const CTRL_LAG: u64 = 2;
+/// Send-out leg of removed-aware global reductions.
+const TAG_GLOBAL: u64 = (1 << 33) + 0x30_0000;
+/// Per-cycle ghost-row exchange (one tag per array).
+const TAG_GEX: u64 = (1 << 33) + 0x40_0000;
+
+/// Identifier of a registered array (registration order).
+pub type ArrayId = usize;
+/// Identifier of a registered phase (registration order).
+pub type PhaseId = usize;
+
+/// Communication pattern of a phase, used to estimate the number of
+/// blocking receives per cycle for the §4.3 penalty model.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum CommPattern {
+    /// No communication.
+    None,
+    /// Ghost-row exchange with both neighbors: 2 blocking receives.
+    NearestNeighbor,
+    /// One-direction ring shift: 1 blocking receive.
+    RingShift,
+    /// A tree collective: ~log₂(n) blocking receives.
+    Global,
+    /// Explicit receive count.
+    Custom(f64),
+}
+
+impl CommPattern {
+    fn blocking_recvs(self, n_active: usize) -> f64 {
+        match self {
+            CommPattern::None => 0.0,
+            CommPattern::NearestNeighbor => 2.0,
+            CommPattern::RingShift => 1.0,
+            CommPattern::Global => (n_active.max(2) as f64).log2().ceil(),
+            CommPattern::Custom(r) => r,
+        }
+    }
+}
+
+/// A registered phase: a slice of the iteration space plus its
+/// communication pattern (§2.1).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PhaseSpec {
+    /// First global iteration (row), inclusive.
+    pub lo: usize,
+    /// Last global iteration, exclusive.
+    pub hi: usize,
+    pub pattern: CommPattern,
+}
+
+/// What `end_cycle` did this cycle.
+#[derive(Clone, Debug, Default)]
+pub struct CycleReport {
+    pub cycle: u64,
+    pub seconds: f64,
+    pub redistributed: bool,
+    pub dropped: Vec<usize>,
+    pub rejoined: Option<usize>,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Mode {
+    Stable,
+    Grace { left: u32 },
+    PostRedist { left: u32 },
+}
+
+/// The per-rank Dyn-MPI runtime.
+pub struct DynMpi<'a, T: HostMeters> {
+    t: &'a T,
+    cfg: DynMpiConfig,
+    nrows: usize,
+    wsize: usize,
+    wrank: usize,
+
+    active: Group,
+    dist: Distribution,
+    is_removed: bool,
+    /// Removed rank's view of the active membership and distribution.
+    known_members: Vec<usize>,
+    known_counts: Vec<usize>,
+
+    arrays: Vec<ArrayMeta>,
+    phases: Vec<PhaseSpec>,
+    accesses: Vec<ArrayAccess>,
+    setup_done: bool,
+
+    mode: Mode,
+    cycle: u64,
+    last_loads: Vec<u32>,
+    rebalance_requested: bool,
+    timer: Option<RowTimer>,
+    row_weights: Option<Vec<f64>>,
+    cycle_wall_start: f64,
+    /// Per-active-member cycle-time accumulator for the post-redist
+    /// window (indexed like `active.members()`).
+    post_accum: Vec<f64>,
+    post_count: u32,
+    /// Consecutive load-free cycles per world node (rejoin tracking).
+    clear_streak: Vec<u32>,
+
+    local_cycle_times: Vec<f64>,
+    events: Vec<RuntimeEvent>,
+    redist_seconds_total: f64,
+    redist_count: u32,
+
+    /// Control-plane epoch: bumped at every membership transition so
+    /// stale pipeline messages are never consumed.
+    ctrl_epoch: u64,
+    /// Samples sent since the epoch started.
+    ctrl_sent: u64,
+    /// Root only: this rank's own queued samples (peers' queue in their
+    /// mailboxes).
+    self_samples: std::collections::VecDeque<f64>,
+    /// Blobs to ignore at the start of a PostRedist window (they carry
+    /// pre-redistribution cycle times because of the pipeline lag).
+    post_skip: u32,
+}
+
+impl<'a, T: HostMeters> DynMpi<'a, T> {
+    /// Initializes the runtime on one rank. `nrows` is the shared extent
+    /// of the distributed dimension. The initial distribution is an even
+    /// block over all ranks.
+    pub fn init(t: &'a T, nrows: usize, cfg: DynMpiConfig) -> Self {
+        cfg.validate();
+        let wsize = t.size();
+        let wrank = t.rank();
+        assert!(nrows >= wsize, "fewer rows ({nrows}) than ranks ({wsize})");
+        DynMpi {
+            t,
+            cfg,
+            nrows,
+            wsize,
+            wrank,
+            active: Group::world(wrank, wsize),
+            dist: Distribution::block_even(nrows, wsize),
+            is_removed: false,
+            known_members: (0..wsize).collect(),
+            known_counts: Distribution::block_even(nrows, wsize).counts(),
+            arrays: Vec::new(),
+            phases: Vec::new(),
+            accesses: Vec::new(),
+            setup_done: false,
+            mode: Mode::Stable,
+            cycle: 0,
+            last_loads: vec![0; wsize],
+            rebalance_requested: false,
+            timer: None,
+            row_weights: None,
+            cycle_wall_start: 0.0,
+            post_accum: vec![0.0; wsize],
+            post_count: 0,
+            clear_streak: vec![0; wsize],
+            local_cycle_times: Vec::new(),
+            events: Vec::new(),
+            redist_seconds_total: 0.0,
+            redist_count: 0,
+            ctrl_epoch: 0,
+            ctrl_sent: 0,
+            self_samples: std::collections::VecDeque::new(),
+            post_skip: 0,
+        }
+    }
+
+    // ---------------- registration (§2.2 API) --------------------------
+
+    /// `DMPI_register_dense_array`.
+    pub fn register_dense(&mut self, name: &str, nrows: usize) -> ArrayId {
+        self.register(ArrayMeta::dense(name, nrows))
+    }
+
+    /// `DMPI_register_sparse_array`.
+    pub fn register_sparse(&mut self, name: &str, nrows: usize) -> ArrayId {
+        self.register(ArrayMeta::sparse(name, nrows))
+    }
+
+    fn register(&mut self, meta: ArrayMeta) -> ArrayId {
+        assert!(!self.setup_done, "register arrays before setup");
+        assert_eq!(
+            meta.nrows, self.nrows,
+            "array {} extent must match the distributed space",
+            meta.name
+        );
+        assert!(
+            self.arrays.iter().all(|m| m.name != meta.name),
+            "array {} registered twice",
+            meta.name
+        );
+        self.arrays.push(meta);
+        self.arrays.len() - 1
+    }
+
+    /// `DMPI_init_phase`: registers a phase over global iterations
+    /// `lo..hi` with the given communication pattern.
+    pub fn init_phase(&mut self, lo: usize, hi: usize, pattern: CommPattern) -> PhaseId {
+        assert!(!self.setup_done, "register phases before setup");
+        assert!(
+            lo < hi && hi <= self.nrows,
+            "phase range {lo}..{hi} invalid"
+        );
+        self.phases.push(PhaseSpec { lo, hi, pattern });
+        self.phases.len() - 1
+    }
+
+    /// `DMPI_add_array_access`: attaches a DRSD to a phase.
+    pub fn add_access(&mut self, _phase: PhaseId, array: ArrayId, mode: AccessMode, drsd: Drsd) {
+        assert!(!self.setup_done, "register accesses before setup");
+        assert!(array < self.arrays.len(), "unknown array id {array}");
+        self.accesses.push(ArrayAccess { array, mode, drsd });
+    }
+
+    /// Finalizes registration and allocates each array's owned and ghost
+    /// rows on this rank. Call once, passing the arrays in registration
+    /// order; then fill them via [`Self::local_rows`].
+    pub fn setup(&mut self, arrays: &mut [&mut dyn RedistArray]) {
+        assert!(!self.setup_done, "setup called twice");
+        self.validate_arrays(arrays);
+        for (ai, arr) in arrays.iter_mut().enumerate() {
+            let rows = self.local_rows(ai);
+            arr.alloc_rows(&rows);
+        }
+        self.setup_done = true;
+    }
+
+    fn validate_arrays(&self, arrays: &[&mut dyn RedistArray]) {
+        assert_eq!(
+            arrays.len(),
+            self.arrays.len(),
+            "pass every registered array, in registration order"
+        );
+        for (meta, arr) in self.arrays.iter().zip(arrays) {
+            assert_eq!(
+                arr.nrows(),
+                meta.nrows,
+                "array {} extent mismatch",
+                meta.name
+            );
+        }
+    }
+
+    // ---------------- queries ------------------------------------------
+
+    /// `DMPI_participating`: is this rank part of the computation?
+    pub fn participating(&self) -> bool {
+        !self.is_removed
+    }
+
+    /// `DMPI_get_rel_rank`: this rank's relative rank among active nodes.
+    pub fn rel_rank(&self) -> Option<usize> {
+        if self.is_removed {
+            None
+        } else {
+            self.active.rel()
+        }
+    }
+
+    /// `DMPI_get_num_active`.
+    pub fn num_active(&self) -> usize {
+        if self.is_removed {
+            self.known_members.len()
+        } else {
+            self.active.size()
+        }
+    }
+
+    /// World rank of a relative rank (for neighbor messaging).
+    pub fn world_rank_of(&self, rel: usize) -> usize {
+        self.active.world_rank(rel)
+    }
+
+    /// This rank's world rank.
+    pub fn world_rank(&self) -> usize {
+        self.wrank
+    }
+
+    /// `DMPI_get_start_iter` / `DMPI_get_end_iter`: this rank's
+    /// contiguous iteration range within `phase`, inclusive; `None` when
+    /// it owns nothing there (or is removed).
+    pub fn my_range(&self, phase: PhaseId) -> Option<(usize, usize)> {
+        let rows = self.my_rows(phase);
+        Some((rows.first()?, rows.last()?))
+    }
+
+    /// The exact rows of `phase` this rank owns (supports cyclic
+    /// distributions too).
+    pub fn my_rows(&self, phase: PhaseId) -> RowSet {
+        let spec = self.phases[phase];
+        if self.is_removed {
+            return RowSet::new();
+        }
+        let Some(rel) = self.active.rel() else {
+            return RowSet::new();
+        };
+        self.dist
+            .rows_of(rel)
+            .intersect(&RowSet::from_range(spec.lo..spec.hi))
+    }
+
+    /// Rows of `array` present on this rank: owned plus DRSD ghosts. Use
+    /// after `setup` (or a redistribution) to know what to initialize.
+    pub fn local_rows(&self, array: ArrayId) -> RowSet {
+        if self.is_removed {
+            return RowSet::new();
+        }
+        let Some(rel) = self.active.rel() else {
+            return RowSet::new();
+        };
+        let owned = self.dist.rows_of(rel);
+        owned.union(&redist::ghost_needs(
+            &self.dist,
+            rel,
+            array,
+            &self.accesses,
+            self.nrows,
+        ))
+    }
+
+    /// The current distribution over active nodes.
+    pub fn distribution(&self) -> &Distribution {
+        &self.dist
+    }
+
+    /// The active group, for application-level collectives over active
+    /// ranks (e.g. CG's allgather of `p`). Guard uses with
+    /// [`Self::participating`].
+    pub fn group(&self) -> &dynmpi_comm::Group {
+        &self.active
+    }
+
+    /// Active members (world ranks).
+    pub fn active_members(&self) -> &[usize] {
+        if self.is_removed {
+            &self.known_members
+        } else {
+            self.active.members()
+        }
+    }
+
+    /// The adaptation event log.
+    pub fn events(&self) -> &[RuntimeEvent] {
+        &self.events
+    }
+
+    /// Per-cycle wall times observed by this rank.
+    pub fn local_cycle_times(&self) -> &[f64] {
+        &self.local_cycle_times
+    }
+
+    /// The latest measured global per-row weights, if a grace period has
+    /// completed.
+    pub fn row_weights(&self) -> Option<&[f64]> {
+        self.row_weights.as_deref()
+    }
+
+    /// Total wall seconds spent inside redistribution operations.
+    pub fn redistribution_seconds(&self) -> f64 {
+        self.redist_seconds_total
+    }
+
+    /// Requests a rebalance at the next `end_cycle` even without a load
+    /// change (the REDISTRIBUTE-annotation analogue; must be called by
+    /// every active rank in the same cycle).
+    pub fn request_rebalance(&mut self) {
+        self.rebalance_requested = true;
+    }
+
+    // ---------------- per-cycle hooks -----------------------------------
+
+    /// Marks the start of a phase cycle.
+    pub fn begin_cycle(&mut self) {
+        self.cycle_wall_start = self.t.wtime();
+    }
+
+    /// Performs this rank's compute for `phase`, charging `work(row)`
+    /// CPU units per owned row. Outside the grace period the whole range
+    /// is charged in one piece; during it each row is timed individually
+    /// (§4.2).
+    pub fn charge_rows(&mut self, phase: PhaseId, work: impl Fn(usize) -> f64) {
+        let rows = self.my_rows(phase);
+        if let (Mode::Grace { .. }, Some(timer)) = (self.mode, self.timer.as_mut()) {
+            for i in rows.iter() {
+                let w0 = self.t.wtime();
+                let p0 = self.t.proc_cpu_seconds();
+                self.t.compute(work(i));
+                timer.record(i, self.t.wtime() - w0, self.t.proc_cpu_seconds() - p0);
+            }
+        } else {
+            let total: f64 = rows.iter().map(&work).sum();
+            self.t.compute(total);
+        }
+    }
+
+    /// Ends a phase cycle: monitoring, grace bookkeeping, redistribution,
+    /// node removal, and removed-rank status handling. Pass every
+    /// registered array, in registration order.
+    pub fn end_cycle(&mut self, arrays: &mut [&mut dyn RedistArray]) -> CycleReport {
+        assert!(self.setup_done, "call setup before cycling");
+        self.validate_arrays(arrays);
+        let cycle_time = self.t.wtime() - self.cycle_wall_start;
+        self.local_cycle_times.push(cycle_time);
+        self.t.phase_cycle_completed();
+        self.cycle += 1;
+        let mut report = CycleReport {
+            cycle: self.cycle,
+            seconds: cycle_time,
+            ..Default::default()
+        };
+
+        if self.is_removed {
+            self.removed_end_cycle(arrays, &mut report);
+            return report;
+        }
+        if !self.cfg.adapt {
+            return report;
+        }
+
+        // 1. Pipelined control plane. Every cycle each active rank posts
+        //    its cycle time to the root; the root assembles per-cycle
+        //    state blobs (times + monitor loads) and posts them back.
+        //    Both directions run CTRL_LAG cycles deep, so every receive
+        //    finds its message already delivered: no rank stalls on a
+        //    loaded node's in-flight control traffic.
+        let rel = self.active.rel_unchecked();
+        let root = self.active.world_rank(0);
+        let up = TAG_CTRL_UP + 4 * self.ctrl_epoch;
+        let down = TAG_CTRL_DOWN + 4 * self.ctrl_epoch;
+        if rel == 0 {
+            self.self_samples.push_back(cycle_time);
+        } else {
+            self.t.send_bytes(root, up, to_bytes(&[cycle_time]));
+        }
+        self.ctrl_sent += 1;
+        if self.ctrl_sent <= CTRL_LAG {
+            // Pipeline warm-up: no blob yet, but removed ranks still
+            // expect their per-cycle status.
+            if rel == 0 {
+                let removed = self.removed_nodes();
+                self.send_statuses(&removed, &vec![0; self.wsize]);
+            }
+            return report;
+        }
+        let blob: Vec<f64> = if rel == 0 {
+            let mut b = Vec::with_capacity(self.active.size() + self.wsize);
+            for r in 0..self.active.size() {
+                if r == 0 {
+                    b.push(self.self_samples.pop_front().expect("own sample queued"));
+                } else {
+                    let bytes = self.t.recv_bytes(self.active.world_rank(r), up);
+                    let v: Vec<f64> = from_bytes(&bytes);
+                    b.push(v[0]);
+                }
+            }
+            for node in 0..self.wsize {
+                b.push(f64::from(self.t.dmpi_ps(node).saturating_sub(1)));
+            }
+            let bytes = to_bytes(&b);
+            for r in 1..self.active.size() {
+                self.t
+                    .send_bytes(self.active.world_rank(r), down, bytes.clone());
+            }
+            b
+        } else {
+            from_bytes(&self.t.recv_bytes(root, down))
+        };
+        let times: Vec<f64> = blob[..self.active.size()].to_vec();
+        let loads: Vec<u32> = blob[self.active.size()..]
+            .iter()
+            .map(|&x| x as u32)
+            .collect();
+        debug_assert_eq!(loads.len(), self.wsize);
+
+        // Track load-free streaks of removed nodes (for rejoin).
+        for n in 0..self.wsize {
+            if loads[n] == 0 {
+                self.clear_streak[n] = self.clear_streak[n].saturating_add(1);
+            } else {
+                self.clear_streak[n] = 0;
+            }
+        }
+
+        // 2. Replicated state machine.
+        let pre_removed = self.removed_nodes();
+        self.step(&times, &loads, arrays, &mut report);
+
+        // 3. Status send-out to ranks that were already removed at cycle
+        //    start. Drop and rejoin transitions send their own statuses
+        //    inside step() (the pre-transition root owes them), so the
+        //    generic send is suppressed on those cycles.
+        let transition = !report.dropped.is_empty() || report.rejoined.is_some();
+        if !transition && !self.is_removed && self.active.rel() == Some(0) {
+            self.send_statuses(&pre_removed, &loads);
+        }
+        report
+    }
+
+    /// Nodes currently outside the active group.
+    fn removed_nodes(&self) -> Vec<usize> {
+        (0..self.wsize)
+            .filter(|n| !self.active.contains(*n))
+            .collect()
+    }
+
+    // ---------------- the state machine ---------------------------------
+
+    fn step(
+        &mut self,
+        times: &[f64],
+        loads: &[u32],
+        arrays: &mut [&mut dyn RedistArray],
+        report: &mut CycleReport,
+    ) {
+        match self.mode {
+            Mode::Stable => {
+                let exhausted = self
+                    .cfg
+                    .max_redistributions
+                    .is_some_and(|k| self.redist_count >= k);
+                let changed = !exhausted
+                    && self
+                        .active
+                        .members()
+                        .iter()
+                        .any(|&m| loads[m] != self.last_loads[m]);
+                if changed || self.rebalance_requested {
+                    self.rebalance_requested = false;
+                    assert!(
+                        matches!(self.dist, Distribution::Block { .. }),
+                        "adaptive rebalancing requires a block distribution"
+                    );
+                    self.events.push(RuntimeEvent::LoadChangeDetected {
+                        cycle: self.cycle,
+                        loads: loads.to_vec(),
+                    });
+                    // Time my currently owned rows through the grace
+                    // period.
+                    let rel = self.active.rel_unchecked();
+                    let mine = self.dist.rows_of(rel);
+                    let (lo, count) = (mine.first().unwrap_or(0), mine.len());
+                    self.timer = Some(RowTimer::new(lo, count, self.t.proc_tick_seconds()));
+                    self.mode = Mode::Grace {
+                        left: self.cfg.grace_period,
+                    };
+                } else if self.cfg.allow_rejoin {
+                    self.maybe_rejoin(loads, arrays, report);
+                }
+            }
+            Mode::Grace { left } => {
+                if let Some(t) = self.timer.as_mut() {
+                    t.end_cycle();
+                }
+                if left > 1 {
+                    self.mode = Mode::Grace { left: left - 1 };
+                } else {
+                    self.finish_grace(loads, arrays, report);
+                }
+            }
+            Mode::PostRedist { left } => {
+                if self.post_skip > 0 {
+                    // The pipeline lag means the first blobs of the
+                    // window still carry pre-redistribution cycles.
+                    self.post_skip -= 1;
+                    return;
+                }
+                for (i, &t) in times.iter().enumerate() {
+                    self.post_accum[i] += t;
+                }
+                self.post_count += 1;
+                if left > 1 {
+                    self.mode = Mode::PostRedist { left: left - 1 };
+                } else {
+                    self.finish_post_redist(loads, arrays, report);
+                    self.post_accum.iter_mut().for_each(|x| *x = 0.0);
+                    self.post_count = 0;
+                }
+            }
+        }
+    }
+
+    /// End of the grace period: build global row weights, balance,
+    /// redistribute if worthwhile.
+    fn finish_grace(
+        &mut self,
+        loads: &[u32],
+        arrays: &mut [&mut dyn RedistArray],
+        report: &mut CycleReport,
+    ) {
+        let timer = self.timer.take().expect("grace without timer");
+        let mode = timer.mode().expect("grace period saw no cycles");
+        self.events.push(RuntimeEvent::GraceComplete {
+            cycle: self.cycle,
+            mode,
+        });
+
+        // Assemble the global per-row weight vector: every active rank
+        // contributes its contiguous block, in relative-rank (= row)
+        // order.
+        let pieces = self.t.allgatherv(&self.active, &timer.weights());
+        let mut weights: Vec<f64> = Vec::with_capacity(self.nrows);
+        for p in &pieces {
+            weights.extend_from_slice(p);
+        }
+        assert_eq!(weights.len(), self.nrows, "weight gather incomplete");
+        self.row_weights = Some(weights);
+
+        let new_dist = self.balance(loads);
+        let moved = self.moved_fraction(&new_dist);
+        if moved > self.cfg.rebalance_threshold {
+            let oc = self.redistribute_in_place(&new_dist, arrays);
+            self.events.push(RuntimeEvent::Redistributed {
+                cycle: self.cycle,
+                seconds: oc.seconds,
+                rows_moved: oc.rows_moved,
+                counts: new_dist.counts(),
+            });
+            report.redistributed = true;
+            self.post_skip = CTRL_LAG as u32 + 1;
+            self.mode = Mode::PostRedist {
+                left: self.cfg.post_redist_period,
+            };
+        } else {
+            self.events.push(RuntimeEvent::RedistributionSkipped {
+                cycle: self.cycle,
+                moved_fraction: moved,
+            });
+            self.mode = Mode::Stable;
+        }
+        self.last_loads = loads.to_vec();
+    }
+
+    /// End of the post-redistribution window: the node-removal decision
+    /// (§4.4).
+    fn finish_post_redist(
+        &mut self,
+        loads: &[u32],
+        arrays: &mut [&mut dyn RedistArray],
+        report: &mut CycleReport,
+    ) {
+        self.mode = Mode::Stable;
+        let n = self.active.size();
+        let avg: Vec<f64> = self.post_accum[..n]
+            .iter()
+            .map(|&s| s / f64::from(self.post_count.max(1)))
+            .collect();
+        let measured_max = avg.iter().cloned().fold(0.0, f64::max);
+
+        let loaded: Vec<usize> = self
+            .active
+            .members()
+            .iter()
+            .copied()
+            .filter(|&m| loads[m] > 0)
+            .collect();
+        let unloaded: Vec<usize> = self
+            .active
+            .members()
+            .iter()
+            .copied()
+            .filter(|&m| loads[m] == 0)
+            .collect();
+        if loaded.is_empty() || unloaded.is_empty() {
+            return;
+        }
+
+        // Predicted cycle time of the unloaded-only configuration:
+        // balanced compute plus the measured communication baseline.
+        let weights = self.row_weights.as_deref().unwrap_or(&[]);
+        let total_work: f64 = weights.iter().sum();
+        let comm_baseline = self.comm_baseline(&avg, loads, weights);
+        let pred = predict_cycle_time(
+            total_work,
+            &vec![NodeLoad::unloaded(1.0); unloaded.len()],
+            &self.comm_model(),
+            comm_baseline,
+        );
+        let drop = match self.cfg.drop_policy {
+            DropPolicy::Never | DropPolicy::Logical => false,
+            DropPolicy::Always => true,
+            DropPolicy::Auto => pred * self.cfg.drop_margin < measured_max,
+        };
+        self.events.push(RuntimeEvent::DropEvaluated {
+            cycle: self.cycle,
+            predicted_unloaded: pred,
+            measured_max,
+            dropped: drop,
+        });
+        if !drop {
+            return;
+        }
+
+        // Physically remove the loaded nodes (§4.4): new group, new
+        // distribution, full redistribution, relative ranks reassigned by
+        // construction of the new group.
+        let pre_removed = self.removed_nodes();
+        let was_root = self.active.rel() == Some(0);
+        let old_group = self.active.clone();
+        let old_dist = self.dist.clone();
+        let new_group = Group::new(unloaded.clone(), self.wrank);
+        let node_loads: Vec<NodeLoad> = vec![NodeLoad::unloaded(1.0); unloaded.len()];
+        let w = self.effective_weights();
+        let new_dist = match self.cfg.balancer {
+            BalancerKind::RelativePower => relative_power(&w, &node_loads, 0),
+            BalancerKind::SuccessiveBalancing => successive_balance_with_floor(
+                &w,
+                &node_loads,
+                &self.comm_model_for(new_group.size()),
+                0,
+                self.cfg.balance_floor,
+            ),
+        };
+        let oc = redist::execute(
+            self.t,
+            self.wrank,
+            &old_group,
+            &old_dist,
+            &new_group,
+            &new_dist,
+            &self.accesses,
+            arrays,
+        );
+        self.redist_seconds_total += oc.seconds;
+        self.events.push(RuntimeEvent::NodesDropped {
+            cycle: self.cycle,
+            nodes: loaded.clone(),
+        });
+        report.dropped = loaded;
+        self.known_members = unloaded.clone();
+        self.known_counts = new_dist.counts();
+        self.dist = new_dist;
+        self.is_removed = !new_group.contains(self.wrank);
+        self.active = new_group;
+        self.last_loads = loads.to_vec();
+        self.post_accum = vec![0.0; self.wsize];
+        self.clear_streak = vec![0; self.wsize];
+        self.reset_ctrl_pipeline();
+
+        // The pre-drop root owes this cycle's statuses even if it just
+        // removed itself.
+        if was_root {
+            self.send_statuses(&pre_removed, loads);
+        }
+    }
+
+    /// Rejoin check (extension): a removed node with a clear load streak
+    /// is re-admitted.
+    fn maybe_rejoin(
+        &mut self,
+        loads: &[u32],
+        arrays: &mut [&mut dyn RedistArray],
+        report: &mut CycleReport,
+    ) {
+        let candidate = self
+            .removed_nodes()
+            .into_iter()
+            .find(|&n| self.clear_streak[n] >= self.cfg.rejoin_after_cycles);
+        let Some(node) = candidate else { return };
+
+        let pre_removed = self.removed_nodes();
+        let was_root = self.active.rel() == Some(0);
+        let mut members: Vec<usize> = self.active.members().to_vec();
+        members.push(node);
+        members.sort_unstable();
+        let old_group = self.active.clone();
+        let old_dist = self.dist.clone();
+        let new_group = Group::new(members.clone(), self.wrank);
+        let node_loads: Vec<NodeLoad> = members
+            .iter()
+            .map(|&m| NodeLoad {
+                ncp: loads[m],
+                speed: 1.0,
+            })
+            .collect();
+        let w = self.effective_weights();
+        let new_dist = match self.cfg.balancer {
+            BalancerKind::RelativePower => relative_power(&w, &node_loads, 0),
+            BalancerKind::SuccessiveBalancing => successive_balance_with_floor(
+                &w,
+                &node_loads,
+                &self.comm_model_for(new_group.size()),
+                0,
+                self.cfg.balance_floor,
+            ),
+        };
+
+        // Statuses first: the rejoining rank must learn its membership
+        // before the transfers reach it (the root sends them this cycle).
+        self.known_members = members;
+        self.known_counts = new_dist.counts();
+        if was_root {
+            self.send_statuses(&pre_removed, loads);
+        }
+        let oc = redist::execute(
+            self.t,
+            self.wrank,
+            &old_group,
+            &old_dist,
+            &new_group,
+            &new_dist,
+            &self.accesses,
+            arrays,
+        );
+        self.redist_seconds_total += oc.seconds;
+        self.events.push(RuntimeEvent::NodeRejoined {
+            cycle: self.cycle,
+            node,
+        });
+        report.rejoined = Some(node);
+        self.dist = new_dist;
+        self.active = new_group;
+        self.last_loads = loads.to_vec();
+        self.clear_streak = vec![0; self.wsize];
+        self.reset_ctrl_pipeline();
+    }
+
+    // ---------------- helpers -------------------------------------------
+
+    fn effective_weights(&self) -> Vec<f64> {
+        match &self.row_weights {
+            Some(w) if w.iter().sum::<f64>() > 0.0 => w.clone(),
+            _ => vec![1.0; self.nrows],
+        }
+    }
+
+    fn comm_model(&self) -> CommModel {
+        self.comm_model_for(self.active.size())
+    }
+
+    fn comm_model_for(&self, n_active: usize) -> CommModel {
+        let recvs: f64 = self
+            .phases
+            .iter()
+            .map(|p| p.pattern.blocking_recvs(n_active))
+            .sum();
+        CommModel {
+            blocking_recvs_per_cycle: recvs,
+            quantum: self.cfg.quantum_seconds,
+            wait_factor: self.cfg.wait_factor,
+        }
+    }
+
+    fn balance(&self, loads: &[u32]) -> Distribution {
+        let node_loads: Vec<NodeLoad> = self
+            .active
+            .members()
+            .iter()
+            .map(|&m| NodeLoad {
+                ncp: loads[m],
+                speed: 1.0,
+            })
+            .collect();
+        let w = self.effective_weights();
+        let min_rows = if self.cfg.drop_policy == DropPolicy::Logical {
+            self.cfg.min_rows_logical
+        } else {
+            0
+        };
+        match self.cfg.balancer {
+            BalancerKind::RelativePower => relative_power(&w, &node_loads, min_rows),
+            BalancerKind::SuccessiveBalancing => successive_balance_with_floor(
+                &w,
+                &node_loads,
+                &self.comm_model(),
+                min_rows,
+                self.cfg.balance_floor,
+            ),
+        }
+    }
+
+    /// Fraction of rows that change owner between the current and a
+    /// candidate distribution.
+    fn moved_fraction(&self, new: &Distribution) -> f64 {
+        let moved: usize = self
+            .dist
+            .transfers_to(new)
+            .iter()
+            .filter(|(s, d, _)| s != d)
+            .map(|(_, _, rs)| rs.len())
+            .sum();
+        moved as f64 / self.nrows as f64
+    }
+
+    /// Communication baseline: the least "cycle minus modeled compute"
+    /// across active nodes (the node waiting least on stragglers).
+    fn comm_baseline(&self, avg_times: &[f64], loads: &[u32], weights: &[f64]) -> f64 {
+        let mut best = f64::INFINITY;
+        for (rel, &m) in self.active.members().iter().enumerate() {
+            let mine: f64 = self.dist.rows_of(rel).iter().map(|r| weights[r]).sum();
+            let compute = mine * f64::from(loads[m] + 1);
+            let extra = avg_times[rel] - compute;
+            if extra < best {
+                best = extra;
+            }
+        }
+        best.max(0.0)
+    }
+
+    fn redistribute_in_place(
+        &mut self,
+        new_dist: &Distribution,
+        arrays: &mut [&mut dyn RedistArray],
+    ) -> RedistOutcome {
+        let oc = redist::execute(
+            self.t,
+            self.wrank,
+            &self.active,
+            &self.dist,
+            &self.active,
+            new_dist,
+            &self.accesses,
+            arrays,
+        );
+        self.redist_seconds_total += oc.seconds;
+        self.redist_count += 1;
+        self.dist = new_dist.clone();
+        self.known_counts = new_dist.counts();
+        oc
+    }
+
+    /// Starts a fresh control-pipeline epoch after a membership change:
+    /// old in-flight samples and blobs carry a stale tag and are never
+    /// consumed.
+    fn reset_ctrl_pipeline(&mut self) {
+        self.ctrl_epoch += 1;
+        self.ctrl_sent = 0;
+        self.self_samples.clear();
+    }
+
+    // ---------------- removed-rank path ----------------------------------
+
+    /// Encodes the post-cycle status: membership and distribution counts,
+    /// plus (for a rank that is rejoining) the load vector and row
+    /// weights it needs to resynchronize its replicated state.
+    fn status_payload(&self, for_member: bool, loads: &[u32]) -> Vec<u8> {
+        let mut v: Vec<u64> = Vec::with_capacity(3 + self.known_members.len() * 2);
+        v.push(self.cycle);
+        v.push(self.known_members.len() as u64);
+        v.extend(self.known_members.iter().map(|&m| m as u64));
+        v.extend(self.known_counts.iter().map(|&c| c as u64));
+        v.push(self.ctrl_epoch);
+        let mut bytes = to_bytes(&v);
+        if for_member {
+            let mut tail: Vec<f64> = loads.iter().map(|&l| f64::from(l)).collect();
+            tail.extend(self.effective_weights());
+            bytes.extend_from_slice(&to_bytes(&tail));
+        }
+        bytes
+    }
+
+    fn send_statuses(&self, removed: &[usize], loads: &[u32]) {
+        for &n in removed {
+            let for_member = self.known_members.contains(&n);
+            self.t
+                .send_bytes(n, TAG_STATUS, self.status_payload(for_member, loads));
+        }
+    }
+
+    fn removed_end_cycle(&mut self, arrays: &mut [&mut dyn RedistArray], report: &mut CycleReport) {
+        let root = self.known_members[0];
+        let bytes = self.t.recv_bytes(root, TAG_STATUS);
+        let header_len = {
+            let nm = u64::from_le_bytes(bytes[8..16].try_into().unwrap()) as usize;
+            8 * (3 + 2 * nm)
+        };
+        let v: Vec<u64> = from_bytes(&bytes[..header_len]);
+        let nm = v[1] as usize;
+        let members: Vec<usize> = v[2..2 + nm].iter().map(|&m| m as usize).collect();
+        let counts: Vec<usize> = v[2 + nm..2 + 2 * nm].iter().map(|&c| c as usize).collect();
+        // Track the control epoch so a rejoin resumes with aligned tags
+        // (the rejoin branch bumps it once, like the actives do).
+        self.ctrl_epoch = v[2 + 2 * nm];
+
+        if members.contains(&self.wrank) {
+            // Resynchronize the replicated decision state from the tail
+            // the root appended for us: the load vector and row weights
+            // the actives balanced against.
+            let tail: Vec<f64> = from_bytes(&bytes[header_len..]);
+            assert_eq!(
+                tail.len(),
+                self.wsize + self.nrows,
+                "malformed rejoin status"
+            );
+            self.last_loads = tail[..self.wsize].iter().map(|&x| x as u32).collect();
+            self.row_weights = Some(tail[self.wsize..].to_vec());
+            self.clear_streak = vec![0; self.wsize];
+            self.mode = Mode::Stable;
+
+            // Rejoin: participate in the redistribution the actives are
+            // running right now, as a receiver.
+            let old_group = Group::new(self.known_members.clone(), self.wrank);
+            let old_dist = Distribution::block_from_counts(&self.known_counts);
+            let new_group = Group::new(members.clone(), self.wrank);
+            let new_dist = Distribution::block_from_counts(&counts);
+            let oc = redist::execute(
+                self.t,
+                self.wrank,
+                &old_group,
+                &old_dist,
+                &new_group,
+                &new_dist,
+                &self.accesses,
+                arrays,
+            );
+            self.redist_seconds_total += oc.seconds;
+            self.is_removed = false;
+            self.active = new_group;
+            self.dist = new_dist;
+            self.reset_ctrl_pipeline();
+            self.events.push(RuntimeEvent::NodeRejoined {
+                cycle: self.cycle,
+                node: self.wrank,
+            });
+            report.rejoined = Some(self.wrank);
+        }
+        self.known_members = members;
+        self.known_counts = counts;
+    }
+
+    /// Refreshes the DRSD ghost rows of `array` from their current
+    /// owners — the per-cycle boundary exchange of a stencil code,
+    /// expressed through the registered access descriptors so it stays
+    /// correct across redistributions, empty blocks, and node removal.
+    /// Must be called by every active rank in the same cycle; removed
+    /// ranks no-op.
+    pub fn ghost_exchange(&self, array: ArrayId, arr: &mut dyn RedistArray) {
+        if self.is_removed {
+            return;
+        }
+        let rel = self.active.rel_unchecked();
+        let tag = TAG_GEX + array as u64;
+        let mine = self.dist.rows_of(rel);
+        for dst_rel in 0..self.active.size() {
+            if dst_rel == rel {
+                continue;
+            }
+            let need = redist::ghost_needs(&self.dist, dst_rel, array, &self.accesses, self.nrows);
+            let from_me = need.intersect(&mine);
+            if !from_me.is_empty() {
+                let payload = arr.pack_rows(&from_me, false);
+                self.t
+                    .send_bytes(self.active.world_rank(dst_rel), tag, payload);
+            }
+        }
+        let my_need = redist::ghost_needs(&self.dist, rel, array, &self.accesses, self.nrows);
+        for src_rel in 0..self.active.size() {
+            if src_rel == rel {
+                continue;
+            }
+            let from_src = my_need.intersect(&self.dist.rows_of(src_rel));
+            if !from_src.is_empty() {
+                let payload = self.t.recv_bytes(self.active.world_rank(src_rel), tag);
+                arr.unpack_rows(&from_src, &payload);
+            }
+        }
+    }
+
+    // ---------------- removed-aware global operations (§4.4) -------------
+
+    /// A global sum-allreduce in which removed ranks participate only in
+    /// the *send-out*: actives reduce among themselves, then the active
+    /// root forwards the result to every removed rank. All world ranks
+    /// must call this the same number of times.
+    pub fn allreduce_sum(&self, data: &[f64]) -> Vec<f64> {
+        if self.is_removed {
+            let root = self.known_members[0];
+            return from_bytes(&self.t.recv_bytes(root, TAG_GLOBAL));
+        }
+        let r = self.t.allreduce_sum_f64(&self.active, data);
+        if self.active.rel() == Some(0) {
+            for n in self.removed_nodes() {
+                self.t.send_bytes(n, TAG_GLOBAL, to_bytes(&r));
+            }
+        }
+        r
+    }
+
+    /// Max-allreduce with the same removed-aware semantics.
+    pub fn allreduce_max(&self, data: &[f64]) -> Vec<f64> {
+        if self.is_removed {
+            let root = self.known_members[0];
+            return from_bytes(&self.t.recv_bytes(root, TAG_GLOBAL));
+        }
+        let r = self.t.allreduce_max_f64(&self.active, data);
+        if self.active.rel() == Some(0) {
+            for n in self.removed_nodes() {
+                self.t.send_bytes(n, TAG_GLOBAL, to_bytes(&r));
+            }
+        }
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::DenseMatrix;
+    use crate::drsd::Drsd;
+    use dynmpi_comm::{run_threads, ThreadTransport, Transport};
+    use std::sync::atomic::{AtomicU32, Ordering};
+    use std::sync::Arc;
+
+    /// Thread transport with test-controlled `dmpi_ps` readings, so the
+    /// adaptation paths can be exercised without the simulator.
+    struct FakeLoad<'x> {
+        inner: &'x ThreadTransport,
+        loads: Arc<Vec<AtomicU32>>,
+    }
+
+    impl Transport for FakeLoad<'_> {
+        fn rank(&self) -> usize {
+            self.inner.rank()
+        }
+        fn size(&self) -> usize {
+            self.inner.size()
+        }
+        fn send_bytes(&self, dst: usize, tag: u64, payload: Vec<u8>) {
+            self.inner.send_bytes(dst, tag, payload);
+        }
+        fn recv_bytes(&self, src: usize, tag: u64) -> Vec<u8> {
+            self.inner.recv_bytes(src, tag)
+        }
+        fn recv_bytes_any(&self, tag: u64) -> (usize, Vec<u8>) {
+            self.inner.recv_bytes_any(tag)
+        }
+        fn wtime(&self) -> f64 {
+            self.inner.wtime()
+        }
+    }
+
+    impl HostMeters for FakeLoad<'_> {
+        fn dmpi_ps(&self, r: usize) -> u32 {
+            self.loads[r].load(Ordering::Relaxed) + 1
+        }
+        fn proc_cpu_seconds(&self) -> f64 {
+            self.inner.wtime()
+        }
+        fn proc_tick_seconds(&self) -> f64 {
+            0.0
+        }
+    }
+
+    fn fill_pattern(i: usize, j: usize) -> f64 {
+        (i * 1000 + j) as f64
+    }
+
+    /// Drives `cycles` phase cycles of a trivial halo app and returns the
+    /// runtime for inspection.
+    fn drive<'x, T: HostMeters>(
+        t: &'x T,
+        nrows: usize,
+        cfg: DynMpiConfig,
+        cycles: usize,
+        mut on_cycle: impl FnMut(u64, &mut DynMpi<'x, T>),
+    ) -> (DynMpi<'x, T>, DenseMatrix<f64>) {
+        let mut rt = DynMpi::init(t, nrows, cfg);
+        let a = rt.register_dense("A", nrows);
+        let ph = rt.init_phase(0, nrows, CommPattern::NearestNeighbor);
+        rt.add_access(ph, a, AccessMode::ReadWrite, Drsd::with_halo(1));
+        let mut m = DenseMatrix::<f64>::new(nrows, 4);
+        {
+            let mut arrays: Vec<&mut dyn RedistArray> = vec![&mut m];
+            rt.setup(&mut arrays);
+        }
+        m.fill_rows(&rt.local_rows(a), fill_pattern);
+        for c in 0..cycles {
+            rt.begin_cycle();
+            rt.charge_rows(ph, |_| 10.0);
+            on_cycle(c as u64, &mut rt);
+            let mut arrays: Vec<&mut dyn RedistArray> = vec![&mut m];
+            rt.end_cycle(&mut arrays);
+        }
+        (rt, m)
+    }
+
+    fn check_owned(rt: &DynMpi<'_, impl HostMeters>, m: &DenseMatrix<f64>, a: ArrayId) {
+        for i in rt.local_rows(a).iter() {
+            for j in 0..4 {
+                assert_eq!(m.row(i)[j], fill_pattern(i, j), "row {i} col {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn stable_run_never_redistributes() {
+        let outs = run_threads(3, |tt| {
+            let loads = Arc::new((0..3).map(|_| AtomicU32::new(0)).collect::<Vec<_>>());
+            let t = FakeLoad { inner: tt, loads };
+            let (rt, m) = drive(&t, 30, DynMpiConfig::default(), 8, |_, _| {});
+            check_owned(&rt, &m, 0);
+            (rt.events().len(), rt.local_cycle_times().len())
+        });
+        for (ev, ct) in outs {
+            assert_eq!(ev, 0);
+            assert_eq!(ct, 8);
+        }
+    }
+
+    #[test]
+    fn load_change_triggers_grace_and_redistribution() {
+        let outs = run_threads(4, |tt| {
+            let loads = Arc::new((0..4).map(|_| AtomicU32::new(0)).collect::<Vec<_>>());
+            let t = FakeLoad {
+                inner: tt,
+                loads: Arc::clone(&loads),
+            };
+            let cfg = DynMpiConfig {
+                drop_policy: DropPolicy::Never,
+                ..Default::default()
+            };
+            let (rt, m) = drive(&t, 64, cfg, 20, |c, _| {
+                if c == 2 {
+                    loads[1].store(1, Ordering::Relaxed);
+                }
+            });
+            check_owned(&rt, &m, 0);
+            let kinds: Vec<&str> = rt.events().iter().map(|e| e.kind()).collect();
+            (kinds.join(","), rt.distribution().counts())
+        });
+        for (kinds, counts) in &outs {
+            assert!(
+                kinds.starts_with("load-change,grace-complete,redistributed"),
+                "{kinds}"
+            );
+            // The loaded node (rank 1) must end up with fewer rows.
+            assert!(counts[1] < counts[0], "counts: {counts:?}");
+            assert_eq!(counts.iter().sum::<usize>(), 64);
+        }
+        // All ranks agree on the distribution.
+        assert!(outs.windows(2).all(|w| w[0].1 == w[1].1));
+    }
+
+    #[test]
+    fn forced_drop_removes_loaded_node_and_preserves_data() {
+        let outs = run_threads(3, |tt| {
+            let loads = Arc::new((0..3).map(|_| AtomicU32::new(0)).collect::<Vec<_>>());
+            let t = FakeLoad {
+                inner: tt,
+                loads: Arc::clone(&loads),
+            };
+            let cfg = DynMpiConfig {
+                drop_policy: DropPolicy::Always,
+                grace_period: 2,
+                post_redist_period: 2,
+                ..Default::default()
+            };
+            let (rt, m) = drive(&t, 30, cfg, 16, |c, _| {
+                if c == 1 {
+                    loads[2].store(2, Ordering::Relaxed);
+                }
+            });
+            if rt.participating() {
+                check_owned(&rt, &m, 0);
+            }
+            (
+                rt.participating(),
+                rt.num_active(),
+                rt.my_rows(0).len(),
+                rt.active_members().to_vec(),
+            )
+        });
+        assert!(outs[0].0 && outs[1].0 && !outs[2].0, "{outs:?}");
+        for (_, na, _, members) in &outs {
+            assert_eq!(*na, 2);
+            assert_eq!(members, &vec![0, 1]);
+        }
+        assert_eq!(outs[0].2 + outs[1].2, 30, "survivors own everything");
+        assert_eq!(outs[2].2, 0);
+    }
+
+    #[test]
+    fn logical_drop_keeps_node_with_min_share() {
+        let outs = run_threads(3, |tt| {
+            let loads = Arc::new((0..3).map(|_| AtomicU32::new(0)).collect::<Vec<_>>());
+            let t = FakeLoad {
+                inner: tt,
+                loads: Arc::clone(&loads),
+            };
+            let cfg = DynMpiConfig {
+                drop_policy: DropPolicy::Logical,
+                min_rows_logical: 2,
+                grace_period: 2,
+                post_redist_period: 2,
+                // A huge penalty model zeroes the loaded node's natural share.
+                wait_factor: 50.0,
+                ..Default::default()
+            };
+            let (rt, _m) = drive(&t, 30, cfg, 14, |c, _| {
+                if c == 1 {
+                    loads[0].store(3, Ordering::Relaxed);
+                }
+            });
+            (rt.participating(), rt.distribution().counts())
+        });
+        for (p, counts) in &outs {
+            assert!(*p, "logical drop keeps everyone participating");
+            assert_eq!(
+                counts[0], 2,
+                "loaded node keeps the floor share: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn auto_drop_respects_prediction() {
+        // Tiny work + heavy load ⇒ prediction favors dropping.
+        let outs = run_threads(2, |tt| {
+            let loads = Arc::new((0..2).map(|_| AtomicU32::new(0)).collect::<Vec<_>>());
+            let t = FakeLoad {
+                inner: tt,
+                loads: Arc::clone(&loads),
+            };
+            let cfg = DynMpiConfig {
+                drop_policy: DropPolicy::Auto,
+                grace_period: 2,
+                post_redist_period: 3,
+                ..Default::default()
+            };
+            let (rt, _m) = drive(&t, 20, cfg, 16, |c, _| {
+                if c == 1 {
+                    loads[1].store(3, Ordering::Relaxed);
+                }
+            });
+            let evaluated = rt
+                .events()
+                .iter()
+                .any(|e| matches!(e, RuntimeEvent::DropEvaluated { .. }));
+            (evaluated, rt.num_active())
+        });
+        for (evaluated, _) in &outs {
+            assert!(*evaluated, "drop decision must be evaluated");
+        }
+        // Both ranks agree on the outcome, whatever the measured times said.
+        assert_eq!(outs[0].1, outs[1].1);
+    }
+
+    #[test]
+    fn rejoin_extension_readmits_cleared_node() {
+        let outs = run_threads(3, |tt| {
+            let loads = Arc::new((0..3).map(|_| AtomicU32::new(0)).collect::<Vec<_>>());
+            let t = FakeLoad {
+                inner: tt,
+                loads: Arc::clone(&loads),
+            };
+            let cfg = DynMpiConfig {
+                drop_policy: DropPolicy::Always,
+                allow_rejoin: true,
+                rejoin_after_cycles: 2,
+                grace_period: 2,
+                post_redist_period: 2,
+                ..Default::default()
+            };
+            let (rt, m) = drive(&t, 30, cfg, 30, |c, _| {
+                if c == 1 {
+                    loads[1].store(2, Ordering::Relaxed);
+                }
+                if c == 12 {
+                    loads[1].store(0, Ordering::Relaxed);
+                }
+            });
+            if rt.participating() {
+                check_owned(&rt, &m, 0);
+            }
+            (rt.participating(), rt.num_active(), rt.my_rows(0).len())
+        });
+        for (p, na, _) in &outs {
+            assert!(*p, "node must have rejoined: {outs:?}");
+            assert_eq!(*na, 3);
+        }
+        let total: usize = outs.iter().map(|o| o.2).sum();
+        assert_eq!(total, 30);
+    }
+
+    #[test]
+    fn removed_rank_allreduce_gets_result() {
+        let outs = run_threads(3, |tt| {
+            let loads = Arc::new((0..3).map(|_| AtomicU32::new(0)).collect::<Vec<_>>());
+            let t = FakeLoad {
+                inner: tt,
+                loads: Arc::clone(&loads),
+            };
+            let cfg = DynMpiConfig {
+                drop_policy: DropPolicy::Always,
+                grace_period: 1,
+                post_redist_period: 1,
+                ..Default::default()
+            };
+            let mut rt = DynMpi::init(&t, 12, cfg);
+            let a = rt.register_dense("A", 12);
+            let ph = rt.init_phase(0, 12, CommPattern::Global);
+            rt.add_access(ph, a, AccessMode::ReadWrite, Drsd::iter_space());
+            let mut m = DenseMatrix::<f64>::new(12, 1);
+            {
+                let mut arrays: Vec<&mut dyn RedistArray> = vec![&mut m];
+                rt.setup(&mut arrays);
+            }
+            m.fill_rows(&rt.local_rows(a), |i, _| i as f64);
+            let mut sums = vec![];
+            for c in 0..10 {
+                if c == 1 {
+                    loads[2].store(1, Ordering::Relaxed);
+                }
+                rt.begin_cycle();
+                // Per-cycle global reduction (CG-style): every world rank
+                // calls it, removed or not.
+                let part: f64 = rt.my_rows(ph).iter().map(|i| i as f64).sum();
+                sums.push(rt.allreduce_sum(&[part])[0]);
+                let mut arrays: Vec<&mut dyn RedistArray> = vec![&mut m];
+                rt.end_cycle(&mut arrays);
+            }
+            sums
+        });
+        let expect: f64 = (0..12).map(|i| i as f64).sum();
+        for sums in &outs {
+            for (c, s) in sums.iter().enumerate() {
+                assert!((s - expect).abs() < 1e-9, "cycle {c}: {s} vs {expect}");
+            }
+        }
+    }
+
+    #[test]
+    fn request_rebalance_without_load_change() {
+        let outs = run_threads(2, |tt| {
+            let loads = Arc::new((0..2).map(|_| AtomicU32::new(0)).collect::<Vec<_>>());
+            let t = FakeLoad { inner: tt, loads };
+            let (rt, _m) = drive(&t, 16, DynMpiConfig::default(), 12, |c, rt| {
+                if c == 2 {
+                    rt.request_rebalance();
+                }
+            });
+            rt.events()
+                .iter()
+                .map(|e| e.kind())
+                .collect::<Vec<_>>()
+                .join(",")
+        });
+        for kinds in &outs {
+            assert!(kinds.contains("load-change"), "{kinds}");
+            assert!(
+                kinds.contains("redist-skipped") || kinds.contains("redistributed"),
+                "{kinds}"
+            );
+        }
+    }
+
+    #[test]
+    fn no_adapt_ignores_load_changes() {
+        let outs = run_threads(2, |tt| {
+            let loads = Arc::new((0..2).map(|_| AtomicU32::new(0)).collect::<Vec<_>>());
+            let t = FakeLoad {
+                inner: tt,
+                loads: Arc::clone(&loads),
+            };
+            let (rt, _m) = drive(&t, 16, DynMpiConfig::no_adapt(), 10, |c, _| {
+                if c == 2 {
+                    loads[0].store(5, Ordering::Relaxed);
+                }
+            });
+            (rt.events().len(), rt.distribution().counts())
+        });
+        for (ev, counts) in &outs {
+            assert_eq!(*ev, 0);
+            assert_eq!(counts, &vec![8, 8]);
+        }
+    }
+
+    #[test]
+    fn queries_reflect_registration() {
+        run_threads(2, |tt| {
+            let loads = Arc::new((0..2).map(|_| AtomicU32::new(0)).collect::<Vec<_>>());
+            let t = FakeLoad { inner: tt, loads };
+            let mut rt = DynMpi::init(&t, 10, DynMpiConfig::default());
+            let a = rt.register_dense("A", 10);
+            let ph = rt.init_phase(1, 9, CommPattern::NearestNeighbor);
+            rt.add_access(ph, a, AccessMode::Read, Drsd::with_halo(1));
+            assert!(rt.participating());
+            assert_eq!(rt.num_active(), 2);
+            assert_eq!(rt.rel_rank(), Some(t.rank()));
+            let (lo, hi) = rt.my_range(ph).unwrap();
+            if t.rank() == 0 {
+                assert_eq!((lo, hi), (1, 4)); // rows 0..5 ∩ [1,9) = 1..=4
+            } else {
+                assert_eq!((lo, hi), (5, 8));
+            }
+        });
+    }
+
+    #[test]
+    fn ghost_exchange_refreshes_halo() {
+        run_threads(3, |tt| {
+            let loads = Arc::new((0..3).map(|_| AtomicU32::new(0)).collect::<Vec<_>>());
+            let t = FakeLoad { inner: tt, loads };
+            let mut rt = DynMpi::init(&t, 9, DynMpiConfig::default());
+            let a = rt.register_dense("A", 9);
+            let ph = rt.init_phase(0, 9, CommPattern::NearestNeighbor);
+            rt.add_access(ph, a, AccessMode::ReadWrite, Drsd::with_halo(1));
+            let mut m = DenseMatrix::<f64>::new(9, 1);
+            {
+                let mut arrays: Vec<&mut dyn RedistArray> = vec![&mut m];
+                rt.setup(&mut arrays);
+            }
+            // Write a rank-specific value into owned rows, then exchange.
+            for i in rt.my_rows(ph).iter() {
+                m.row_mut(i)[0] = (100 + i) as f64;
+            }
+            rt.ghost_exchange(a, &mut m);
+            // Ghost rows now carry their owners' values.
+            for i in rt.local_rows(a).iter() {
+                assert_eq!(m.row(i)[0], (100 + i) as f64, "row {i}");
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn duplicate_array_name_rejected() {
+        run_threads(1, |tt| {
+            let loads = Arc::new(vec![AtomicU32::new(0)]);
+            let t = FakeLoad { inner: tt, loads };
+            let mut rt = DynMpi::init(&t, 4, DynMpiConfig::default());
+            rt.register_dense("A", 4);
+            rt.register_dense("A", 4);
+        });
+    }
+}

@@ -1,0 +1,214 @@
+//! Grace-period iteration timing (§4.2).
+//!
+//! When a load change is detected, the application keeps running for a
+//! *grace period* while the runtime measures the true, **unloaded**
+//! execution time of each iteration (row). Two mechanisms exist:
+//!
+//! * **`/proc`** CPU accounting counts only the application's own CPU
+//!   time — inherently unloaded — but readings have 10 ms granularity, so
+//!   it is usable only when iterations take at least a tick.
+//! * **`gethrtime`** wallclock is exact but includes time stolen by
+//!   competing processes mid-iteration; taking the **minimum** across the
+//!   grace period's cycles discards those spikes.
+//!
+//! The mode is chosen per the paper: wallclock when iterations run under
+//! the `/proc` tick, `/proc` otherwise.
+
+/// Which clock the timer settled on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TimingMode {
+    /// `/proc` CPU-time deltas, averaged across cycles.
+    Proc,
+    /// `gethrtime` wallclock deltas, minimum across cycles.
+    WallclockMin,
+}
+
+/// Per-row unloaded-time estimator fed by raw clock samples.
+#[derive(Clone, Debug)]
+pub struct RowTimer {
+    /// Global index of the first timed row.
+    lo: usize,
+    /// `/proc` read granularity in seconds (0 ⇒ exact, always usable).
+    proc_tick: f64,
+    /// Per-row minimum whole-cycle wallclock seen so far.
+    wall_min: Vec<f64>,
+    /// Per-row accumulated `/proc` time across cycles.
+    proc_sum: Vec<f64>,
+    /// Scratch accumulators for the cycle in progress (a row may be
+    /// visited by several phases within one cycle).
+    cycle_wall: Vec<f64>,
+    cycle_proc: Vec<f64>,
+    cycles: u32,
+    /// Chosen after the first full cycle.
+    mode: Option<TimingMode>,
+}
+
+impl RowTimer {
+    /// A timer for rows `lo..lo+count`.
+    pub fn new(lo: usize, count: usize, proc_tick: f64) -> Self {
+        RowTimer {
+            lo,
+            proc_tick,
+            wall_min: vec![f64::INFINITY; count],
+            proc_sum: vec![0.0; count],
+            cycle_wall: vec![0.0; count],
+            cycle_proc: vec![0.0; count],
+            cycles: 0,
+            mode: None,
+        }
+    }
+
+    /// First timed row.
+    pub fn lo(&self) -> usize {
+        self.lo
+    }
+
+    /// Number of timed rows.
+    pub fn count(&self) -> usize {
+        self.wall_min.len()
+    }
+
+    /// Records one row's deltas. Multiple records for the same row within
+    /// a cycle (one per phase) accumulate.
+    pub fn record(&mut self, row: usize, wall_delta: f64, proc_delta: f64) {
+        let k = row - self.lo;
+        self.cycle_wall[k] += wall_delta.max(0.0);
+        self.cycle_proc[k] += proc_delta.max(0.0);
+    }
+
+    /// Marks the end of one grace-period cycle: folds the cycle's
+    /// accumulators and picks the timing mode after the first cycle.
+    pub fn end_cycle(&mut self) {
+        for k in 0..self.wall_min.len() {
+            if self.cycle_wall[k] < self.wall_min[k] {
+                self.wall_min[k] = self.cycle_wall[k];
+            }
+            self.proc_sum[k] += self.cycle_proc[k];
+            self.cycle_wall[k] = 0.0;
+            self.cycle_proc[k] = 0.0;
+        }
+        self.cycles += 1;
+        if self.mode.is_none() {
+            let n = self.wall_min.len().max(1);
+            let mean_wall: f64 =
+                self.wall_min.iter().filter(|w| w.is_finite()).sum::<f64>() / n as f64;
+            // §4.2: /proc granularity is too coarse for iterations under
+            // the tick; fall back to min-of-wallclock.
+            self.mode = Some(if self.proc_tick > 0.0 && mean_wall < self.proc_tick {
+                TimingMode::WallclockMin
+            } else {
+                TimingMode::Proc
+            });
+        }
+    }
+
+    /// The chosen mode (after at least one cycle).
+    pub fn mode(&self) -> Option<TimingMode> {
+        self.mode
+    }
+
+    /// Cycles recorded.
+    pub fn cycles(&self) -> u32 {
+        self.cycles
+    }
+
+    /// Per-row unloaded-time estimates (seconds), for rows
+    /// `lo..lo+count`.
+    pub fn weights(&self) -> Vec<f64> {
+        match self
+            .mode
+            .expect("weights requested before any cycle completed")
+        {
+            TimingMode::WallclockMin => self
+                .wall_min
+                .iter()
+                .map(|&w| if w.is_finite() { w } else { 0.0 })
+                .collect(),
+            TimingMode::Proc => {
+                let c = f64::from(self.cycles.max(1));
+                self.proc_sum.iter().map(|&s| s / c).collect()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wallclock_min_filters_spikes() {
+        let mut t = RowTimer::new(10, 3, 0.010);
+        // Cycle 1: row 11 got a 20 ms context-switch spike.
+        t.record(10, 0.002, 0.0);
+        t.record(11, 0.022, 0.0);
+        t.record(12, 0.002, 0.0);
+        t.end_cycle();
+        // Cycle 2: clean.
+        t.record(10, 0.002, 0.0);
+        t.record(11, 0.002, 0.0);
+        t.record(12, 0.003, 0.0);
+        t.end_cycle();
+        assert_eq!(t.mode(), Some(TimingMode::WallclockMin));
+        let w = t.weights();
+        assert!((w[0] - 0.002).abs() < 1e-12);
+        assert!(
+            (w[1] - 0.002).abs() < 1e-12,
+            "spike must be filtered: {w:?}"
+        );
+        assert!((w[2] - 0.002).abs() < 1e-12);
+    }
+
+    #[test]
+    fn proc_mode_for_long_rows() {
+        let mut t = RowTimer::new(0, 2, 0.010);
+        // 50 ms rows → /proc is usable.
+        t.record(0, 0.050, 0.050);
+        t.record(1, 0.055, 0.050);
+        t.end_cycle();
+        t.record(0, 0.090, 0.040); // loaded wallclock, clean proc
+        t.record(1, 0.052, 0.050);
+        t.end_cycle();
+        assert_eq!(t.mode(), Some(TimingMode::Proc));
+        let w = t.weights();
+        assert!((w[0] - 0.045).abs() < 1e-12); // proc average
+        assert!((w[1] - 0.050).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_cycle_is_usable_but_noisy() {
+        // GP = 1 (the Figure 7 ablation): a context-switch spike on a
+        // short row survives into the weights.
+        let mut t = RowTimer::new(0, 2, 0.010);
+        t.record(0, 0.002, 0.0);
+        t.record(1, 0.012, 0.0); // true cost 2 ms + 10 ms competitor slice
+        t.end_cycle();
+        let w = t.weights();
+        assert_eq!(t.mode(), Some(TimingMode::WallclockMin));
+        assert!((w[1] - 0.012).abs() < 1e-12, "spike not filtered with GP=1");
+    }
+
+    #[test]
+    fn exact_proc_tick_prefers_proc() {
+        let mut t = RowTimer::new(0, 1, 0.0);
+        t.record(0, 0.001, 0.0009);
+        t.end_cycle();
+        assert_eq!(t.mode(), Some(TimingMode::Proc));
+    }
+
+    #[test]
+    #[should_panic(expected = "before any cycle")]
+    fn weights_before_cycle_panics() {
+        let t = RowTimer::new(0, 1, 0.01);
+        let _ = t.weights();
+    }
+
+    #[test]
+    fn unrecorded_rows_default_to_zero_weight() {
+        let mut t = RowTimer::new(0, 2, 0.010);
+        t.record(0, 0.001, 0.0);
+        t.end_cycle();
+        let w = t.weights();
+        assert_eq!(w[1], 0.0);
+    }
+}

@@ -1,0 +1,427 @@
+//! Cluster construction and SPMD execution.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use crate::cpu::CpuSched;
+use crate::ctx::SimCtx;
+use crate::engine::{EngineState, NodeState, Shared};
+use crate::monitor::BlockHistory;
+use crate::network::Network;
+use crate::params::{NetParams, NodeSpec, OsParams};
+use crate::report::{ProcReport, SimOutcome, SimReport};
+use crate::script::LoadScript;
+use crate::timeline::NcpTimeline;
+
+/// A virtual cluster: node specs, OS and network parameters, and the load
+/// script. One application rank runs per node (the paper's model).
+#[derive(Clone, Debug)]
+pub struct Cluster {
+    nodes: Vec<NodeSpec>,
+    os: OsParams,
+    net: NetParams,
+    script: LoadScript,
+}
+
+impl Cluster {
+    /// `n` identical nodes.
+    pub fn homogeneous(n: usize, spec: NodeSpec) -> Self {
+        assert!(n > 0, "cluster needs at least one node");
+        Cluster {
+            nodes: vec![spec; n],
+            os: OsParams::default(),
+            net: NetParams::default(),
+            script: LoadScript::dedicated(),
+        }
+    }
+
+    /// Explicit per-node specs (heterogeneous clusters).
+    pub fn heterogeneous(nodes: Vec<NodeSpec>) -> Self {
+        assert!(!nodes.is_empty(), "cluster needs at least one node");
+        Cluster {
+            nodes,
+            os: OsParams::default(),
+            net: NetParams::default(),
+            script: LoadScript::dedicated(),
+        }
+    }
+
+    /// Overrides OS scheduler parameters.
+    pub fn with_os(mut self, os: OsParams) -> Self {
+        self.os = os;
+        self
+    }
+
+    /// Overrides network parameters.
+    pub fn with_net(mut self, net: NetParams) -> Self {
+        self.net = net;
+        self
+    }
+
+    /// Installs the competing-process schedule.
+    pub fn with_script(mut self, script: LoadScript) -> Self {
+        self.script = script;
+        self
+    }
+
+    /// Number of nodes (= ranks).
+    pub fn size(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Node specs.
+    pub fn nodes(&self) -> &[NodeSpec] {
+        &self.nodes
+    }
+
+    /// Network parameters in force.
+    pub fn net_params(&self) -> &NetParams {
+        &self.net
+    }
+
+    /// OS parameters in force.
+    pub fn os_params(&self) -> &OsParams {
+        &self.os
+    }
+
+    /// Runs `f` as an SPMD program: one invocation per rank, each on its
+    /// own node, all in the same virtual time. Returns every rank's result
+    /// plus the run report. Deterministic: same inputs → same virtual
+    /// timings, bit for bit.
+    ///
+    /// Panics (with the original payload) if any rank panics.
+    pub fn run_spmd<R, F>(&self, f: F) -> SimOutcome<R>
+    where
+        R: Send,
+        F: Fn(&SimCtx) -> R + Send + Sync,
+    {
+        let n = self.nodes.len();
+        let node_states: Vec<NodeState> = (0..n)
+            .map(|i| {
+                let mut timeline = NcpTimeline::new();
+                let (times, cycles) = self.script.split_for_node(i);
+                for (t, ncp) in times {
+                    timeline.set(t, ncp);
+                }
+                let mut sched = CpuSched::new(self.nodes[i], self.os);
+                sched.set_salt(0x5eed_0000_0000_0000 ^ (i as u64).wrapping_mul(0x9e37_79b9));
+                NodeState {
+                    sched,
+                    timeline,
+                    cycle_count: 0,
+                    cycle_events: cycles,
+                    blocks: BlockHistory::new(),
+                }
+            })
+            .collect();
+        let proc_nodes: Vec<usize> = (0..n).collect();
+        let state = EngineState::new(node_states, &proc_nodes, Network::new(n, self.net));
+        let shared = Arc::new(Shared::new(state));
+
+        // Kick off: hand the turn to the earliest initial event.
+        {
+            let mut st = shared.state.lock();
+            st.dispatch_next();
+        }
+
+        let f = &f;
+        let joined: Vec<std::thread::Result<R>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..n)
+                .map(|pid| {
+                    let shared = Arc::clone(&shared);
+                    s.spawn(move || {
+                        let ctx = SimCtx::new(Arc::clone(&shared), pid, n);
+                        shared.wait_turn(pid);
+                        let out = catch_unwind(AssertUnwindSafe(|| f(&ctx)));
+                        match out {
+                            Ok(v) => {
+                                ctx.finish();
+                                Ok(v)
+                            }
+                            Err(e) => {
+                                shared.poison(
+                                    pid,
+                                    format!("rank {pid} panicked inside the simulation"),
+                                );
+                                Err(e)
+                            }
+                        }
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap_or_else(|e| Err(e)))
+                .collect()
+        });
+
+        if joined.iter().any(|r| r.is_err()) {
+            // Re-raise the payload of the rank that poisoned the run (the
+            // root cause); secondary unwinds from other ranks are noise.
+            let origin = shared.state.lock().panic_origin;
+            let mut errs: Vec<(usize, Box<dyn std::any::Any + Send>)> = joined
+                .into_iter()
+                .enumerate()
+                .filter_map(|(i, r)| r.err().map(|e| (i, e)))
+                .collect();
+            if let Some(o) = origin {
+                if let Some(pos) = errs.iter().position(|(i, _)| *i == o) {
+                    resume_unwind(errs.swap_remove(pos).1);
+                }
+            }
+            resume_unwind(errs.swap_remove(0).1);
+        }
+        let results: Vec<R> = joined.into_iter().map(|r| r.unwrap()).collect();
+
+        let st = shared.state.lock();
+        let report = SimReport {
+            finish_time: st
+                .procs
+                .iter()
+                .map(|p| p.finish_time)
+                .max()
+                .unwrap_or_default(),
+            procs: st
+                .procs
+                .iter()
+                .map(|p| ProcReport {
+                    node: p.node,
+                    cpu_time: p.cpu_time,
+                    finish_time: p.finish_time,
+                    msgs_sent: p.msgs_sent,
+                    msgs_recvd: p.msgs_recvd,
+                    bytes_sent: p.bytes_sent,
+                    bytes_recvd: p.bytes_recvd,
+                    blocked_fraction: st.nodes[p.node]
+                        .blocks
+                        .blocked_fraction(crate::time::SimTime::ZERO, p.finish_time),
+                })
+                .collect(),
+            net_messages: st.net.message_count(),
+            net_bytes: st.net.byte_count(),
+        };
+        SimOutcome { results, report }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::{SimDur, SimTime};
+
+    #[test]
+    fn single_rank_compute_advances_virtual_time() {
+        let c = Cluster::homogeneous(1, NodeSpec::with_speed(1e6));
+        let out = c.run_spmd(|ctx| {
+            ctx.advance(2e6); // 2 s of work
+            ctx.now()
+        });
+        assert_eq!(out.results[0], SimTime::from_secs(2));
+        assert_eq!(out.report.finish_time, SimTime::from_secs(2));
+        assert_eq!(out.report.procs[0].cpu_time, SimDur::from_secs(2));
+    }
+
+    #[test]
+    fn ranks_progress_concurrently_in_virtual_time() {
+        let c = Cluster::homogeneous(4, NodeSpec::with_speed(1e6));
+        let out = c.run_spmd(|ctx| {
+            ctx.advance(1e6);
+            ctx.now()
+        });
+        // All ranks compute in parallel: everyone finishes at t = 1 s.
+        for t in &out.results {
+            assert_eq!(*t, SimTime::from_secs(1));
+        }
+    }
+
+    #[test]
+    fn ping_pong_timing() {
+        let c = Cluster::homogeneous(2, NodeSpec::default());
+        let out = c.run_spmd(|ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, 7, vec![1u8; 1000]);
+                ctx.recv(1, 8)
+            } else {
+                let m = ctx.recv(0, 7);
+                ctx.send(0, 8, m.clone());
+                m
+            }
+        });
+        assert_eq!(out.results[0], vec![1u8; 1000]);
+        assert_eq!(out.report.net_messages, 2);
+        assert_eq!(out.report.net_bytes, 2000);
+        // Round trip ≥ 2 × (latency + serialization).
+        assert!(out.report.finish_time > SimTime::from_micros(200));
+    }
+
+    #[test]
+    fn message_order_preserved_per_pair() {
+        let c = Cluster::homogeneous(2, NodeSpec::default());
+        let out = c.run_spmd(|ctx| {
+            if ctx.rank() == 0 {
+                for i in 0..10u8 {
+                    ctx.send(1, 1, vec![i]);
+                }
+                vec![]
+            } else {
+                (0..10).map(|_| ctx.recv(0, 1)[0]).collect::<Vec<u8>>()
+            }
+        });
+        assert_eq!(out.results[1], (0..10).collect::<Vec<u8>>());
+    }
+
+    #[test]
+    fn tags_demultiplex() {
+        let c = Cluster::homogeneous(2, NodeSpec::default());
+        let out = c.run_spmd(|ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, 10, vec![10]);
+                ctx.send(1, 20, vec![20]);
+                0
+            } else {
+                // Receive in the opposite order of sending.
+                let b = ctx.recv(0, 20)[0];
+                let a = ctx.recv(0, 10)[0];
+                (u32::from(a) << 8) | u32::from(b)
+            }
+        });
+        assert_eq!(out.results[1], (10 << 8) | 20);
+    }
+
+    #[test]
+    fn recv_any_reports_source() {
+        let c = Cluster::homogeneous(3, NodeSpec::default());
+        let out = c.run_spmd(|ctx| {
+            if ctx.rank() == 0 {
+                let mut seen = vec![];
+                for _ in 0..2 {
+                    let (src, msg) = ctx.recv_any(5);
+                    seen.push((src, msg[0]));
+                }
+                seen.sort_unstable();
+                seen
+            } else {
+                ctx.send(0, 5, vec![ctx.rank() as u8]);
+                vec![]
+            }
+        });
+        assert_eq!(out.results[0], vec![(1, 1), (2, 2)]);
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let run = || {
+            let script = LoadScript::dedicated().at_time(1, SimTime::from_millis(50), 2);
+            let c = Cluster::homogeneous(4, NodeSpec::with_speed(1e7)).with_script(script);
+            let out = c.run_spmd(|ctx| {
+                let r = ctx.rank();
+                let n = ctx.nprocs();
+                for _ in 0..20 {
+                    ctx.advance(5e4);
+                    // Ring exchange.
+                    let next = (r + 1) % n;
+                    let prev = (r + n - 1) % n;
+                    ctx.send(next, 1, vec![r as u8; 64]);
+                    let _ = ctx.recv(prev, 1);
+                }
+                ctx.now()
+            });
+            (out.results, out.report.finish_time)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn competing_process_slows_only_its_node() {
+        let mk = |loaded: bool| {
+            let mut script = LoadScript::dedicated();
+            if loaded {
+                script = script.at_time(0, SimTime::ZERO, 1);
+            }
+            let c = Cluster::homogeneous(2, NodeSpec::with_speed(1e6)).with_script(script);
+            let out = c.run_spmd(|ctx| {
+                ctx.advance(1e6);
+                ctx.now().as_secs_f64()
+            });
+            out.results
+        };
+        let ded = mk(false);
+        let loaded = mk(true);
+        assert!((ded[0] - 1.0).abs() < 0.02);
+        assert!(
+            (loaded[0] - 2.0).abs() < 0.02,
+            "loaded rank 0: {}",
+            loaded[0]
+        );
+        assert!(
+            (loaded[1] - 1.0).abs() < 0.02,
+            "unloaded rank 1: {}",
+            loaded[1]
+        );
+    }
+
+    #[test]
+    fn cycle_triggered_load_fires_after_kth_cycle() {
+        let script = LoadScript::dedicated().at_cycle(0, 3, 2);
+        let c = Cluster::homogeneous(1, NodeSpec::with_speed(1e6)).with_script(script);
+        let out = c.run_spmd(|ctx| {
+            let mut ncps = vec![];
+            for _ in 0..5 {
+                ctx.advance(1e4);
+                ctx.phase_cycle_completed();
+                ncps.push(ctx.true_ncp(0));
+            }
+            ncps
+        });
+        assert_eq!(out.results[0], vec![0, 0, 2, 2, 2]);
+    }
+
+    #[test]
+    fn monitors_visible_from_other_ranks() {
+        let script = LoadScript::dedicated().at_time(1, SimTime::ZERO, 3);
+        let c = Cluster::homogeneous(2, NodeSpec::default()).with_script(script);
+        let out = c.run_spmd(|ctx| {
+            ctx.sleep(SimDur::from_secs(2));
+            (ctx.dmpi_ps(0), ctx.dmpi_ps(1))
+        });
+        assert_eq!(out.results[0], (1, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn deadlock_panics_with_diagnosis() {
+        let c = Cluster::homogeneous(2, NodeSpec::default());
+        let _ = c.run_spmd(|ctx| {
+            if ctx.rank() == 0 {
+                let _ = ctx.recv(1, 99); // never sent
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn rank_panic_propagates() {
+        let c = Cluster::homogeneous(2, NodeSpec::default());
+        let _ = c.run_spmd(|ctx| {
+            if ctx.rank() == 1 {
+                panic!("boom");
+            }
+            // Rank 0 blocks forever; the poison must still unwind it.
+            let _ = ctx.recv(1, 1);
+        });
+    }
+
+    #[test]
+    fn proc_reading_is_quantized() {
+        let c = Cluster::homogeneous(1, NodeSpec::with_speed(1e6));
+        let out = c.run_spmd(|ctx| {
+            ctx.advance(37_000.0); // 37 ms of CPU
+            (ctx.cpu_time_exact(), ctx.cpu_time_reading())
+        });
+        let (exact, reading) = out.results[0];
+        assert!((exact.as_millis_f64() - 37.0).abs() < 0.1);
+        assert_eq!(reading, SimDur::from_millis(30));
+    }
+}

@@ -1,0 +1,412 @@
+//! Per-node CPU scheduling model.
+//!
+//! The OS shares the CPU round-robin between the application rank and the
+//! node's competing processes using fixed time slices (the *quantum*). We
+//! model the schedule as a repeating cycle of `(ncp + 1)` slices in which
+//! the application owns one slice. Consequences the paper depends on:
+//!
+//! * long computations receive a `1 / (ncp + 1)` share of the CPU — the
+//!   *relative power* of a loaded node;
+//! * an application that becomes runnable (e.g. a message arrived) outside
+//!   its slice waits up to `ncp * quantum` before running — communication
+//!   costs CPU time on loaded nodes (§4.3);
+//! * a short iteration that straddles a slice boundary observes a wallclock
+//!   spike of `ncp * quantum` even though it used little CPU — the
+//!   `gethrtime` measurement noise that the grace period filters (§4.2).
+
+use crate::params::{NodeSpec, OsParams};
+use crate::time::{SimDur, SimTime};
+
+/// Deterministic 64-bit mix (splitmix64 finalizer) for per-round slot
+/// rotation.
+fn mix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// One step of CPU progress: the application either ran or waited until
+/// `end`, accomplishing `work_done` units. `completed` is set when the
+/// requested work finished within the segment.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Segment {
+    pub end: SimTime,
+    pub work_done: f64,
+    pub completed: bool,
+}
+
+/// Slice-cycle scheduler state for a single node.
+#[derive(Clone, Debug)]
+pub struct CpuSched {
+    spec: NodeSpec,
+    os: OsParams,
+    /// Added to the clock before computing the slice phase; re-anchored on
+    /// run-queue re-entry (wake-up boost) deterministically.
+    phase_offset: u64,
+    /// Count of run-queue re-entries (drives deterministic drift).
+    reentries: u32,
+    /// Per-node salt for the slot-rotation hash.
+    salt: u64,
+}
+
+impl CpuSched {
+    pub fn new(spec: NodeSpec, os: OsParams) -> Self {
+        assert!(os.quantum > SimDur::ZERO, "quantum must be positive");
+        CpuSched {
+            spec,
+            os,
+            phase_offset: 0,
+            reentries: 0,
+            salt: 0,
+        }
+    }
+
+    /// Node work rate (units/second) when dedicated.
+    pub fn speed(&self) -> f64 {
+        self.spec.speed
+    }
+
+    /// Scheduler parameters in force.
+    pub fn os(&self) -> &OsParams {
+        &self.os
+    }
+
+    /// Sets the per-node hash salt (so different nodes' schedules are
+    /// decorrelated).
+    pub fn set_salt(&mut self, salt: u64) {
+        self.salt = salt;
+    }
+
+    /// The application slice's start position within round `round` of a
+    /// `(ncp+1)·q` schedule: rotated pseudo-randomly per round, so
+    /// slice-boundary positions vary from cycle to cycle the way real
+    /// scheduler arrivals do (exactly one slice per round either way).
+    fn slot_start(&self, round: u64, cycle: u64, q: u64) -> u64 {
+        if cycle == q {
+            return 0; // ncp == 0 never reaches here, but be safe
+        }
+        mix(round ^ self.salt) % (cycle - q + 1)
+    }
+
+    /// Records that the application re-entered the run queue after
+    /// blocking at time `t` with `ncp` competitors. The scheduler's
+    /// wake-up boost moves its next slice up: instead of waiting out the
+    /// competitors' slices, it waits only `(1 − wakeup_boost)` of that
+    /// delay (plus a small deterministic drift that keeps the schedule
+    /// from locking step with the application's cycle).
+    pub fn note_reentry(&mut self, t: SimTime, ncp: u32) {
+        self.reentries = self.reentries.wrapping_add(1);
+        let drift = (u64::from(self.reentries) * self.os.reentry_drift.0) % 300_000;
+        if ncp == 0 {
+            self.phase_offset = self.phase_offset.wrapping_add(drift);
+            return;
+        }
+        let q = self.os.quantum.0;
+        let cycle = (u64::from(ncp) + 1) * q;
+        let shifted = t.0.wrapping_add(self.phase_offset);
+        let round = shifted / cycle;
+        let pos = shifted % cycle;
+        let start = self.slot_start(round, cycle, q);
+        let boosted = if pos >= start && pos < start + q {
+            // Woken inside our slice: the scheduler recharges the
+            // timeslice (wake-up preemption), so a fresh quantum starts
+            // now — otherwise a wake landing near the slice end would
+            // systematically straddle into a full competitor round.
+            drift
+        } else {
+            let full_wait = if pos < start {
+                start - pos
+            } else {
+                cycle - pos + start
+            };
+            (full_wait as f64 * (1.0 - self.os.wakeup_boost)).round() as u64 + drift
+        };
+        // Re-anchor the schedule so our slice begins at t + boosted: put
+        // t + boosted at this round's rotated slot start.
+        let target = t.0.wrapping_add(boosted);
+        let off0 = (cycle - (target % cycle)) % cycle;
+        let r = (target.wrapping_add(off0)) / cycle;
+        self.phase_offset = off0.wrapping_add(self.slot_start(r, cycle, q));
+    }
+
+    /// Computes the next scheduling segment starting at `t`, given the
+    /// competing-process count `ncp` (constant until `next_change`) and the
+    /// application's remaining work.
+    pub fn segment(
+        &self,
+        t: SimTime,
+        ncp: u32,
+        next_change: Option<SimTime>,
+        remaining_work: f64,
+    ) -> Segment {
+        if remaining_work <= 0.0 {
+            return Segment {
+                end: t,
+                work_done: 0.0,
+                completed: true,
+            };
+        }
+        let change_bound = next_change.unwrap_or(SimTime::MAX);
+        debug_assert!(change_bound > t, "ncp change not strictly in the future");
+
+        if ncp == 0 {
+            // Dedicated CPU: run straight through.
+            return self.run_until(
+                t,
+                remaining_work,
+                change_bound.min(SimTime::MAX),
+                change_bound,
+            );
+        }
+
+        let q = self.os.quantum.0;
+        let cycle = (u64::from(ncp) + 1) * q;
+        let shifted = t.0.wrapping_add(self.phase_offset);
+        let round = shifted / cycle;
+        let pos = shifted % cycle;
+        let start = self.slot_start(round, cycle, q);
+        if pos >= start && pos < start + q {
+            // Inside our slice: run until it ends, the load changes, or
+            // the work completes.
+            let slice_end = SimTime(t.0 + (start + q - pos));
+            return self.run_until(t, remaining_work, slice_end, change_bound);
+        }
+        // Competing processes own the CPU; wait for our next slice (this
+        // round's if still ahead, else next round's) or for the load to
+        // change, whichever is first.
+        let next_start_shifted = if pos < start {
+            round * cycle + start
+        } else {
+            (round + 1) * cycle + self.slot_start(round + 1, cycle, q)
+        };
+        let wait_end = SimTime(t.0 + (next_start_shifted - shifted));
+        let end = wait_end.min(change_bound);
+        Segment {
+            end,
+            work_done: 0.0,
+            completed: false,
+        }
+    }
+
+    /// Runs from `t` at full speed, bounded by `bound` and `change_bound`.
+    fn run_until(
+        &self,
+        t: SimTime,
+        remaining_work: f64,
+        bound: SimTime,
+        change_bound: SimTime,
+    ) -> Segment {
+        let finish_ns = (remaining_work / self.spec.speed * 1e9).ceil() as u64;
+        let finish = SimTime(t.0.saturating_add(finish_ns.max(1)));
+        let end = finish.min(bound).min(change_bound);
+        if end == finish {
+            Segment {
+                end,
+                work_done: remaining_work,
+                completed: true,
+            }
+        } else {
+            let done = (end - t).as_secs_f64() * self.spec.speed;
+            Segment {
+                end,
+                work_done: done.min(remaining_work),
+                completed: false,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sched() -> CpuSched {
+        CpuSched::new(NodeSpec::with_speed(1e6), OsParams::default())
+    }
+
+    /// Drives `segment` in a loop the way the engine does and returns the
+    /// finish time plus accumulated CPU run time.
+    fn drive(s: &CpuSched, start: SimTime, work: f64, ncp: u32) -> (SimTime, SimDur) {
+        let mut t = start;
+        let mut remaining = work;
+        let mut cpu = SimDur::ZERO;
+        for _ in 0..1_000_000 {
+            let seg = s.segment(t, ncp, None, remaining);
+            if seg.work_done > 0.0 {
+                cpu += seg.end - t;
+            }
+            remaining -= seg.work_done;
+            t = seg.end;
+            if seg.completed {
+                return (t, cpu);
+            }
+        }
+        panic!("segment loop did not terminate");
+    }
+
+    #[test]
+    fn dedicated_runs_at_full_speed() {
+        let s = sched();
+        let (end, cpu) = drive(&s, SimTime::ZERO, 1e6, 0); // 1 second of work
+        assert_eq!(end, SimTime::from_secs(1));
+        assert_eq!(cpu, SimDur::from_secs(1));
+    }
+
+    #[test]
+    fn one_competitor_halves_throughput() {
+        let s = sched();
+        // 1 s of CPU work, 1 CP, 10 ms quantum → alternating slices; total
+        // wall time ≈ 2 s (within one trailing slice).
+        let (end, cpu) = drive(&s, SimTime::ZERO, 1e6, 1);
+        let wall = (end - SimTime::ZERO).as_secs_f64();
+        assert!((wall - 2.0).abs() < 0.011, "wall = {wall}");
+        assert!((cpu.as_secs_f64() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn three_competitors_quarter_throughput() {
+        let s = sched();
+        let (end, _) = drive(&s, SimTime::ZERO, 1e6, 3);
+        let wall = (end - SimTime::ZERO).as_secs_f64();
+        assert!((wall - 4.0).abs() < 0.031, "wall = {wall}");
+    }
+
+    #[test]
+    fn short_work_after_wake_sees_no_slowdown() {
+        // A boosted wake anchors the slice; a sub-quantum burst then runs
+        // at (nearly) full speed despite 3 competitors.
+        let mut s = sched();
+        let t0 = SimTime::from_micros(12_345);
+        s.note_reentry(t0, 3);
+        let (end, cpu) = drive(&s, t0, 1_000.0, 3); // 1 ms of work
+        let wall = (end - t0).as_secs_f64();
+        assert!((cpu.as_secs_f64() - 0.001).abs() < 1e-6);
+        // Wall = work + bounded wake latency (boost residual + drift).
+        assert!(wall < 0.004, "boosted burst took {wall}");
+    }
+
+    #[test]
+    fn continuous_compute_rows_show_spikes() {
+        // Rows measured back-to-back during a long computation: most run
+        // clean, but the ones straddling a slice boundary observe a
+        // multi-quantum spike — the gethrtime noise of §4.2. The rotated
+        // schedule moves the spikes around, so a min over repeats cleans
+        // them.
+        let s = sched();
+        let row_work = 2_000.0; // 2 ms rows
+        let mut t = SimTime::ZERO;
+        let mut walls = Vec::new();
+        for _ in 0..60 {
+            let start = t;
+            let mut remaining = row_work;
+            loop {
+                let seg = s.segment(t, 1, None, remaining);
+                remaining -= seg.work_done;
+                t = seg.end;
+                if seg.completed {
+                    break;
+                }
+            }
+            walls.push((t - start).as_secs_f64());
+        }
+        let min = walls.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = walls.iter().cloned().fold(0.0, f64::max);
+        assert!(
+            (min - 0.002).abs() < 1e-4,
+            "clean rows near true cost: {min}"
+        );
+        assert!(max > 0.010, "some rows must spike past a quantum: {max}");
+    }
+
+    #[test]
+    fn wait_segments_end_at_a_slot() {
+        // Wherever a waiting segment starts, it ends within one full
+        // round and is followed by runnable time.
+        let s = sched();
+        let mut saw_wait = false;
+        for ms in 0..40u64 {
+            let t = SimTime::from_millis(ms);
+            let seg = s.segment(t, 1, None, 1.0e9);
+            if seg.work_done == 0.0 {
+                saw_wait = true;
+                assert!(seg.end > t);
+                assert!((seg.end - t).as_secs_f64() <= 0.040);
+                let next = s.segment(seg.end, 1, None, 1.0e9);
+                assert!(next.work_done > 0.0, "slot must follow the wait");
+            }
+        }
+        assert!(saw_wait, "a 1-CP schedule must contain waits");
+    }
+
+    #[test]
+    fn ncp_change_bounds_segment() {
+        let s = sched();
+        let change = SimTime::from_millis(5);
+        let seg = s.segment(SimTime::ZERO, 0, Some(change), 1e6);
+        assert!(!seg.completed);
+        assert_eq!(seg.end, change);
+        assert!((seg.work_done - 5_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn reentry_boost_moves_slice_up() {
+        let mut s = sched();
+        // Wake at 25 ms with 3 CPs: strict RR would wait until t = 40 ms
+        // (cycle end); with the default 0.9 boost the wait shrinks to
+        // ~1.5 ms + drift.
+        let t = SimTime::from_millis(25);
+        s.note_reentry(t, 3);
+        let seg = s.segment(t, 3, None, 1e9);
+        let delay = if seg.work_done > 0.0 {
+            0.0
+        } else {
+            (seg.end - t).as_secs_f64()
+        };
+        assert!(delay < 0.004, "boosted wake delay {delay}");
+    }
+
+    #[test]
+    fn reentry_soon_after_reentry_runs_quickly() {
+        // A wake shortly after a previous wake (still inside the fresh
+        // slice) pays at most the small drift.
+        let mut s = sched();
+        let t = SimTime::from_millis(2);
+        s.note_reentry(t, 2);
+        let t2 = t + SimDur::from_millis(1);
+        s.note_reentry(t2, 2);
+        let (end, _) = drive(&s, t2, 500.0, 2);
+        assert!((end - t2).as_secs_f64() < 0.002, "{:?}", end - t2);
+    }
+
+    #[test]
+    fn unloaded_reentry_only_drifts() {
+        let mut s = sched();
+        s.note_reentry(SimTime::from_millis(7), 0);
+        let seg = s.segment(SimTime::from_millis(7), 0, None, 1_000.0);
+        assert!(seg.completed);
+    }
+
+    #[test]
+    fn zero_work_completes_immediately() {
+        let s = sched();
+        let seg = s.segment(SimTime::from_millis(3), 2, None, 0.0);
+        assert!(seg.completed);
+        assert_eq!(seg.end, SimTime::from_millis(3));
+    }
+
+    #[test]
+    fn long_run_share_matches_relative_power() {
+        let s = sched();
+        for ncp in 1..=4u32 {
+            let (end, cpu) = drive(&s, SimTime::ZERO, 2e6, ncp);
+            let wall = (end - SimTime::ZERO).as_secs_f64();
+            let share = cpu.as_secs_f64() / wall;
+            let expect = 1.0 / f64::from(ncp + 1);
+            assert!(
+                (share - expect).abs() < 0.01,
+                "ncp={ncp}: share {share} vs {expect}"
+            );
+        }
+    }
+}

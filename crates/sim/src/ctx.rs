@@ -1,0 +1,292 @@
+//! The per-rank simulation handle.
+//!
+//! A [`SimCtx`] is what a simulated rank's code uses to interact with the
+//! virtual cluster: consume CPU, exchange messages, read clocks and load
+//! monitors. Every method that takes virtual time may hand the turn to
+//! another rank; application code just sees blocking calls.
+
+use std::sync::Arc;
+
+use parking_lot::MutexGuard;
+
+use crate::engine::{EngineState, Envelope, RecvWait, Shared, Status};
+use crate::monitor;
+use crate::time::{SimDur, SimTime};
+
+/// Handle held by one simulated rank.
+pub struct SimCtx {
+    shared: Arc<Shared>,
+    pid: usize,
+    nprocs: usize,
+}
+
+impl SimCtx {
+    pub(crate) fn new(shared: Arc<Shared>, pid: usize, nprocs: usize) -> Self {
+        SimCtx {
+            shared,
+            pid,
+            nprocs,
+        }
+    }
+
+    /// This rank's id (also its process id in the engine).
+    pub fn rank(&self) -> usize {
+        self.pid
+    }
+
+    /// Total ranks in the simulation.
+    pub fn nprocs(&self) -> usize {
+        self.nprocs
+    }
+
+    /// The node this rank runs on (one rank per node).
+    pub fn node(&self) -> usize {
+        let st = self.shared.state.lock();
+        st.procs[self.pid].node
+    }
+
+    /// Current virtual time — the `gethrtime` wallclock of §4.2.
+    pub fn now(&self) -> SimTime {
+        self.shared.state.lock().clock
+    }
+
+    /// Exact accumulated CPU time of this rank (ground truth; real systems
+    /// cannot read this directly).
+    pub fn cpu_time_exact(&self) -> SimDur {
+        self.shared.state.lock().procs[self.pid].cpu_time
+    }
+
+    /// The `/proc` CPU-time *reading*: exact accounting truncated to the
+    /// OS accounting tick (10 ms by default), per §4.2.
+    pub fn cpu_time_reading(&self) -> SimDur {
+        let st = self.shared.state.lock();
+        let p = &st.procs[self.pid];
+        let tick = st.nodes[p.node].sched.os().proc_tick;
+        p.cpu_time.quantize(tick)
+    }
+
+    /// A `dmpi_ps` daemon reading for `node` (updated once per second).
+    pub fn dmpi_ps(&self, node: usize) -> u32 {
+        let st = self.shared.state.lock();
+        monitor::dmpi_ps_reading(&st.nodes[node].timeline, st.clock)
+    }
+
+    /// A `vmstat`-style reading for `node` (unreliable: misses an
+    /// application blocked at a receive — see §4.2).
+    pub fn vmstat(&self, node: usize) -> u32 {
+        let st = self.shared.state.lock();
+        monitor::vmstat_reading(&st.nodes[node].timeline, &st.nodes[node].blocks, st.clock)
+    }
+
+    /// True competing-process count on `node` right now (oracle for tests
+    /// and for scripting; real systems only have the monitors above).
+    pub fn true_ncp(&self, node: usize) -> u32 {
+        let st = self.shared.state.lock();
+        st.nodes[node].timeline.at(st.clock)
+    }
+
+    /// Consumes `work` units of CPU (≈flops). Wall time depends on the
+    /// node's speed and current competing load; CPU accounting is charged
+    /// for time actually run.
+    pub fn advance(&self, work: f64) {
+        if work <= 0.0 {
+            return;
+        }
+        let mut remaining = work;
+        let mut st = self.shared.state.lock();
+        loop {
+            let now = st.clock;
+            let node = st.procs[self.pid].node;
+            let ncp = st.nodes[node].timeline.at(now);
+            let next = st.nodes[node].timeline.next_change_after(now);
+            let seg = st.nodes[node].sched.segment(now, ncp, next, remaining);
+            if seg.work_done > 0.0 {
+                st.procs[self.pid].cpu_time += seg.end - now;
+            }
+            remaining = (remaining - seg.work_done).max(0.0);
+            if seg.end > now {
+                st.procs[self.pid].status = Status::Scheduled;
+                st.push_event(seg.end, self.pid);
+                self.yield_turn(&mut st);
+            }
+            if seg.completed {
+                return;
+            }
+        }
+    }
+
+    /// Sleeps for `dur` of virtual time without consuming CPU.
+    pub fn sleep(&self, dur: SimDur) {
+        if dur == SimDur::ZERO {
+            return;
+        }
+        let mut st = self.shared.state.lock();
+        let t = st.clock + dur;
+        st.procs[self.pid].status = Status::Scheduled;
+        st.push_event(t, self.pid);
+        self.yield_turn(&mut st);
+    }
+
+    /// Sends `payload` to rank `dst` with `tag`. Charges the sender the CPU
+    /// cost of the send (which, on a loaded node, includes waiting for a
+    /// scheduler slice); delivery time follows the network model. The send
+    /// is buffered: it does not wait for the receiver.
+    pub fn send(&self, dst: usize, tag: u64, payload: Vec<u8>) {
+        assert!(dst < self.nprocs, "send to invalid rank {dst}");
+        let len = payload.len();
+        let cpu = {
+            let st = self.shared.state.lock();
+            let p = st.net.params();
+            p.send_cpu_base + p.send_cpu_per_byte * len as f64
+        };
+        self.advance(cpu);
+        let mut st = self.shared.state.lock();
+        let now = st.clock;
+        let src_node = st.procs[self.pid].node;
+        let dst_node = st.procs[dst].node;
+        let arrival = st.net.deliver_at(src_node, dst_node, len, now);
+        let seq = st.next_seq();
+        let env = Envelope {
+            src: self.pid,
+            tag,
+            arrival,
+            seq,
+            payload,
+        };
+        let wake = match st.procs[dst].status {
+            Status::BlockedRecv(w) if w.matches(&env) => true,
+            _ => false,
+        };
+        st.procs[self.pid].msgs_sent += 1;
+        st.procs[self.pid].bytes_sent += len as u64;
+        st.procs[dst].mailbox.push(env);
+        if wake {
+            st.procs[dst].status = Status::Scheduled;
+            st.push_event(arrival, dst);
+        }
+    }
+
+    /// Receives a message from rank `src` with `tag`, blocking in virtual
+    /// time until it is available. Charges the receiver the CPU cost of the
+    /// receive after arrival.
+    pub fn recv(&self, src: usize, tag: u64) -> Vec<u8> {
+        self.recv_matching(Some(src), tag).1
+    }
+
+    /// Receives a message with `tag` from any rank.
+    pub fn recv_any(&self, tag: u64) -> (usize, Vec<u8>) {
+        self.recv_matching(None, tag)
+    }
+
+    /// Non-blocking probe: is a matching message already deliverable?
+    pub fn probe(&self, src: Option<usize>, tag: u64) -> bool {
+        let st = self.shared.state.lock();
+        let wait = RecvWait { src, tag };
+        st.procs[self.pid]
+            .mailbox
+            .iter()
+            .any(|e| wait.matches(e) && e.arrival <= st.clock)
+    }
+
+    fn recv_matching(&self, src: Option<usize>, tag: u64) -> (usize, Vec<u8>) {
+        let wait = RecvWait { src, tag };
+        let mut st = self.shared.state.lock();
+        loop {
+            let now = st.clock;
+            if let Some(i) = st.procs[self.pid].find_ready(wait, now) {
+                let env = st.procs[self.pid].mailbox.swap_remove(i);
+                let len = env.payload.len();
+                st.procs[self.pid].msgs_recvd += 1;
+                st.procs[self.pid].bytes_recvd += len as u64;
+                let p = st.net.params();
+                let cpu = p.recv_cpu_base + p.recv_cpu_per_byte * len as f64;
+                drop(st);
+                self.advance(cpu);
+                return (env.src, env.payload);
+            }
+            // Not deliverable yet: block (this is what `vmstat` misses).
+            let node = st.procs[self.pid].node;
+            st.nodes[node].blocks.block(now);
+            if let Some(arrival) = st.procs[self.pid].find_pending(wait) {
+                // Arrival already determined by the network: sleep to it.
+                st.procs[self.pid].status = Status::Scheduled;
+                st.push_event(arrival, self.pid);
+            } else {
+                // Unknown: the sender will wake us.
+                st.procs[self.pid].status = Status::BlockedRecv(wait);
+            }
+            self.yield_turn(&mut st);
+            let wake = st.clock;
+            let node = st.procs[self.pid].node;
+            st.nodes[node].blocks.unblock(wake);
+            let ncp = st.nodes[node].timeline.at(wake);
+            st.nodes[node].sched.note_reentry(wake, ncp);
+        }
+    }
+
+    /// Reports that this rank completed one application phase cycle; fires
+    /// any cycle-triggered load-script events for this node.
+    pub fn phase_cycle_completed(&self) {
+        let mut st = self.shared.state.lock();
+        let clock = st.clock;
+        let node = st.procs[self.pid].node;
+        let n = &mut st.nodes[node];
+        n.cycle_count += 1;
+        let c = n.cycle_count;
+        while let Some(&(ev_c, ncp)) = n.cycle_events.first() {
+            if ev_c <= c {
+                n.timeline.set(clock, ncp);
+                n.cycle_events.remove(0);
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Phase cycles completed on this rank's node.
+    pub fn phase_cycles(&self) -> u64 {
+        let st = self.shared.state.lock();
+        let node = st.procs[self.pid].node;
+        st.nodes[node].cycle_count
+    }
+
+    /// Directly sets the competing-process count on this rank's own node
+    /// (for harnesses that drive load programmatically rather than through
+    /// a pre-registered script).
+    pub fn set_own_ncp(&self, ncp: u32) {
+        let mut st = self.shared.state.lock();
+        let clock = st.clock;
+        let node = st.procs[self.pid].node;
+        st.nodes[node].timeline.set(clock, ncp);
+    }
+
+    /// Hands the turn to the next event's owner and waits until this rank
+    /// is scheduled again. The caller must have arranged its own wake-up
+    /// (queued event or blocked-recv registration) before calling.
+    fn yield_turn(&self, st: &mut MutexGuard<'_, EngineState>) {
+        st.dispatch_next();
+        self.shared.cv.notify_all();
+        loop {
+            if let Some(msg) = st.panic_msg.clone() {
+                panic!("{msg}");
+            }
+            if st.current == Some(self.pid) {
+                debug_assert_eq!(st.procs[self.pid].status, Status::Running);
+                return;
+            }
+            self.shared.cv.wait(st);
+        }
+    }
+
+    /// Marks this rank finished and hands the turn onward. Called by the
+    /// cluster runner after the rank's program returns.
+    pub(crate) fn finish(&self) {
+        let mut st = self.shared.state.lock();
+        let clock = st.clock;
+        st.procs[self.pid].status = Status::Finished;
+        st.procs[self.pid].finish_time = clock;
+        st.live -= 1;
+        st.dispatch_next();
+        self.shared.cv.notify_all();
+    }
+}

@@ -1,0 +1,424 @@
+//! Conservative sequential discrete-event engine.
+//!
+//! Every simulated rank runs as a real OS thread so application code can be
+//! ordinary imperative Rust (loops, sends, receives), but **exactly one**
+//! simulation thread executes at a time: a thread that blocks in virtual
+//! time hands the "turn" to the thread owning the earliest pending event.
+//! Event order is a total order on `(virtual time, sequence number)`, so a
+//! run is a deterministic function of its inputs.
+
+use std::collections::BinaryHeap;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::cpu::CpuSched;
+use crate::monitor::BlockHistory;
+use crate::network::Network;
+use crate::time::{SimDur, SimTime};
+use crate::timeline::NcpTimeline;
+
+/// A scheduled wake-up for a process.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct Event {
+    pub time: SimTime,
+    pub seq: u64,
+    pub pid: usize,
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event pops first.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// An in-flight or delivered message.
+#[derive(Clone, Debug)]
+pub(crate) struct Envelope {
+    pub src: usize,
+    pub tag: u64,
+    pub arrival: SimTime,
+    pub seq: u64,
+    pub payload: Vec<u8>,
+}
+
+/// What a blocked receiver is waiting for. `src == None` matches any sender.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct RecvWait {
+    pub src: Option<usize>,
+    pub tag: u64,
+}
+
+impl RecvWait {
+    pub fn matches(&self, env: &Envelope) -> bool {
+        self.tag == env.tag && self.src.is_none_or(|s| s == env.src)
+    }
+}
+
+/// Run state of a simulated process.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Status {
+    /// Has a wake event in the queue (computing, sleeping, or waiting for a
+    /// known message arrival).
+    Scheduled,
+    /// Currently holds the turn.
+    Running,
+    /// Waiting for a message whose arrival is not yet known.
+    BlockedRecv(RecvWait),
+    /// Program returned.
+    Finished,
+}
+
+/// Per-process bookkeeping.
+#[derive(Debug)]
+pub(crate) struct ProcState {
+    pub node: usize,
+    pub status: Status,
+    /// Exact accumulated CPU run time (the `/proc` counter before
+    /// read-granularity truncation).
+    pub cpu_time: SimDur,
+    pub mailbox: Vec<Envelope>,
+    pub msgs_sent: u64,
+    pub msgs_recvd: u64,
+    pub bytes_sent: u64,
+    pub bytes_recvd: u64,
+    pub finish_time: SimTime,
+}
+
+impl ProcState {
+    fn new(node: usize) -> Self {
+        ProcState {
+            node,
+            status: Status::Scheduled,
+            cpu_time: SimDur::ZERO,
+            mailbox: Vec::new(),
+            msgs_sent: 0,
+            msgs_recvd: 0,
+            bytes_sent: 0,
+            bytes_recvd: 0,
+            finish_time: SimTime::ZERO,
+        }
+    }
+
+    /// Index of the earliest deliverable envelope matching `wait` whose
+    /// arrival is at or before `now`.
+    pub(crate) fn find_ready(&self, wait: RecvWait, now: SimTime) -> Option<usize> {
+        self.mailbox
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| wait.matches(e) && e.arrival <= now)
+            .min_by_key(|(_, e)| (e.arrival, e.seq))
+            .map(|(i, _)| i)
+    }
+
+    /// The earliest future arrival of a matching envelope, if one is
+    /// already in flight.
+    pub(crate) fn find_pending(&self, wait: RecvWait) -> Option<SimTime> {
+        self.mailbox
+            .iter()
+            .filter(|e| wait.matches(e))
+            .map(|e| e.arrival)
+            .min()
+    }
+}
+
+/// Per-node bookkeeping.
+#[derive(Debug)]
+pub(crate) struct NodeState {
+    pub sched: CpuSched,
+    pub timeline: NcpTimeline,
+    pub cycle_count: u64,
+    /// Cycle-triggered load changes: `(cycle, ncp)` sorted by cycle; fired
+    /// when this node's application completes that phase cycle.
+    pub cycle_events: Vec<(u64, u32)>,
+    pub blocks: BlockHistory,
+}
+
+pub(crate) struct EngineState {
+    pub clock: SimTime,
+    pub queue: BinaryHeap<Event>,
+    pub procs: Vec<ProcState>,
+    pub nodes: Vec<NodeState>,
+    pub net: Network,
+    pub current: Option<usize>,
+    pub live: usize,
+    pub seq: u64,
+    pub panic_msg: Option<String>,
+    /// Rank whose panic poisoned the run, so the runner can re-raise the
+    /// original payload rather than a secondary unwind.
+    pub panic_origin: Option<usize>,
+}
+
+impl EngineState {
+    pub fn new(nodes: Vec<NodeState>, proc_nodes: &[usize], net: Network) -> Self {
+        let mut st = EngineState {
+            clock: SimTime::ZERO,
+            queue: BinaryHeap::new(),
+            procs: proc_nodes.iter().map(|&n| ProcState::new(n)).collect(),
+            nodes,
+            net,
+            current: None,
+            live: proc_nodes.len(),
+            seq: 0,
+            panic_msg: None,
+            panic_origin: None,
+        };
+        for pid in 0..st.procs.len() {
+            st.push_event(SimTime::ZERO, pid);
+        }
+        st
+    }
+
+    pub fn next_seq(&mut self) -> u64 {
+        self.seq += 1;
+        self.seq
+    }
+
+    pub fn push_event(&mut self, time: SimTime, pid: usize) {
+        let seq = self.next_seq();
+        self.queue.push(Event { time, seq, pid });
+    }
+
+    /// Pops the next event, advances the clock, and hands the turn to its
+    /// process. Returns `false` when the simulation has fully drained.
+    /// Panics the simulation on deadlock.
+    pub fn dispatch_next(&mut self) -> bool {
+        loop {
+            let Some(ev) = self.queue.pop() else {
+                if self.live > 0 {
+                    let stuck: Vec<usize> = self
+                        .procs
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, p)| matches!(p.status, Status::BlockedRecv(_)))
+                        .map(|(i, _)| i)
+                        .collect();
+                    self.panic_msg = Some(format!(
+                        "simulation deadlock at {}: no pending events, ranks {stuck:?} \
+                         blocked at recv",
+                        self.clock
+                    ));
+                }
+                self.current = None;
+                return false;
+            };
+            // A wake event for a proc that was re-blocked or finished in the
+            // meantime is stale; skip it.
+            match self.procs[ev.pid].status {
+                Status::Scheduled => {
+                    debug_assert!(ev.time >= self.clock, "event in the past");
+                    self.clock = self.clock.max(ev.time);
+                    self.procs[ev.pid].status = Status::Running;
+                    self.current = Some(ev.pid);
+                    return true;
+                }
+                Status::Finished | Status::Running | Status::BlockedRecv(_) => continue,
+            }
+        }
+    }
+}
+
+/// Shared engine handle: the state plus the turn-handoff condition variable.
+pub(crate) struct Shared {
+    pub state: Mutex<EngineState>,
+    pub cv: Condvar,
+}
+
+impl Shared {
+    pub fn new(state: EngineState) -> Self {
+        Shared {
+            state: Mutex::new(state),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Blocks the calling process thread until it holds the turn.
+    pub fn wait_turn(&self, pid: usize) {
+        let mut st = self.state.lock();
+        loop {
+            if let Some(msg) = &st.panic_msg {
+                let msg = msg.clone();
+                drop(st);
+                panic!("{msg}");
+            }
+            if st.current == Some(pid) {
+                return;
+            }
+            self.cv.wait(&mut st);
+        }
+    }
+
+    /// Marks the simulation as failed and wakes everyone so all threads
+    /// unwind promptly.
+    pub fn poison(&self, origin: usize, msg: String) {
+        let mut st = self.state.lock();
+        if st.panic_msg.is_none() {
+            st.panic_msg = Some(msg);
+            st.panic_origin = Some(origin);
+        }
+        st.current = None;
+        self.cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{NetParams, NodeSpec, OsParams};
+
+    fn state(nprocs: usize) -> EngineState {
+        let nodes = (0..nprocs)
+            .map(|_| NodeState {
+                sched: CpuSched::new(NodeSpec::default(), OsParams::default()),
+                timeline: NcpTimeline::new(),
+                cycle_count: 0,
+                cycle_events: Vec::new(),
+                blocks: BlockHistory::new(),
+            })
+            .collect();
+        let proc_nodes: Vec<usize> = (0..nprocs).collect();
+        EngineState::new(
+            nodes,
+            &proc_nodes,
+            Network::new(nprocs, NetParams::default()),
+        )
+    }
+
+    #[test]
+    fn event_ordering_is_time_then_seq() {
+        let a = Event {
+            time: SimTime::from_secs(1),
+            seq: 5,
+            pid: 0,
+        };
+        let b = Event {
+            time: SimTime::from_secs(1),
+            seq: 6,
+            pid: 1,
+        };
+        let c = Event {
+            time: SimTime::from_secs(2),
+            seq: 1,
+            pid: 2,
+        };
+        let mut heap = BinaryHeap::new();
+        heap.push(c);
+        heap.push(b);
+        heap.push(a);
+        assert_eq!(heap.pop(), Some(a));
+        assert_eq!(heap.pop(), Some(b));
+        assert_eq!(heap.pop(), Some(c));
+    }
+
+    #[test]
+    fn dispatch_picks_lowest_pid_first_at_t0() {
+        let mut st = state(3);
+        assert!(st.dispatch_next());
+        assert_eq!(st.current, Some(0));
+        assert_eq!(st.clock, SimTime::ZERO);
+    }
+
+    #[test]
+    fn stale_events_are_skipped() {
+        let mut st = state(2);
+        // Proc 1 finished; its initial event must be skipped.
+        st.procs[1].status = Status::Finished;
+        st.live = 1;
+        assert!(st.dispatch_next());
+        assert_eq!(st.current, Some(0));
+        st.procs[0].status = Status::Finished;
+        st.live = 0;
+        assert!(!st.dispatch_next());
+        assert!(st.panic_msg.is_none());
+    }
+
+    #[test]
+    fn deadlock_is_detected() {
+        let mut st = state(1);
+        st.queue.clear();
+        st.procs[0].status = Status::BlockedRecv(RecvWait {
+            src: Some(0),
+            tag: 1,
+        });
+        assert!(!st.dispatch_next());
+        let msg = st.panic_msg.expect("deadlock should be flagged");
+        assert!(msg.contains("deadlock"), "{msg}");
+        assert!(msg.contains("[0]"), "{msg}");
+    }
+
+    #[test]
+    fn recv_wait_matching() {
+        let env = Envelope {
+            src: 3,
+            tag: 7,
+            arrival: SimTime::ZERO,
+            seq: 0,
+            payload: vec![],
+        };
+        assert!(RecvWait {
+            src: Some(3),
+            tag: 7
+        }
+        .matches(&env));
+        assert!(RecvWait { src: None, tag: 7 }.matches(&env));
+        assert!(!RecvWait {
+            src: Some(2),
+            tag: 7
+        }
+        .matches(&env));
+        assert!(!RecvWait {
+            src: Some(3),
+            tag: 8
+        }
+        .matches(&env));
+    }
+
+    #[test]
+    fn mailbox_fifo_by_arrival_then_seq() {
+        let mut p = ProcState::new(0);
+        let mk = |seq, arrival_ms| Envelope {
+            src: 1,
+            tag: 0,
+            arrival: SimTime::from_millis(arrival_ms),
+            seq,
+            payload: vec![seq as u8],
+        };
+        p.mailbox.push(mk(2, 5));
+        p.mailbox.push(mk(1, 5));
+        p.mailbox.push(mk(3, 1));
+        let wait = RecvWait {
+            src: Some(1),
+            tag: 0,
+        };
+        let now = SimTime::from_millis(10);
+        let i = p.find_ready(wait, now).unwrap();
+        assert_eq!(p.mailbox[i].seq, 3); // earliest arrival wins
+        p.mailbox.remove(i);
+        let i = p.find_ready(wait, now).unwrap();
+        assert_eq!(p.mailbox[i].seq, 1); // then sequence breaks the tie
+    }
+
+    #[test]
+    fn find_pending_reports_future_arrivals() {
+        let mut p = ProcState::new(0);
+        p.mailbox.push(Envelope {
+            src: 1,
+            tag: 0,
+            arrival: SimTime::from_millis(8),
+            seq: 1,
+            payload: vec![],
+        });
+        let wait = RecvWait {
+            src: Some(1),
+            tag: 0,
+        };
+        assert_eq!(p.find_ready(wait, SimTime::from_millis(3)), None);
+        assert_eq!(p.find_pending(wait), Some(SimTime::from_millis(8)));
+    }
+}

@@ -1,0 +1,173 @@
+//! Load monitors: the `dmpi_ps` daemon model and the faulty `vmstat` model.
+//!
+//! §4.2 of the paper: a per-node daemon samples process states once per
+//! second. `vmstat`-style sampling counts only processes on the run queue at
+//! the sample instant, so an application blocked at a receive is *missed*.
+//! The paper's `dmpi_ps` counts running-or-ready processes **and always
+//! includes the monitored application**, which is the reliable signal the
+//! Dyn-MPI runtime needs. Both are modeled here so the difference can be
+//! measured (ablation bench).
+
+use crate::time::SimTime;
+use crate::timeline::NcpTimeline;
+
+/// History of intervals during which a node's application was blocked
+/// (waiting for a message), used to evaluate `vmstat` samples lazily.
+#[derive(Clone, Debug, Default)]
+pub struct BlockHistory {
+    /// Closed intervals `[start, end)`, non-overlapping, sorted.
+    intervals: Vec<(SimTime, SimTime)>,
+    /// Start of the currently open blocked interval, if the application is
+    /// blocked right now.
+    open: Option<SimTime>,
+}
+
+impl BlockHistory {
+    pub fn new() -> Self {
+        BlockHistory::default()
+    }
+
+    /// Records that the application blocked at `t`.
+    pub fn block(&mut self, t: SimTime) {
+        debug_assert!(self.open.is_none(), "nested block");
+        self.open = Some(t);
+    }
+
+    /// Records that the application resumed at `t`.
+    pub fn unblock(&mut self, t: SimTime) {
+        let start = self.open.take().expect("unblock without block");
+        debug_assert!(t >= start);
+        if t > start {
+            self.intervals.push((start, t));
+        }
+    }
+
+    /// Was the application blocked at instant `t`?
+    pub fn blocked_at(&self, t: SimTime) -> bool {
+        if let Some(start) = self.open {
+            if t >= start {
+                return true;
+            }
+        }
+        let i = self.intervals.partition_point(|&(s, _)| s <= t);
+        i > 0 && t < self.intervals[i - 1].1
+    }
+
+    /// Fraction of `[from, to)` spent blocked (diagnostics).
+    pub fn blocked_fraction(&self, from: SimTime, to: SimTime) -> f64 {
+        if to <= from {
+            return 0.0;
+        }
+        let mut blocked = 0u64;
+        for &(s, e) in &self.intervals {
+            let lo = s.max(from);
+            let hi = e.min(to);
+            if hi > lo {
+                blocked += (hi - lo).0;
+            }
+        }
+        if let Some(s) = self.open {
+            let lo = s.max(from);
+            if to > lo {
+                blocked += (to - lo).0;
+            }
+        }
+        blocked as f64 / (to - from).0 as f64
+    }
+}
+
+/// A `dmpi_ps` daemon reading: running-or-ready process count on the node,
+/// always including the monitored application. The daemon publishes once per
+/// virtual second, so readers see the state as of the containing second's
+/// start.
+pub fn dmpi_ps_reading(timeline: &NcpTimeline, t: SimTime) -> u32 {
+    timeline.at(t.floor_to_second()) + 1
+}
+
+/// A `vmstat`-style reading: processes on the run queue at the sample
+/// instant. The application is counted only if it was runnable then —
+/// blocked-at-receive applications disappear, which is exactly the
+/// unreliability §4.2 reports.
+pub fn vmstat_reading(timeline: &NcpTimeline, blocks: &BlockHistory, t: SimTime) -> u32 {
+    let sample = t.floor_to_second();
+    let app = u32::from(!blocks.blocked_at(sample));
+    timeline.at(sample) + app
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(x: u64) -> SimTime {
+        SimTime::from_millis(x)
+    }
+
+    #[test]
+    fn block_history_intervals() {
+        let mut h = BlockHistory::new();
+        h.block(ms(100));
+        h.unblock(ms(200));
+        h.block(ms(300));
+        h.unblock(ms(450));
+        assert!(!h.blocked_at(ms(50)));
+        assert!(h.blocked_at(ms(100)));
+        assert!(h.blocked_at(ms(199)));
+        assert!(!h.blocked_at(ms(200)));
+        assert!(h.blocked_at(ms(400)));
+        assert!(!h.blocked_at(ms(450)));
+    }
+
+    #[test]
+    fn open_interval_counts_as_blocked() {
+        let mut h = BlockHistory::new();
+        h.block(ms(500));
+        assert!(h.blocked_at(ms(500)));
+        assert!(h.blocked_at(ms(10_000)));
+        assert!(!h.blocked_at(ms(499)));
+    }
+
+    #[test]
+    fn zero_length_block_is_dropped() {
+        let mut h = BlockHistory::new();
+        h.block(ms(10));
+        h.unblock(ms(10));
+        assert!(!h.blocked_at(ms(10)));
+    }
+
+    #[test]
+    fn blocked_fraction() {
+        let mut h = BlockHistory::new();
+        h.block(ms(0));
+        h.unblock(ms(250));
+        h.block(ms(500));
+        h.unblock(ms(750));
+        let f = h.blocked_fraction(SimTime::ZERO, ms(1000));
+        assert!((f - 0.5).abs() < 1e-9, "{f}");
+        assert_eq!(h.blocked_fraction(ms(10), ms(10)), 0.0);
+    }
+
+    #[test]
+    fn dmpi_ps_always_counts_the_app() {
+        let mut tl = NcpTimeline::new();
+        tl.set(SimTime::from_secs(5), 2);
+        assert_eq!(dmpi_ps_reading(&tl, SimTime::from_secs(1)), 1);
+        assert_eq!(dmpi_ps_reading(&tl, SimTime::from_secs(5)), 3);
+        // Sub-second times read the sample from the second's start.
+        assert_eq!(dmpi_ps_reading(&tl, SimTime::from_millis(5_900)), 3);
+        assert_eq!(dmpi_ps_reading(&tl, SimTime::from_millis(4_999)), 1);
+    }
+
+    #[test]
+    fn vmstat_misses_blocked_app() {
+        let mut tl = NcpTimeline::new();
+        tl.set(SimTime::from_secs(2), 1);
+        let mut h = BlockHistory::new();
+        // App blocked across the t=3s sample.
+        h.block(SimTime::from_millis(2_900));
+        h.unblock(SimTime::from_millis(3_100));
+        assert_eq!(vmstat_reading(&tl, &h, SimTime::from_secs(3)), 1); // missed!
+        assert_eq!(dmpi_ps_reading(&tl, SimTime::from_secs(3)), 2); // correct
+                                                                    // When the app is runnable at the sample, both agree.
+        assert_eq!(vmstat_reading(&tl, &h, SimTime::from_secs(4)), 2);
+    }
+}

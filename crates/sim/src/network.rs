@@ -1,0 +1,149 @@
+//! Switched-Ethernet network model.
+//!
+//! Messages pay a one-way latency plus serialization at the link bandwidth.
+//! The switch is non-blocking (distinct node pairs do not contend), but each
+//! node's transmit and receive NICs serialize their own traffic — the
+//! contention that matters for ghost-row exchanges and redistribution
+//! bursts. Rank-to-self messages cost a memcpy.
+
+use crate::params::NetParams;
+use crate::time::{SimDur, SimTime};
+
+/// Per-node NIC availability state.
+#[derive(Clone, Debug)]
+pub struct Network {
+    params: NetParams,
+    tx_free: Vec<SimTime>,
+    rx_free: Vec<SimTime>,
+    /// Completion time of the last rank-to-self copy, per node (self
+    /// deliveries are FIFO like everything else).
+    self_free: Vec<SimTime>,
+    messages: u64,
+    bytes: u64,
+}
+
+impl Network {
+    pub fn new(nodes: usize, params: NetParams) -> Self {
+        assert!(params.bandwidth > 0.0 && params.self_bandwidth > 0.0);
+        Network {
+            params,
+            tx_free: vec![SimTime::ZERO; nodes],
+            rx_free: vec![SimTime::ZERO; nodes],
+            self_free: vec![SimTime::ZERO; nodes],
+            messages: 0,
+            bytes: 0,
+        }
+    }
+
+    pub fn params(&self) -> &NetParams {
+        &self.params
+    }
+
+    /// Schedules a `bytes`-byte message from `src` to `dst`, with the send
+    /// call issued at `t`. Returns the virtual time at which the payload is
+    /// fully available at the destination.
+    pub fn deliver_at(&mut self, src: usize, dst: usize, bytes: usize, t: SimTime) -> SimTime {
+        self.messages += 1;
+        self.bytes += bytes as u64;
+        if src == dst {
+            let copy = SimDur::from_secs_f64(bytes as f64 / self.params.self_bandwidth);
+            let arrival = t.max(self.self_free[src]) + copy;
+            self.self_free[src] = arrival;
+            return arrival;
+        }
+        let ser = SimDur::from_secs_f64(bytes as f64 / self.params.bandwidth);
+        let tx_start = t.max(self.tx_free[src]);
+        let tx_end = tx_start + ser;
+        self.tx_free[src] = tx_end;
+        let arrive_start = tx_end + self.params.latency;
+        // The receive NIC must also be free to land the frame.
+        let arrival = arrive_start.max(self.rx_free[dst]);
+        self.rx_free[dst] = arrival;
+        arrival
+    }
+
+    /// Total messages injected so far.
+    pub fn message_count(&self) -> u64 {
+        self.messages
+    }
+
+    /// Total payload bytes injected so far.
+    pub fn byte_count(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Pure cost model (no state): time for one isolated message.
+    pub fn isolated_cost(params: &NetParams, bytes: usize) -> SimDur {
+        params.latency + SimDur::from_secs_f64(bytes as f64 / params.bandwidth)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net(n: usize) -> Network {
+        Network::new(n, NetParams::ethernet_100mbps())
+    }
+
+    #[test]
+    fn isolated_message_cost() {
+        let mut n = net(2);
+        // 12.5 MB/s → 125 KB takes 10 ms; plus 100 µs latency.
+        let arr = n.deliver_at(0, 1, 125_000, SimTime::ZERO);
+        assert_eq!(arr, SimTime::from_micros(10_100));
+        assert_eq!(n.message_count(), 1);
+        assert_eq!(n.byte_count(), 125_000);
+    }
+
+    #[test]
+    fn tx_nic_serializes_back_to_back_sends() {
+        let mut n = net(3);
+        let a = n.deliver_at(0, 1, 125_000, SimTime::ZERO);
+        let b = n.deliver_at(0, 2, 125_000, SimTime::ZERO);
+        // Second message waits for the first to finish serializing.
+        assert_eq!(a, SimTime::from_micros(10_100));
+        assert_eq!(b, SimTime::from_micros(20_100));
+    }
+
+    #[test]
+    fn rx_nic_serializes_fan_in() {
+        let mut n = net(3);
+        let a = n.deliver_at(0, 2, 125_000, SimTime::ZERO);
+        let b = n.deliver_at(1, 2, 125_000, SimTime::ZERO);
+        assert_eq!(a, SimTime::from_micros(10_100));
+        // Both frames serialized on their own TX concurrently, but the
+        // receiver lands them one after the other.
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn disjoint_pairs_do_not_contend() {
+        let mut n = net(4);
+        let a = n.deliver_at(0, 1, 125_000, SimTime::ZERO);
+        let b = n.deliver_at(2, 3, 125_000, SimTime::ZERO);
+        assert_eq!(a, b); // switched network
+    }
+
+    #[test]
+    fn self_send_is_memcpy() {
+        let mut n = net(2);
+        let arr = n.deliver_at(1, 1, 4_000_000, SimTime::ZERO);
+        // 4 MB at 400 MB/s = 10 ms, no latency.
+        assert_eq!(arr, SimTime::from_millis(10));
+    }
+
+    #[test]
+    fn zero_byte_message_costs_latency_only() {
+        let mut n = net(2);
+        let arr = n.deliver_at(0, 1, 0, SimTime::from_secs(1));
+        assert_eq!(arr, SimTime::from_secs(1) + NetParams::default().latency);
+    }
+
+    #[test]
+    fn isolated_cost_helper_matches() {
+        let p = NetParams::ethernet_100mbps();
+        let c = Network::isolated_cost(&p, 125_000);
+        assert_eq!(c, SimDur::from_micros(10_100));
+    }
+}

@@ -1,0 +1,144 @@
+//! Cluster hardware and operating-system model parameters.
+//!
+//! Defaults are calibrated to the paper's testbeds: 550 MHz Pentium-III Xeon
+//! nodes (≈100 Mflop/s effective on stencil codes) on switched 100 Mb/s
+//! Ethernet, and 360 MHz Ultra-Sparc 5 nodes (≈60 Mflop/s) for the node
+//! removal experiments. "Work" is measured in abstract work units that the
+//! applications equate with floating-point operations.
+
+use crate::time::SimDur;
+
+/// Per-node CPU description.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NodeSpec {
+    /// Sustained work units (≈flops) per second with a dedicated CPU.
+    pub speed: f64,
+}
+
+impl NodeSpec {
+    /// A 550 MHz Pentium-III Xeon class node (§5 main testbed).
+    pub fn xeon_550() -> Self {
+        NodeSpec { speed: 100.0e6 }
+    }
+
+    /// A 360 MHz Sun Ultra-Sparc 5 class node (§5.3 testbed).
+    pub fn ultra5_360() -> Self {
+        NodeSpec { speed: 60.0e6 }
+    }
+
+    /// A node with an explicit work rate.
+    pub fn with_speed(speed: f64) -> Self {
+        assert!(speed > 0.0, "node speed must be positive");
+        NodeSpec { speed }
+    }
+}
+
+impl Default for NodeSpec {
+    fn default() -> Self {
+        NodeSpec::xeon_550()
+    }
+}
+
+/// Operating-system scheduler model.
+///
+/// The OS shares each node's CPU round-robin between the application rank
+/// and `ncp` synthetic competing processes using fixed time slices. When the
+/// application becomes runnable after blocking (e.g. at a receive) it waits
+/// for its next slice — this is the CPU cost of communication on a loaded
+/// node that §4.3 of the paper identifies.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OsParams {
+    /// Scheduler time slice. Linux-era default: 10 ms.
+    pub quantum: SimDur,
+    /// Deterministic phase drift applied to a node's slice schedule each
+    /// time the application re-enters the run queue. Models run-queue
+    /// reordering; prevents artificial lock-step between the application's
+    /// iteration period and the slice cycle.
+    pub reentry_drift: SimDur,
+    /// Granularity of `/proc` CPU-time *readings* (the accounting itself is
+    /// exact; readers see it truncated to this tick). 10 ms per §4.2.
+    pub proc_tick: SimDur,
+    /// Wake-up priority boost: when the application becomes runnable
+    /// after blocking (a message arrived), its next slice is moved up so
+    /// it waits only `(1 − boost)` of the normal round-robin delay —
+    /// 2003-era UNIX schedulers prioritize I/O-bound processes over CPU
+    /// hogs. 0 = strict round robin, 1 = immediate preemption.
+    pub wakeup_boost: f64,
+}
+
+impl Default for OsParams {
+    fn default() -> Self {
+        OsParams {
+            quantum: SimDur::from_millis(10),
+            reentry_drift: SimDur::from_micros(370),
+            proc_tick: SimDur::from_millis(10),
+            wakeup_boost: 0.96,
+        }
+    }
+}
+
+/// Network model: switched Ethernet with per-NIC serialization.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NetParams {
+    /// One-way message latency (wire + stack), excluding serialization.
+    pub latency: SimDur,
+    /// Link bandwidth in bytes per second.
+    pub bandwidth: f64,
+    /// CPU work charged to the sender per message (syscall + stack).
+    pub send_cpu_base: f64,
+    /// CPU work charged to the sender per byte (copy to kernel).
+    pub send_cpu_per_byte: f64,
+    /// CPU work charged to the receiver per message.
+    pub recv_cpu_base: f64,
+    /// CPU work charged to the receiver per byte.
+    pub recv_cpu_per_byte: f64,
+    /// Effective bandwidth for rank-to-self transfers (memcpy).
+    pub self_bandwidth: f64,
+}
+
+impl NetParams {
+    /// Switched 100 Mb/s Ethernet as in the paper's testbeds.
+    ///
+    /// 100 Mb/s ≈ 12.5 MB/s; ≈100 µs one-way latency; CPU cost of
+    /// communication equivalent to ≈20 µs per message plus ≈0.25 work
+    /// units per byte on a 100 Mflop/s node (TCP copy costs).
+    pub fn ethernet_100mbps() -> Self {
+        NetParams {
+            latency: SimDur::from_micros(100),
+            bandwidth: 12.5e6,
+            send_cpu_base: 2_000.0,
+            send_cpu_per_byte: 0.25,
+            recv_cpu_base: 2_000.0,
+            recv_cpu_per_byte: 0.25,
+            self_bandwidth: 400.0e6,
+        }
+    }
+}
+
+impl Default for NetParams {
+    fn default() -> Self {
+        NetParams::ethernet_100mbps()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_sane() {
+        let x = NodeSpec::xeon_550();
+        let u = NodeSpec::ultra5_360();
+        assert!(x.speed > u.speed);
+        let n = NetParams::ethernet_100mbps();
+        assert!(n.bandwidth > 1e6 && n.latency > SimDur::ZERO);
+        let os = OsParams::default();
+        assert_eq!(os.quantum, SimDur::from_millis(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_speed_rejected() {
+        let _ = NodeSpec::with_speed(0.0);
+    }
+}

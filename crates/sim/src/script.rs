@@ -1,0 +1,128 @@
+//! Load scripts: scheduled competing-process changes.
+//!
+//! The paper's experiments script load changes like "start one competing
+//! process on node 0 at the 10th iteration" (§5.1) or "terminate the
+//! competing process at the end of the second period" (§5.2). A
+//! [`LoadScript`] expresses both time-based and phase-cycle-based triggers.
+
+use crate::time::SimTime;
+
+/// When a load change fires.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Trigger {
+    /// At an absolute virtual time.
+    AtTime(SimTime),
+    /// When the target node's application completes its n-th phase cycle
+    /// (1-based: `AtPhaseCycle(10)` fires at the end of cycle 10).
+    AtPhaseCycle(u64),
+}
+
+/// One scripted change: set the competing-process count on a node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LoadEvent {
+    pub node: usize,
+    pub trigger: Trigger,
+    pub ncp: u32,
+}
+
+/// A full experiment load schedule.
+#[derive(Clone, Debug, Default)]
+pub struct LoadScript {
+    events: Vec<LoadEvent>,
+}
+
+impl LoadScript {
+    /// An empty script: all nodes stay dedicated.
+    pub fn dedicated() -> Self {
+        LoadScript::default()
+    }
+
+    /// Adds a time-triggered change.
+    pub fn at_time(mut self, node: usize, t: SimTime, ncp: u32) -> Self {
+        self.events.push(LoadEvent {
+            node,
+            trigger: Trigger::AtTime(t),
+            ncp,
+        });
+        self
+    }
+
+    /// Adds a phase-cycle-triggered change.
+    pub fn at_cycle(mut self, node: usize, cycle: u64, ncp: u32) -> Self {
+        assert!(cycle > 0, "phase cycles are 1-based");
+        self.events.push(LoadEvent {
+            node,
+            trigger: Trigger::AtPhaseCycle(cycle),
+            ncp,
+        });
+        self
+    }
+
+    /// All events, in insertion order.
+    pub fn events(&self) -> &[LoadEvent] {
+        &self.events
+    }
+
+    /// Splits the script per node: `(time events, cycle events)`, each
+    /// sorted by their trigger. Used by the cluster builder.
+    pub fn split_for_node(&self, node: usize) -> (Vec<(SimTime, u32)>, Vec<(u64, u32)>) {
+        let mut times = Vec::new();
+        let mut cycles = Vec::new();
+        for e in &self.events {
+            if e.node != node {
+                continue;
+            }
+            match e.trigger {
+                Trigger::AtTime(t) => times.push((t, e.ncp)),
+                Trigger::AtPhaseCycle(c) => cycles.push((c, e.ncp)),
+            }
+        }
+        times.sort_by_key(|&(t, _)| t);
+        cycles.sort_by_key(|&(c, _)| c);
+        (times, cycles)
+    }
+
+    /// True when the script never loads any node.
+    pub fn is_dedicated(&self) -> bool {
+        self.events.iter().all(|e| e.ncp == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_filters_and_sorts() {
+        let s = LoadScript::dedicated()
+            .at_cycle(1, 20, 0)
+            .at_cycle(1, 10, 1)
+            .at_time(0, SimTime::from_secs(5), 2)
+            .at_time(0, SimTime::from_secs(1), 1)
+            .at_cycle(2, 3, 1);
+        let (t0, c0) = s.split_for_node(0);
+        assert_eq!(
+            t0,
+            vec![(SimTime::from_secs(1), 1), (SimTime::from_secs(5), 2)]
+        );
+        assert!(c0.is_empty());
+        let (t1, c1) = s.split_for_node(1);
+        assert!(t1.is_empty());
+        assert_eq!(c1, vec![(10, 1), (20, 0)]);
+        let (_, c2) = s.split_for_node(2);
+        assert_eq!(c2, vec![(3, 1)]);
+    }
+
+    #[test]
+    fn dedicated_detection() {
+        assert!(LoadScript::dedicated().is_dedicated());
+        assert!(LoadScript::dedicated().at_cycle(0, 5, 0).is_dedicated());
+        assert!(!LoadScript::dedicated().at_cycle(0, 5, 1).is_dedicated());
+    }
+
+    #[test]
+    #[should_panic(expected = "1-based")]
+    fn cycle_zero_rejected() {
+        let _ = LoadScript::dedicated().at_cycle(0, 0, 1);
+    }
+}

@@ -1,0 +1,133 @@
+//! Piecewise-constant competing-process timelines.
+//!
+//! Each node carries a timeline of how many synthetic competing processes
+//! (CPs) are runnable on it over virtual time. Pre-scripted changes are
+//! seeded before the run; dynamic changes (e.g. "introduce a CP when this
+//! node finishes its 10th phase cycle") append entries at the current time.
+
+use crate::time::SimTime;
+
+/// Number of competing processes on one node over time.
+///
+/// Invariant: `changes` is sorted by time; the value before the first entry
+/// is 0. Later entries at an equal time override earlier ones.
+#[derive(Clone, Debug, Default)]
+pub struct NcpTimeline {
+    changes: Vec<(SimTime, u32)>,
+}
+
+impl NcpTimeline {
+    /// An initially unloaded node.
+    pub fn new() -> Self {
+        NcpTimeline::default()
+    }
+
+    /// Appends a change at `t`. `t` must not precede the last recorded
+    /// change (timelines only grow forward).
+    pub fn set(&mut self, t: SimTime, ncp: u32) {
+        if let Some(&(last, v)) = self.changes.last() {
+            assert!(t >= last, "timeline change out of order: {t:?} < {last:?}");
+            if v == ncp {
+                return; // no-op change; keep the timeline minimal
+            }
+            if last == t {
+                // Same-instant override.
+                self.changes.last_mut().unwrap().1 = ncp;
+                return;
+            }
+        } else if ncp == 0 {
+            return; // implicit initial value
+        }
+        self.changes.push((t, ncp));
+    }
+
+    /// The competing-process count in effect at instant `t`.
+    pub fn at(&self, t: SimTime) -> u32 {
+        match self.changes.partition_point(|&(ct, _)| ct <= t) {
+            0 => 0,
+            i => self.changes[i - 1].1,
+        }
+    }
+
+    /// The next instant strictly after `t` at which the count changes,
+    /// if any change is already recorded.
+    pub fn next_change_after(&self, t: SimTime) -> Option<SimTime> {
+        let i = self.changes.partition_point(|&(ct, _)| ct <= t);
+        self.changes.get(i).map(|&(ct, _)| ct)
+    }
+
+    /// All recorded change points (for reports and tests).
+    pub fn changes(&self) -> &[(SimTime, u32)] {
+        &self.changes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(x: u64) -> SimTime {
+        SimTime::from_secs(x)
+    }
+
+    #[test]
+    fn empty_timeline_is_unloaded() {
+        let tl = NcpTimeline::new();
+        assert_eq!(tl.at(SimTime::ZERO), 0);
+        assert_eq!(tl.at(s(100)), 0);
+        assert_eq!(tl.next_change_after(SimTime::ZERO), None);
+    }
+
+    #[test]
+    fn step_function_semantics() {
+        let mut tl = NcpTimeline::new();
+        tl.set(s(10), 1);
+        tl.set(s(20), 3);
+        tl.set(s(30), 0);
+        assert_eq!(tl.at(s(9)), 0);
+        assert_eq!(tl.at(s(10)), 1); // change takes effect at its instant
+        assert_eq!(tl.at(s(19)), 1);
+        assert_eq!(tl.at(s(20)), 3);
+        assert_eq!(tl.at(s(29)), 3);
+        assert_eq!(tl.at(s(30)), 0);
+        assert_eq!(tl.at(s(1000)), 0);
+    }
+
+    #[test]
+    fn next_change_lookup() {
+        let mut tl = NcpTimeline::new();
+        tl.set(s(10), 1);
+        tl.set(s(20), 2);
+        assert_eq!(tl.next_change_after(SimTime::ZERO), Some(s(10)));
+        assert_eq!(tl.next_change_after(s(10)), Some(s(20)));
+        assert_eq!(tl.next_change_after(s(20)), None);
+    }
+
+    #[test]
+    fn same_instant_override_and_noop_dedup() {
+        let mut tl = NcpTimeline::new();
+        tl.set(s(5), 1);
+        tl.set(s(5), 2);
+        assert_eq!(tl.at(s(5)), 2);
+        assert_eq!(tl.changes().len(), 1);
+        tl.set(s(6), 2); // no-op
+        assert_eq!(tl.changes().len(), 1);
+        tl.set(SimTime::from_secs(7), 0);
+        assert_eq!(tl.changes().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of order")]
+    fn out_of_order_rejected() {
+        let mut tl = NcpTimeline::new();
+        tl.set(s(10), 1);
+        tl.set(s(5), 2);
+    }
+
+    #[test]
+    fn leading_zero_is_implicit() {
+        let mut tl = NcpTimeline::new();
+        tl.set(SimTime::ZERO, 0);
+        assert!(tl.changes().is_empty());
+    }
+}

@@ -1,0 +1,139 @@
+//! Property tests on the simulator's core guarantees: fair-share CPU
+//! scheduling, monotone network delivery, and whole-run determinism under
+//! arbitrary load scripts.
+
+use dynmpi_sim::{Cluster, CpuSched, LoadScript, NetParams, Network, NodeSpec, OsParams, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Long computations get exactly a 1/(ncp+1) CPU share, whatever the
+    /// rotation hash does.
+    #[test]
+    fn cpu_share_matches_relative_power(
+        ncp in 0u32..5,
+        speed in 1.0e5f64..1.0e7,
+        work_secs in 0.5f64..3.0,
+        start_ms in 0u64..100,
+    ) {
+        let s = CpuSched::new(NodeSpec::with_speed(speed), OsParams::default());
+        let work = work_secs * speed;
+        let mut t = SimTime::from_millis(start_ms);
+        let t0 = t;
+        let mut remaining = work;
+        let mut cpu = 0.0f64;
+        for _ in 0..5_000_000u64 {
+            let seg = s.segment(t, ncp, None, remaining);
+            if seg.work_done > 0.0 {
+                cpu += (seg.end - t).as_secs_f64();
+            }
+            remaining -= seg.work_done;
+            t = seg.end;
+            if seg.completed {
+                break;
+            }
+        }
+        prop_assert!(remaining <= 0.0 || remaining < 1e-6);
+        let wall = (t - t0).as_secs_f64();
+        let share = cpu / wall;
+        let expect = 1.0 / f64::from(ncp + 1);
+        // Within one scheduling round of exact fairness.
+        prop_assert!(
+            (share - expect).abs() < 0.05 * expect + 0.02,
+            "ncp={ncp}: share {share} vs {expect}"
+        );
+        prop_assert!((cpu - work_secs).abs() < 1e-3, "cpu {cpu} vs {work_secs}");
+    }
+
+    /// Per-pair network deliveries are monotone (FIFO) and never precede
+    /// latency + serialization.
+    #[test]
+    fn network_delivery_monotone_and_lower_bounded(
+        sizes in prop::collection::vec(0usize..100_000, 1..40),
+        src in 0usize..4,
+        dst in 0usize..4,
+    ) {
+        let p = NetParams::ethernet_100mbps();
+        let mut net = Network::new(4, p);
+        let mut last = SimTime::ZERO;
+        for (k, &bytes) in sizes.iter().enumerate() {
+            let t = SimTime::from_micros(k as u64 * 50);
+            let arr = net.deliver_at(src, dst, bytes, t);
+            prop_assert!(arr >= last, "FIFO violated");
+            if src != dst {
+                let min = t + Network::isolated_cost(&p, bytes);
+                prop_assert!(arr >= min, "arrived before physics allows");
+            }
+            last = arr;
+        }
+        prop_assert_eq!(net.message_count(), sizes.len() as u64);
+    }
+
+    /// Whole simulated runs are a pure function of their inputs, for any
+    /// load script.
+    #[test]
+    fn runs_are_deterministic_under_random_scripts(
+        changes in prop::collection::vec((0usize..3, 1u64..50, 0u32..4), 0..6),
+        work in 1.0e3f64..1.0e5,
+    ) {
+        let mk = || {
+            let mut script = LoadScript::dedicated();
+            for &(node, at_ms, ncp) in &changes {
+                script = script.at_time(node, SimTime::from_millis(at_ms), ncp);
+            }
+            let c = Cluster::homogeneous(3, NodeSpec::with_speed(1e6)).with_script(script);
+            let out = c.run_spmd(|ctx| {
+                let me = ctx.rank();
+                let next = (me + 1) % 3;
+                let prev = (me + 2) % 3;
+                for i in 0..10u64 {
+                    ctx.advance(work);
+                    ctx.send(next, 1, vec![me as u8, i as u8]);
+                    let _ = ctx.recv(prev, 1);
+                }
+                ctx.now()
+            });
+            (out.results, out.report.finish_time, out.report.net_bytes)
+        };
+        prop_assert_eq!(mk(), mk());
+    }
+
+    /// CPU accounting is conserved: exact cpu time equals requested work
+    /// over speed, independent of interleaved blocking.
+    #[test]
+    fn cpu_accounting_is_exact(
+        bursts in prop::collection::vec(10.0f64..5_000.0, 1..20),
+        ncp in 0u32..3,
+    ) {
+        let total: f64 = bursts.iter().sum();
+        let script = LoadScript::dedicated().at_time(0, SimTime::ZERO, ncp);
+        let c = Cluster::homogeneous(2, NodeSpec::with_speed(1e6)).with_script(script);
+        let bursts2 = bursts.clone();
+        let out = c.run_spmd(move |ctx| {
+            if ctx.rank() == 0 {
+                for (i, w) in bursts2.iter().enumerate() {
+                    ctx.advance(*w);
+                    ctx.send(1, 7, vec![i as u8]);
+                    let _ = ctx.recv(1, 8);
+                }
+            } else {
+                for (i, _) in bursts2.iter().enumerate() {
+                    let _ = ctx.recv(0, 7);
+                    ctx.send(0, 8, vec![i as u8]);
+                }
+            }
+            ctx.cpu_time_exact().as_secs_f64()
+        });
+        // Rank 0's CPU = bursts plus per-message send/recv CPU costs.
+        let n_msgs = bursts.len() as f64;
+        let msg_cpu = n_msgs * (2.0 * 2_000.0 + 0.25 * 2.0) / 1e6;
+        let expect = total / 1e6 + msg_cpu;
+        prop_assert!(
+            (out.results[0] - expect).abs() < 1e-3,
+            "cpu {} vs {}",
+            out.results[0],
+            expect
+        );
+    }
+}

@@ -1,0 +1,16 @@
+//! # dynmpi-suite — umbrella crate
+//!
+//! Re-exports the full Dyn-MPI reproduction stack and hosts the runnable
+//! examples (`examples/`) and cross-crate integration tests (`tests/`).
+//!
+//! * [`sim`] — deterministic virtual-time cluster simulator,
+//! * [`comm`] — MPI-like transports and collectives,
+//! * [`runtime`] — the Dyn-MPI runtime itself,
+//! * [`apps`] — the paper's four benchmark applications.
+//!
+//! See `README.md` for a tour and `DESIGN.md` for the system inventory.
+
+pub use dynmpi as runtime;
+pub use dynmpi_apps as apps;
+pub use dynmpi_comm as comm;
+pub use dynmpi_sim as sim;
