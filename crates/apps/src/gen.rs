@@ -4,8 +4,31 @@
 //! keeps only what it owns — the standard trick for reproducible
 //! distributed initialization without an input file.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+/// Minimal SplitMix64 generator so workload generation needs no external
+/// crates and stays bit-identical across platforms.
+struct GenRng(u64);
+
+impl GenRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn index(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+
+    fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + self.unit_f64() * (hi - lo)
+    }
+}
 
 /// A symmetric, diagonally dominant (hence SPD) sparse matrix in
 /// coordinate form: `(row, col, value)` with both triangle entries
@@ -13,14 +36,14 @@ use rand::{Rng, SeedableRng};
 /// the NAS CG benchmark at an adjustable density.
 pub fn spd_coords(n: usize, offdiag_per_row: usize, seed: u64) -> Vec<(usize, u32, f64)> {
     assert!(n >= 2);
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = GenRng(seed);
     let mut upper: Vec<(usize, usize, f64)> = Vec::with_capacity(n * offdiag_per_row / 2);
     for i in 0..n {
         for _ in 0..offdiag_per_row.div_ceil(2) {
-            let j = rng.gen_range(0..n);
+            let j = rng.index(n);
             if j != i {
                 let (a, b) = if i < j { (i, j) } else { (j, i) };
-                let v = rng.gen_range(0.01..1.0);
+                let v = rng.range_f64(0.01, 1.0);
                 upper.push((a, b, v));
             }
         }
@@ -52,12 +75,12 @@ pub fn particle_counts(
     hot_rows: std::ops::Range<usize>,
     seed: u64,
 ) -> Vec<Vec<f64>> {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = GenRng(seed);
     (0..rows)
         .map(|i| {
             let level = if hot_rows.contains(&i) { hot } else { base };
             (0..cols)
-                .map(|_| (level + rng.gen_range(0.0..1.0)).floor())
+                .map(|_| (level + rng.unit_f64()).floor())
                 .collect()
         })
         .collect()
@@ -75,12 +98,12 @@ mod tests {
         for &(i, j, v) in &coords {
             dense[i][j as usize] += v; // duplicates accumulate on both sides
         }
-        for i in 0..n {
-            for j in 0..n {
-                assert!((dense[i][j] - dense[j][i]).abs() < 1e-12, "asym at {i},{j}");
+        for (i, row) in dense.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                assert!((v - dense[j][i]).abs() < 1e-12, "asym at {i},{j}");
             }
-            let off: f64 = (0..n).filter(|&j| j != i).map(|j| dense[i][j].abs()).sum();
-            assert!(dense[i][i] > off, "row {i} not dominant");
+            let off: f64 = (0..n).filter(|&j| j != i).map(|j| row[j].abs()).sum();
+            assert!(row[i] > off, "row {i} not dominant");
         }
     }
 

@@ -3,8 +3,8 @@
 
 use dynmpi::DynMpiConfig;
 use dynmpi_comm::SimTransport;
+use dynmpi_obs::{Json, Recorder};
 use dynmpi_sim::{Cluster, LoadScript, NetParams, NodeSpec, OsParams};
-use serde::Serialize;
 
 use crate::cg::{self, CgParams};
 use crate::jacobi::{self, JacobiParams};
@@ -129,7 +129,7 @@ impl SimRunResult {
 }
 
 /// One row of a figure table, serializable for EXPERIMENTS.md.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct ResultRow {
     pub figure: String,
     pub app: String,
@@ -139,12 +139,34 @@ pub struct ResultRow {
     pub normalized: f64,
 }
 
+impl ResultRow {
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("figure", Json::str(self.figure.clone())),
+            ("app", Json::str(self.app.clone())),
+            ("nodes", Json::UInt(self.nodes as u64)),
+            ("variant", Json::str(self.variant.clone())),
+            ("seconds", Json::Num(self.seconds)),
+            ("normalized", Json::Num(self.normalized)),
+        ])
+    }
+}
+
 /// Runs an experiment on the virtual cluster.
 pub fn run_sim(exp: &Experiment) -> SimRunResult {
-    let cluster = Cluster::homogeneous(exp.nodes, exp.node_spec)
+    run_sim_with(exp, None)
+}
+
+/// Runs an experiment, optionally attaching an observability [`Recorder`]:
+/// every rank then emits virtual-time trace spans and metrics into it.
+pub fn run_sim_with(exp: &Experiment, recorder: Option<Recorder>) -> SimRunResult {
+    let mut cluster = Cluster::homogeneous(exp.nodes, exp.node_spec)
         .with_os(exp.os)
         .with_net(exp.net)
         .with_script(exp.script.clone());
+    if let Some(r) = recorder {
+        cluster = cluster.with_recorder(r);
+    }
     let app = exp.app.clone();
     let cfg = exp.cfg.clone();
     let out = cluster.run_spmd(move |ctx| {

@@ -143,9 +143,7 @@ fn sweep_row(src: &DenseMatrix<f64>, dst: &mut DenseMatrix<f64>, i: usize, n: us
     // Preserve the fixed boundary columns from the destination's own
     // initial condition.
     let d = dst.row_mut(i);
-    for j in 1..n - 1 {
-        d[j] = out[j];
-    }
+    d[1..n - 1].copy_from_slice(&out[1..n - 1]);
 }
 
 #[cfg(test)]

@@ -1,46 +1,25 @@
-//! Criterion bench behind Figure 3: memory work of the two allocation
+//! Micro-bench behind Figure 3: memory work of the two allocation
 //! schemes when the held row range shifts.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dynmpi::{ContiguousMatrix, DenseMatrix, RedistArray, RowSet};
+use dynmpi_testkit::bench;
 
-fn bench_alloc(c: &mut Criterion) {
+fn main() {
     let n = 1024;
     let row_len = 1024;
-    let mut g = c.benchmark_group("fig3_alloc");
+    println!("== fig3_alloc ==");
     for moved in [8usize, 64, 256] {
-        g.bench_with_input(BenchmarkId::new("projected", moved), &moved, |b, &moved| {
-            b.iter_batched(
-                || {
-                    let mut m = DenseMatrix::<f64>::new(n, row_len);
-                    m.fill_rows(&RowSet::from_range(0..n / 2), |i, j| (i + j) as f64);
-                    m
-                },
-                |mut m| {
-                    m.drop_rows(&RowSet::from_range(0..moved));
-                    m.alloc_rows(&RowSet::from_range(n / 2..n / 2 + moved));
-                    m
-                },
-                criterion::BatchSize::LargeInput,
-            )
+        bench(&format!("projected/{moved}"), || {
+            let mut m = DenseMatrix::<f64>::new(n, row_len);
+            m.fill_rows(&RowSet::from_range(0..n / 2), |i, j| (i + j) as f64);
+            m.drop_rows(&RowSet::from_range(0..moved));
+            m.alloc_rows(&RowSet::from_range(n / 2..n / 2 + moved));
+            m
         });
-        g.bench_with_input(
-            BenchmarkId::new("contiguous", moved),
-            &moved,
-            |b, &moved| {
-                b.iter_batched(
-                    || ContiguousMatrix::<f64>::new(n, row_len, 0, n / 2),
-                    |mut m| {
-                        m.reshape(moved, n / 2 + moved);
-                        m
-                    },
-                    criterion::BatchSize::LargeInput,
-                )
-            },
-        );
+        bench(&format!("contiguous/{moved}"), || {
+            let mut m = ContiguousMatrix::<f64>::new(n, row_len, 0, n / 2);
+            m.reshape(moved, n / 2 + moved);
+            m
+        });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_alloc);
-criterion_main!(benches);

@@ -1,11 +1,11 @@
 //! Distribution-algorithm throughput: the balancer runs on every
 //! grace-period exit, so it must be cheap even for large row spaces.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dynmpi::{relative_power, successive_balance, CommModel, NodeLoad};
+use dynmpi_testkit::bench;
 
-fn bench_balancers(c: &mut Criterion) {
-    let mut g = c.benchmark_group("balancers");
+fn main() {
+    println!("== balancers ==");
     for nrows in [2_048usize, 16_384, 131_072] {
         let weights: Vec<f64> = (0..nrows).map(|i| 1.0 + (i % 13) as f64 * 0.1).collect();
         let loads: Vec<NodeLoad> = (0..32)
@@ -19,17 +19,11 @@ fn bench_balancers(c: &mut Criterion) {
             quantum: 0.010,
             wait_factor: 0.05,
         };
-        g.bench_with_input(BenchmarkId::new("relative_power", nrows), &nrows, |b, _| {
-            b.iter(|| relative_power(&weights, &loads, 0))
+        bench(&format!("relative_power/{nrows}"), || {
+            relative_power(&weights, &loads, 0)
         });
-        g.bench_with_input(
-            BenchmarkId::new("successive_balance", nrows),
-            &nrows,
-            |b, _| b.iter(|| successive_balance(&weights, &loads, &comm, 0)),
-        );
+        bench(&format!("successive_balance/{nrows}"), || {
+            successive_balance(&weights, &loads, &comm, 0)
+        });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_balancers);
-criterion_main!(benches);

@@ -1,37 +1,28 @@
 //! Collective-operation throughput on the real thread transport.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dynmpi_comm::{run_threads, CommOps, Group, Transport};
+use dynmpi_testkit::bench;
 
-fn bench_collectives(c: &mut Criterion) {
-    let mut g = c.benchmark_group("collectives");
-    g.sample_size(10);
+fn main() {
+    println!("== collectives ==");
     for ranks in [4usize, 8] {
-        g.bench_with_input(BenchmarkId::new("allreduce_1k", ranks), &ranks, |b, &n| {
-            b.iter(|| {
-                run_threads(n, |t| {
-                    let g = Group::world(t.rank(), t.size());
-                    let data = vec![t.rank() as f64; 1024];
-                    for _ in 0..16 {
-                        let _ = t.allreduce_sum_f64(&g, &data);
-                    }
-                })
+        bench(&format!("allreduce_1k/{ranks}"), || {
+            run_threads(ranks, |t| {
+                let g = Group::world(t.rank(), t.size());
+                let data = vec![t.rank() as f64; 1024];
+                for _ in 0..16 {
+                    let _ = t.allreduce_sum_f64(&g, &data);
+                }
             })
         });
-        g.bench_with_input(BenchmarkId::new("allgatherv_4k", ranks), &ranks, |b, &n| {
-            b.iter(|| {
-                run_threads(n, |t| {
-                    let g = Group::world(t.rank(), t.size());
-                    let data = vec![t.rank() as f64; 4096];
-                    for _ in 0..8 {
-                        let _ = t.allgatherv(&g, &data);
-                    }
-                })
+        bench(&format!("allgatherv_4k/{ranks}"), || {
+            run_threads(ranks, |t| {
+                let g = Group::world(t.rank(), t.size());
+                let data = vec![t.rank() as f64; 4096];
+                for _ in 0..8 {
+                    let _ = t.allgatherv(&g, &data);
+                }
             })
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_collectives);
-criterion_main!(benches);

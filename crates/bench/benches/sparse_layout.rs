@@ -2,11 +2,11 @@
 //! vs scanning packed vectors (the paper notes users can convert to their
 //! own format between redistributions).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dynmpi::SparseRow;
+use dynmpi_testkit::bench;
 
-fn bench_sparse(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sparse_row");
+fn main() {
+    println!("== sparse_row ==");
     for nnz in [128usize, 1024, 8192] {
         let mut row = SparseRow::<f64>::new();
         for k in (0..nnz as u32).rev() {
@@ -14,33 +14,23 @@ fn bench_sparse(c: &mut Criterion) {
         }
         let (cols, vals) = row.to_vectors();
         let x: Vec<f64> = (0..nnz * 3).map(|i| i as f64 * 0.5).collect();
-        g.bench_with_input(BenchmarkId::new("list_dot", nnz), &nnz, |b, _| {
-            b.iter(|| {
-                let mut acc = 0.0;
-                for (cidx, v) in row.iter() {
-                    acc += v * x[cidx as usize];
-                }
-                acc
-            })
+        bench(&format!("list_dot/{nnz}"), || {
+            let mut acc = 0.0;
+            for (cidx, v) in row.iter() {
+                acc += v * x[cidx as usize];
+            }
+            acc
         });
-        g.bench_with_input(BenchmarkId::new("vector_dot", nnz), &nnz, |b, _| {
-            b.iter(|| {
-                let mut acc = 0.0;
-                for (cidx, v) in cols.iter().zip(&vals) {
-                    acc += v * x[*cidx as usize];
-                }
-                acc
-            })
+        bench(&format!("vector_dot/{nnz}"), || {
+            let mut acc = 0.0;
+            for (cidx, v) in cols.iter().zip(&vals) {
+                acc += v * x[*cidx as usize];
+            }
+            acc
         });
-        g.bench_with_input(BenchmarkId::new("pack_unpack", nnz), &nnz, |b, _| {
-            b.iter(|| {
-                let (c2, v2) = row.to_vectors();
-                SparseRow::from_vectors(&c2, &v2).nnz()
-            })
+        bench(&format!("pack_unpack/{nnz}"), || {
+            let (c2, v2) = row.to_vectors();
+            SparseRow::from_vectors(&c2, &v2).nnz()
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_sparse);
-criterion_main!(benches);

@@ -8,10 +8,9 @@ use dynmpi::{BalancerKind, DropPolicy, DynMpiConfig};
 use dynmpi_apps::harness::{run_sim, AppSpec, Experiment};
 use dynmpi_apps::sor::SorParams;
 use dynmpi_bench::{fmt_s, print_table, write_rows, BenchArgs};
+use dynmpi_obs::Json;
 use dynmpi_sim::{LoadScript, NodeSpec};
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     table: &'static str,
     nodes: usize,
@@ -19,6 +18,19 @@ struct Row {
     naive_cycle_s: f64,
     sb_cycle_s: f64,
     gain_pct: f64,
+}
+
+impl Row {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("table", Json::str(self.table)),
+            ("nodes", Json::UInt(self.nodes as u64)),
+            ("cps", Json::UInt(u64::from(self.cps))),
+            ("naive_cycle_s", Json::Num(self.naive_cycle_s)),
+            ("sb_cycle_s", Json::Num(self.sb_cycle_s)),
+            ("gain_pct", Json::Num(self.gain_pct)),
+        ])
+    }
 }
 
 fn main() {
@@ -81,5 +93,6 @@ fn main() {
         &["nodes", "CPs", "naive(s)", "succ-bal(s)", "gain"],
         &table,
     );
-    write_rows(&args.out_dir, "ablation_balancer", &rows);
+    let json_rows: Vec<Json> = rows.iter().map(Row::to_json).collect();
+    write_rows(&args.out_dir, "ablation_balancer", &json_rows);
 }

@@ -10,10 +10,9 @@ use dynmpi::{DropPolicy, DynMpiConfig};
 use dynmpi_apps::harness::{run_sim, AppSpec, Experiment};
 use dynmpi_apps::sor::SorParams;
 use dynmpi_bench::{fmt_s, print_table, write_rows, BenchArgs};
+use dynmpi_obs::Json;
 use dynmpi_sim::{LoadScript, NodeSpec};
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     table: &'static str,
     nodes: usize,
@@ -21,6 +20,19 @@ struct Row {
     logical_cycle_s: f64,
     physical_cycle_s: f64,
     physical_gain_pct: f64,
+}
+
+impl Row {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("table", Json::str(self.table)),
+            ("nodes", Json::UInt(self.nodes as u64)),
+            ("cps", Json::UInt(u64::from(self.cps))),
+            ("logical_cycle_s", Json::Num(self.logical_cycle_s)),
+            ("physical_cycle_s", Json::Num(self.physical_cycle_s)),
+            ("physical_gain_pct", Json::Num(self.physical_gain_pct)),
+        ])
+    }
 }
 
 fn main() {
@@ -82,5 +94,6 @@ fn main() {
         &["nodes", "CPs", "logical(s)", "physical(s)", "physical gain"],
         &table,
     );
-    write_rows(&args.out_dir, "ablation_drop_mode", &rows);
+    let json_rows: Vec<Json> = rows.iter().map(Row::to_json).collect();
+    write_rows(&args.out_dir, "ablation_drop_mode", &json_rows);
 }

@@ -7,16 +7,27 @@
 //! monitors report against the truth, per sampled second.
 
 use dynmpi_bench::{print_table, write_rows, BenchArgs};
+use dynmpi_obs::Json;
 use dynmpi_sim::{Cluster, LoadScript, NodeSpec, SimTime};
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     table: &'static str,
     ncp: u32,
     samples: usize,
     dmpi_ps_correct_pct: f64,
     vmstat_correct_pct: f64,
+}
+
+impl Row {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("table", Json::str(self.table)),
+            ("ncp", Json::UInt(u64::from(self.ncp))),
+            ("samples", Json::UInt(self.samples as u64)),
+            ("dmpi_ps_correct_pct", Json::Num(self.dmpi_ps_correct_pct)),
+            ("vmstat_correct_pct", Json::Num(self.vmstat_correct_pct)),
+        ])
+    }
 }
 
 fn main() {
@@ -89,5 +100,6 @@ fn main() {
         "\n`dmpi_ps` always counts the monitored application (§4.2); `vmstat` misses it \
          whenever the sample lands while it is blocked at a receive."
     );
-    write_rows(&args.out_dir, "ablation_monitor", &rows);
+    let json_rows: Vec<Json> = rows.iter().map(Row::to_json).collect();
+    write_rows(&args.out_dir, "ablation_monitor", &json_rows);
 }

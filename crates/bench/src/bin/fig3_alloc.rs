@@ -10,9 +10,8 @@ use std::time::Instant;
 
 use dynmpi::{ContiguousMatrix, DenseMatrix, RedistArray, RowSet, SparseMatrix};
 use dynmpi_bench::{print_table, write_rows, BenchArgs};
-use serde::Serialize;
+use dynmpi_obs::Json;
 
-#[derive(Serialize)]
 struct Row {
     figure: &'static str,
     kind: &'static str,
@@ -22,6 +21,21 @@ struct Row {
     micros: f64,
     bytes_allocated: u64,
     bytes_copied: u64,
+}
+
+impl Row {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("figure", Json::str(self.figure)),
+            ("kind", Json::str(self.kind)),
+            ("rows_total", Json::UInt(self.rows_total as u64)),
+            ("rows_moved", Json::UInt(self.rows_moved as u64)),
+            ("scheme", Json::str(self.scheme)),
+            ("micros", Json::Num(self.micros)),
+            ("bytes_allocated", Json::UInt(self.bytes_allocated)),
+            ("bytes_copied", Json::UInt(self.bytes_copied)),
+        ])
+    }
 }
 
 fn main() {
@@ -136,5 +150,6 @@ fn main() {
         "\nThe projection scheme touches only the moved rows; contiguous allocation \
          reallocates and copies the node's entire partition (§4.1, Figure 3)."
     );
-    write_rows(&args.out_dir, "fig3_alloc", &rows_out);
+    let json_rows: Vec<Json> = rows_out.iter().map(Row::to_json).collect();
+    write_rows(&args.out_dir, "fig3_alloc", &json_rows);
 }

@@ -8,15 +8,14 @@
 
 use dynmpi::DynMpiConfig;
 use dynmpi_apps::cg::CgParams;
-use dynmpi_apps::harness::{run_sim, AppSpec, Experiment};
+use dynmpi_apps::harness::{run_sim, run_sim_with, AppSpec, Experiment};
 use dynmpi_apps::jacobi::JacobiParams;
 use dynmpi_apps::particle::ParticleParams;
 use dynmpi_apps::sor::SorParams;
-use dynmpi_bench::{fmt_s, fmt_x, print_table, write_rows, BenchArgs};
+use dynmpi_bench::{fmt_s, fmt_x, log_info, print_table, write_rows, write_trace, BenchArgs};
+use dynmpi_obs::{Json, Recorder};
 use dynmpi_sim::{LoadScript, NodeSpec};
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     figure: &'static str,
     app: &'static str,
@@ -29,7 +28,25 @@ struct Row {
     redist_s: f64,
 }
 
-fn apps(quick: bool) -> Vec<(&'static str, Box<dyn Fn(usize) -> AppSpec>)> {
+impl Row {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("figure", Json::str(self.figure)),
+            ("app", Json::str(self.app)),
+            ("nodes", Json::UInt(self.nodes as u64)),
+            ("dedicated_s", Json::Num(self.dedicated_s)),
+            ("no_adapt_s", Json::Num(self.no_adapt_s)),
+            ("dynmpi_s", Json::Num(self.dynmpi_s)),
+            ("no_adapt_norm", Json::Num(self.no_adapt_norm)),
+            ("dynmpi_norm", Json::Num(self.dynmpi_norm)),
+            ("redist_s", Json::Num(self.redist_s)),
+        ])
+    }
+}
+
+type AppCtor = Box<dyn Fn(usize) -> AppSpec>;
+
+fn apps(quick: bool) -> Vec<(&'static str, AppCtor)> {
     let scale = |full: usize, quick_v: usize| if quick { quick_v } else { full };
     let n_jac = scale(2048, 512);
     let it_jac = scale(250, 100);
@@ -87,6 +104,10 @@ fn apps(quick: bool) -> Vec<(&'static str, Box<dyn Fn(usize) -> AppSpec>)> {
 fn main() {
     let args = BenchArgs::parse();
 
+    // With --trace-out, the first Dyn-MPI run (the smallest adaptive
+    // configuration) is recorded; later runs would overlay the same
+    // virtual-time axis in one trace file.
+    let mut recorder: Option<Recorder> = None;
     let mut rows = Vec::new();
     let mut table = Vec::new();
     for (name, mk) in apps(args.quick) {
@@ -117,11 +138,19 @@ fn main() {
                     .with_cfg(DynMpiConfig::no_adapt())
                     .with_script(loaded_script.clone()),
             );
-            let dyn_ = run_sim(
+            let run_rec = if args.trace_out.is_some() && recorder.is_none() {
+                let r = Recorder::new();
+                recorder = Some(r.clone());
+                Some(r)
+            } else {
+                None
+            };
+            let dyn_ = run_sim_with(
                 &Experiment::new(spec, nodes)
                     .with_node_spec(node)
                     .with_cfg(DynMpiConfig::default())
                     .with_script(loaded_script.clone()),
+                run_rec,
             );
             let row = Row {
                 figure: "fig4",
@@ -144,9 +173,11 @@ fn main() {
                 fmt_x(row.dynmpi_norm),
                 fmt_s(row.redist_s),
             ]);
-            eprintln!(
+            log_info!(
                 "fig4 {name} n={nodes}: ded {:.2}s noadapt {:.2}s dynmpi {:.2}s",
-                ded.makespan, noad.makespan, dyn_.makespan
+                ded.makespan,
+                noad.makespan,
+                dyn_.makespan
             );
             rows.push(row);
         }
@@ -184,5 +215,9 @@ fn main() {
          best ratio {max_ratio:.2}× (paper: up to ~3×); slowdown vs dedicated mean \
          {mean_slow:.0}% (paper: 29% avg)"
     );
-    write_rows(&args.out_dir, "fig4_overall", &rows);
+    let json_rows: Vec<Json> = rows.iter().map(Row::to_json).collect();
+    write_rows(&args.out_dir, "fig4_overall", &json_rows);
+    if let (Some(path), Some(rec)) = (&args.trace_out, &recorder) {
+        write_trace(rec, path);
+    }
 }

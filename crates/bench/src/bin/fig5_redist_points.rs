@@ -13,13 +13,12 @@
 //! paying off.
 
 use dynmpi::{DropPolicy, DynMpiConfig};
-use dynmpi_apps::harness::{run_sim, AppSpec, Experiment};
+use dynmpi_apps::harness::{run_sim_with, AppSpec, Experiment};
 use dynmpi_apps::jacobi::JacobiParams;
-use dynmpi_bench::{fmt_s, print_table, write_rows, BenchArgs};
+use dynmpi_bench::{fmt_s, log_info, print_table, write_rows, write_trace, BenchArgs};
+use dynmpi_obs::{Json, Recorder};
 use dynmpi_sim::{LoadScript, NodeSpec};
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     figure: &'static str,
     execution: &'static str,
@@ -29,6 +28,21 @@ struct Row {
     period3_s: f64,
     redist_s: f64,
     total_s: f64,
+}
+
+impl Row {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("figure", Json::str(self.figure)),
+            ("execution", Json::str(self.execution)),
+            ("variant", Json::str(self.variant)),
+            ("period1_s", Json::Num(self.period1_s)),
+            ("period2_s", Json::Num(self.period2_s)),
+            ("period3_s", Json::Num(self.period3_s)),
+            ("redist_s", Json::Num(self.redist_s)),
+            ("total_s", Json::Num(self.total_s)),
+        ])
+    }
 }
 
 fn period_sum(per_rank: &[dynmpi_apps::AppResult], range: std::ops::Range<usize>) -> f64 {
@@ -51,6 +65,8 @@ fn main() {
     } else {
         (2048, NodeSpec::xeon_550())
     };
+    // --trace-out records the first adaptive arm (short, redist-once).
+    let mut recorder: Option<Recorder> = None;
     let mut rows = Vec::new();
     let mut table = Vec::new();
     for (execution, period) in [("short", 50usize), ("long", 500usize)] {
@@ -82,11 +98,20 @@ fn main() {
                 exercise_kernel: false,
                 rebalance_at: None,
             };
-            let r = run_sim(
+            let adaptive = variant != "no-redist";
+            let run_rec = if adaptive && args.trace_out.is_some() && recorder.is_none() {
+                let rec = Recorder::new();
+                recorder = Some(rec.clone());
+                Some(rec)
+            } else {
+                None
+            };
+            let r = run_sim_with(
                 &Experiment::new(AppSpec::Jacobi(p), 4)
                     .with_node_spec(node)
                     .with_cfg(cfg)
                     .with_script(script.clone()),
+                run_rec,
             );
             let row = Row {
                 figure: "fig5",
@@ -98,9 +123,13 @@ fn main() {
                 redist_s: r.redist_seconds(),
                 total_s: r.makespan,
             };
-            eprintln!(
+            log_info!(
                 "fig5 {execution} {variant}: total {:.2}s (p1 {:.2} p2 {:.2} p3 {:.2} redist {:.3})",
-                row.total_s, row.period1_s, row.period2_s, row.period3_s, row.redist_s
+                row.total_s,
+                row.period1_s,
+                row.period2_s,
+                row.period3_s,
+                row.redist_s
             );
             table.push(vec![
                 execution.to_string(),
@@ -147,5 +176,9 @@ fn main() {
             (once - twice) / once * 100.0,
         );
     }
-    write_rows(&args.out_dir, "fig5_redist_points", &rows);
+    let json_rows: Vec<Json> = rows.iter().map(Row::to_json).collect();
+    write_rows(&args.out_dir, "fig5_redist_points", &json_rows);
+    if let (Some(path), Some(rec)) = (&args.trace_out, &recorder) {
+        write_trace(rec, path);
+    }
 }

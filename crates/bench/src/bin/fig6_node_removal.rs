@@ -9,13 +9,12 @@
 //! when the computation/communication ratio is low.
 
 use dynmpi::{DropPolicy, DynMpiConfig};
-use dynmpi_apps::harness::{run_sim, AppSpec, Experiment};
+use dynmpi_apps::harness::{run_sim_with, AppSpec, Experiment};
 use dynmpi_apps::sor::SorParams;
-use dynmpi_bench::{fmt_s, print_table, write_rows, BenchArgs};
+use dynmpi_bench::{fmt_s, log_info, print_table, write_rows, write_trace, BenchArgs};
+use dynmpi_obs::{Json, Recorder};
 use dynmpi_sim::{LoadScript, NodeSpec};
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     figure: &'static str,
     nodes: usize,
@@ -24,6 +23,19 @@ struct Row {
     drop_cycle_s: f64,
     /// Positive: dropping is faster.
     drop_gain_pct: f64,
+}
+
+impl Row {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("figure", Json::str(self.figure)),
+            ("nodes", Json::UInt(self.nodes as u64)),
+            ("cps", Json::UInt(u64::from(self.cps))),
+            ("keep_cycle_s", Json::Num(self.keep_cycle_s)),
+            ("drop_cycle_s", Json::Num(self.drop_cycle_s)),
+            ("drop_gain_pct", Json::Num(self.drop_gain_pct)),
+        ])
+    }
 }
 
 /// Steady-state cycle time after adaptation settled, measured as the
@@ -42,20 +54,22 @@ fn main() {
         (1024, 150usize, NodeSpec::ultra5_360())
     };
     let extra = iters; // long run doubles the cycles
+                       // --trace-out records the first drop-enabled short run (8 nodes, 1 CP).
+    let mut recorder: Option<Recorder> = None;
     let mut rows = Vec::new();
     let mut table = Vec::new();
     for nodes in [8usize, 16, 32] {
         for cps in [1u32, 2, 3] {
             let script = LoadScript::dedicated().at_cycle(nodes - 1, 10, cps);
-            let run_pair = |policy: DropPolicy| {
-                let mk = |iters: usize| {
+            let run_pair = |policy: DropPolicy, rec: Option<Recorder>| {
+                let mk = |iters: usize, rec: Option<Recorder>| {
                     let p = SorParams {
                         n,
                         iters,
                         omega: 1.5,
                         exercise_kernel: false,
                     };
-                    run_sim(
+                    run_sim_with(
                         &Experiment::new(AppSpec::Sor(p), nodes)
                             .with_node_spec(node)
                             .with_cfg(DynMpiConfig {
@@ -63,14 +77,22 @@ fn main() {
                                 ..Default::default()
                             })
                             .with_script(script.clone()),
+                        rec,
                     )
                 };
-                let short = mk(iters);
-                let long = mk(iters + extra);
+                let short = mk(iters, rec);
+                let long = mk(iters + extra, None);
                 settled_cycle(short.makespan, long.makespan, extra)
             };
-            let kc = run_pair(DropPolicy::Never);
-            let dc = run_pair(DropPolicy::Always);
+            let run_rec = if args.trace_out.is_some() && recorder.is_none() {
+                let rec = Recorder::new();
+                recorder = Some(rec.clone());
+                Some(rec)
+            } else {
+                None
+            };
+            let kc = run_pair(DropPolicy::Never, None);
+            let dc = run_pair(DropPolicy::Always, run_rec);
             let row = Row {
                 figure: "fig6",
                 nodes,
@@ -79,7 +101,7 @@ fn main() {
                 drop_cycle_s: dc,
                 drop_gain_pct: (kc - dc) / kc * 100.0,
             };
-            eprintln!(
+            log_info!(
                 "fig6 nodes={nodes} cps={cps}: keep {kc:.4}s drop {dc:.4}s gain {:+.1}%",
                 row.drop_gain_pct
             );
@@ -102,5 +124,9 @@ fn main() {
         "\npaper shape: dropping always worse on 8 nodes; 16 nodes: +2/+7/+8 %; \
          32 nodes: +4/+14/+25 % for 1/2/3 CPs"
     );
-    write_rows(&args.out_dir, "fig6_node_removal", &rows);
+    let json_rows: Vec<Json> = rows.iter().map(Row::to_json).collect();
+    write_rows(&args.out_dir, "fig6_node_removal", &json_rows);
+    if let (Some(path), Some(rec)) = (&args.trace_out, &recorder) {
+        write_trace(rec, path);
+    }
 }

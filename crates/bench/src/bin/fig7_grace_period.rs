@@ -11,16 +11,26 @@
 use dynmpi::{DropPolicy, DynMpiConfig};
 use dynmpi_apps::harness::{run_sim, AppSpec, Experiment};
 use dynmpi_apps::particle::ParticleParams;
-use dynmpi_bench::{fmt_s, print_table, write_rows, BenchArgs};
+use dynmpi_bench::{fmt_s, log_info, print_table, write_rows, BenchArgs};
+use dynmpi_obs::Json;
 use dynmpi_sim::LoadScript;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     figure: &'static str,
     part: f64,
     gp: u32,
     settled_cycle_s: f64,
+}
+
+impl Row {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("figure", Json::str(self.figure)),
+            ("part", Json::Num(self.part)),
+            ("gp", Json::UInt(u64::from(self.gp))),
+            ("settled_cycle_s", Json::Num(self.settled_cycle_s)),
+        ])
+    }
 }
 
 fn main() {
@@ -58,7 +68,7 @@ fn main() {
                 gp,
                 settled_cycle_s: settled,
             };
-            eprintln!("fig7 part={part} gp={gp}: settled {settled:.4}s/cycle");
+            log_info!("fig7 part={part} gp={gp}: settled {settled:.4}s/cycle");
             table.push(vec![
                 format!("{part}"),
                 gp.to_string(),
@@ -86,5 +96,6 @@ fn main() {
             if part == 10.0 { 13 } else { 16 },
         );
     }
-    write_rows(&args.out_dir, "fig7_grace_period", &rows);
+    let json_rows: Vec<Json> = rows.iter().map(Row::to_json).collect();
+    write_rows(&args.out_dir, "fig7_grace_period", &json_rows);
 }

@@ -8,9 +8,8 @@
 
 use dynmpi::microbench::{fit_wait_factor, probe, ProbePoint};
 use dynmpi_bench::{print_table, write_rows, BenchArgs};
-use serde::Serialize;
+use dynmpi_obs::Json;
 
-#[derive(Serialize)]
 struct Row {
     table: &'static str,
     total_work: f64,
@@ -21,6 +20,22 @@ struct Row {
     naive_cycle_s: f64,
     best_cycle_s: f64,
     gain_pct: f64,
+}
+
+impl Row {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("table", Json::str(self.table)),
+            ("total_work", Json::Num(self.total_work)),
+            ("msg_bytes", Json::UInt(self.msg_bytes as u64)),
+            ("ncp", Json::UInt(u64::from(self.ncp))),
+            ("naive_fraction", Json::Num(self.naive_fraction)),
+            ("best_fraction", Json::Num(self.best_fraction)),
+            ("naive_cycle_s", Json::Num(self.naive_cycle_s)),
+            ("best_cycle_s", Json::Num(self.best_cycle_s)),
+            ("gain_pct", Json::Num(self.gain_pct)),
+        ])
+    }
 }
 
 fn main() {
@@ -92,5 +107,6 @@ fn main() {
         .collect();
     let wf = fit_wait_factor(&probes, 0.010);
     println!("\nfitted wait factor: {wf:.2} (config default 0.05)");
-    write_rows(&args.out_dir, "tab_microbench", &rows);
+    let json_rows: Vec<Json> = rows.iter().map(Row::to_json).collect();
+    write_rows(&args.out_dir, "tab_microbench", &json_rows);
 }

@@ -17,30 +17,132 @@
 //!
 //! Binaries print the figure's table to stdout and append JSON rows to
 //! `results/*.jsonl` for EXPERIMENTS.md. Pass `--quick` for scaled-down
-//! inputs (same shapes, minutes → seconds).
+//! inputs (same shapes, minutes → seconds). Pass `--trace-out PATH` on
+//! the figure binaries to capture a Chrome/Perfetto trace of the run
+//! (virtual timestamps; `PATH.metrics.json` gets the metrics snapshots).
+//!
+//! Progress output goes through a leveled logger controlled by the
+//! `DYNMPI_LOG` environment variable (`error`, `warn`, `info` — the
+//! default — `debug`, `trace`, or `off`).
 
 use std::io::Write;
 use std::path::Path;
+use std::sync::OnceLock;
 
-use serde::Serialize;
+use dynmpi_obs::Json;
 
-/// Common CLI handling: `--quick` and an optional `--out DIR`.
+/// Verbosity of the bench logger, in increasing order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LogLevel {
+    Off,
+    Error,
+    Warn,
+    Info,
+    Debug,
+    Trace,
+}
+
+impl LogLevel {
+    fn parse(s: &str) -> Option<LogLevel> {
+        match s.to_ascii_lowercase().as_str() {
+            "off" | "none" => Some(LogLevel::Off),
+            "error" => Some(LogLevel::Error),
+            "warn" | "warning" => Some(LogLevel::Warn),
+            "info" => Some(LogLevel::Info),
+            "debug" => Some(LogLevel::Debug),
+            "trace" => Some(LogLevel::Trace),
+            _ => None,
+        }
+    }
+
+    fn tag(self) -> &'static str {
+        match self {
+            LogLevel::Off => "off",
+            LogLevel::Error => "error",
+            LogLevel::Warn => "warn",
+            LogLevel::Info => "info",
+            LogLevel::Debug => "debug",
+            LogLevel::Trace => "trace",
+        }
+    }
+}
+
+/// The active log level: `DYNMPI_LOG` if set and valid, else `info`.
+pub fn log_level() -> LogLevel {
+    static LEVEL: OnceLock<LogLevel> = OnceLock::new();
+    *LEVEL.get_or_init(|| {
+        std::env::var("DYNMPI_LOG")
+            .ok()
+            .and_then(|v| LogLevel::parse(&v))
+            .unwrap_or(LogLevel::Info)
+    })
+}
+
+/// Logger backend for the `log_*` macros: writes one stderr line when
+/// `level` is enabled. Use the macros, not this directly.
+pub fn log_at(level: LogLevel, args: std::fmt::Arguments<'_>) {
+    if level != LogLevel::Off && level <= log_level() {
+        eprintln!("[{}] {}", level.tag(), args);
+    }
+}
+
+/// Logs at `error` level (shown unless `DYNMPI_LOG=off`).
+#[macro_export]
+macro_rules! log_error {
+    ($($arg:tt)*) => { $crate::log_at($crate::LogLevel::Error, format_args!($($arg)*)) };
+}
+
+/// Logs at `warn` level.
+#[macro_export]
+macro_rules! log_warn {
+    ($($arg:tt)*) => { $crate::log_at($crate::LogLevel::Warn, format_args!($($arg)*)) };
+}
+
+/// Logs at `info` level (the default): per-configuration progress lines.
+#[macro_export]
+macro_rules! log_info {
+    ($($arg:tt)*) => { $crate::log_at($crate::LogLevel::Info, format_args!($($arg)*)) };
+}
+
+/// Logs at `debug` level: per-variant details.
+#[macro_export]
+macro_rules! log_debug {
+    ($($arg:tt)*) => { $crate::log_at($crate::LogLevel::Debug, format_args!($($arg)*)) };
+}
+
+/// Logs at `trace` level.
+#[macro_export]
+macro_rules! log_trace {
+    ($($arg:tt)*) => { $crate::log_at($crate::LogLevel::Trace, format_args!($($arg)*)) };
+}
+
+/// Common CLI handling: `--quick`, an optional `--out DIR`, and an
+/// optional `--trace-out PATH` (Chrome trace of the instrumented runs).
 pub struct BenchArgs {
     pub quick: bool,
     pub out_dir: String,
+    pub trace_out: Option<String>,
 }
 
 impl BenchArgs {
     pub fn parse() -> Self {
         let mut quick = false;
         let mut out_dir = "results".to_string();
+        let mut trace_out = None;
         let mut args = std::env::args().skip(1);
+        let value = |flag: &str, args: &mut dyn Iterator<Item = String>| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{flag} needs a value");
+                std::process::exit(2);
+            })
+        };
         while let Some(a) = args.next() {
             match a.as_str() {
                 "--quick" => quick = true,
-                "--out" => out_dir = args.next().expect("--out needs a directory"),
+                "--out" => out_dir = value("--out", &mut args),
+                "--trace-out" => trace_out = Some(value("--trace-out", &mut args)),
                 "--help" | "-h" => {
-                    eprintln!("usage: [--quick] [--out DIR]");
+                    eprintln!("usage: [--quick] [--out DIR] [--trace-out PATH]");
                     std::process::exit(0);
                 }
                 other => {
@@ -49,23 +151,46 @@ impl BenchArgs {
                 }
             }
         }
-        BenchArgs { quick, out_dir }
+        BenchArgs {
+            quick,
+            out_dir,
+            trace_out,
+        }
     }
 }
 
-/// Appends serialized rows to `<out_dir>/<name>.jsonl`.
-pub fn write_rows<T: Serialize>(out_dir: &str, name: &str, rows: &[T]) {
+/// Appends JSON rows to `<out_dir>/<name>.jsonl`, one object per line.
+pub fn write_rows(out_dir: &str, name: &str, rows: &[Json]) {
     let dir = Path::new(out_dir);
     if std::fs::create_dir_all(dir).is_err() {
-        eprintln!("warning: cannot create {out_dir}; skipping JSON output");
+        log_warn!("cannot create {out_dir}; skipping JSON output");
         return;
     }
     let path = dir.join(format!("{name}.jsonl"));
     let mut f = std::fs::File::create(&path).expect("create results file");
     for r in rows {
-        writeln!(f, "{}", serde_json::to_string(r).unwrap()).unwrap();
+        writeln!(f, "{r}").unwrap();
     }
-    eprintln!("wrote {}", path.display());
+    log_info!("wrote {}", path.display());
+}
+
+/// Writes the Chrome trace and the per-rank + merged metrics snapshots
+/// collected by `recorder`. The trace goes to `trace_path`; the metrics
+/// report goes next to it as `<trace_path>.metrics.json`.
+pub fn write_trace(recorder: &dynmpi_obs::Recorder, trace_path: &str) {
+    if let Some(parent) = Path::new(trace_path).parent() {
+        if !parent.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+    }
+    recorder
+        .write_chrome_trace(trace_path)
+        .expect("write trace file");
+    let metrics_path = format!("{trace_path}.metrics.json");
+    recorder
+        .write_metrics(&metrics_path)
+        .expect("write metrics file");
+    log_info!("wrote {trace_path} and {metrics_path}");
 }
 
 /// Renders an aligned text table.
@@ -116,13 +241,26 @@ mod tests {
 
     #[test]
     fn rows_write_to_tmp() {
-        #[derive(Serialize)]
-        struct R {
-            x: u32,
-        }
         let dir = std::env::temp_dir().join("dynmpi_bench_test");
-        write_rows(dir.to_str().unwrap(), "t", &[R { x: 1 }, R { x: 2 }]);
+        let rows = [
+            Json::obj([("x", Json::UInt(1))]),
+            Json::obj([("x", Json::UInt(2))]),
+        ];
+        write_rows(dir.to_str().unwrap(), "t", &rows);
         let content = std::fs::read_to_string(dir.join("t.jsonl")).unwrap();
         assert_eq!(content.lines().count(), 2);
+        let first = Json::parse(content.lines().next().unwrap()).unwrap();
+        assert_eq!(first.get("x").and_then(Json::as_u64), Some(1));
+    }
+
+    #[test]
+    fn log_levels_order() {
+        assert!(LogLevel::Error < LogLevel::Info);
+        assert!(LogLevel::Info < LogLevel::Trace);
+        assert_eq!(LogLevel::parse("WARN"), Some(LogLevel::Warn));
+        assert_eq!(LogLevel::parse("bogus"), None);
+        // Must not panic whatever the level.
+        log_at(LogLevel::Debug, format_args!("debug line"));
+        log_error!("error line {}", 1);
     }
 }

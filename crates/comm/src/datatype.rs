@@ -45,7 +45,7 @@ pub fn from_bytes<P: Pod>(bytes: &[u8]) -> Vec<P> {
     let esz = std::mem::size_of::<P>();
     assert!(esz > 0, "zero-sized POD elements are not supported");
     assert!(
-        bytes.len() % esz == 0,
+        bytes.len().is_multiple_of(esz),
         "byte length {} is not a multiple of element size {}",
         bytes.len(),
         esz

@@ -5,7 +5,7 @@
 //!
 //! * [`SimTransport`] — backed by the `dynmpi-sim` virtual-time cluster;
 //!   used by every paper experiment.
-//! * [`ThreadTransport`] — real threads and crossbeam channels; proves the
+//! * [`ThreadTransport`] — real threads and OS channels; proves the
 //!   stack runs on genuine concurrency and anchors cross-transport tests.
 //!
 //! Collectives ([`CommOps`]) operate over a [`Group`] of world ranks, which

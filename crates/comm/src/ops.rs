@@ -7,6 +7,8 @@
 //! All collectives operate over a [`Group`] and must be called by every
 //! group member in the same order (SPMD discipline).
 
+use dynmpi_obs as obs;
+
 use crate::datatype::{from_bytes, to_bytes, Pod};
 use crate::group::Group;
 use crate::transport::{Transport, RESERVED_TAG_BASE};
@@ -27,6 +29,20 @@ fn check_app_tag(tag: u64) {
         tag < RESERVED_TAG_BASE,
         "application tag {tag} collides with the reserved collective tag space"
     );
+}
+
+/// Wraps one collective call in a `cat = "comm"` trace span stamped with
+/// the transport's (virtual) clock. Composite collectives nest naturally:
+/// an `allreduce` span contains its `reduce` and `bcast` children.
+fn traced<R>(t: &(impl Transport + ?Sized), name: &'static str, body: impl FnOnce() -> R) -> R {
+    if !obs::enabled() {
+        return body();
+    }
+    obs::span_begin("comm", name, t.now_ns());
+    obs::count(&format!("comm.coll.{name}"), 1);
+    let out = body();
+    obs::span_end(t.now_ns());
+    out
 }
 
 /// Typed p2p and collective operations over any transport.
@@ -60,61 +76,67 @@ pub trait CommOps: Transport {
         src: usize,
         recv_tag: u64,
     ) -> Vec<P> {
-        self.send_slice(dst, send_tag, data);
-        self.recv_vec(src, recv_tag)
+        traced(self, "sendrecv", || {
+            self.send_slice(dst, send_tag, data);
+            self.recv_vec(src, recv_tag)
+        })
     }
 
     /// Dissemination barrier over `g`. O(log n) rounds.
     fn barrier(&self, g: &Group) {
-        let n = g.size();
-        let rel = g.rel_unchecked();
-        let mut k = 1usize;
-        let mut round = 0u64;
-        while k < n {
-            let to = g.world_rank((rel + k) % n);
-            let from = g.world_rank((rel + n - k) % n);
-            self.send_bytes(to, TAG_BARRIER + round, Vec::new());
-            let _ = self.recv_bytes(from, TAG_BARRIER + round);
-            k <<= 1;
-            round += 1;
-        }
+        traced(self, "barrier", || {
+            let n = g.size();
+            let rel = g.rel_unchecked();
+            let mut k = 1usize;
+            let mut round = 0u64;
+            while k < n {
+                let to = g.world_rank((rel + k) % n);
+                let from = g.world_rank((rel + n - k) % n);
+                self.send_bytes(to, TAG_BARRIER + round, Vec::new());
+                let _ = self.recv_bytes(from, TAG_BARRIER + round);
+                k <<= 1;
+                round += 1;
+            }
+        })
     }
 
     /// Binomial-tree broadcast from relative rank `root`. The root passes
     /// `Some(data)`; everyone receives the broadcast value.
     fn bcast<P: Pod>(&self, g: &Group, root: usize, data: Option<&[P]>) -> Vec<P> {
-        let n = g.size();
-        let rel = g.rel_unchecked();
-        assert!(root < n, "bcast root {root} out of group of {n}");
-        let vr = (rel + n - root) % n;
-        let mut buf: Option<Vec<P>> = if vr == 0 {
-            Some(data.expect("bcast root must supply data").to_vec())
-        } else {
-            None
-        };
-        // Receive phase: find the bit where we hang off the tree.
-        let mut mask = 1usize;
-        while mask < n {
-            if vr & mask != 0 {
-                let src_vr = vr - mask;
-                let src = g.world_rank((src_vr + root) % n);
-                buf = Some(from_bytes(&self.recv_bytes(src, TAG_BCAST)));
-                break;
+        traced(self, "bcast", || {
+            let n = g.size();
+            let rel = g.rel_unchecked();
+            assert!(root < n, "bcast root {root} out of group of {n}");
+            let vr = (rel + n - root) % n;
+            let mut buf: Option<Vec<P>> = if vr == 0 {
+                Some(data.expect("bcast root must supply data").to_vec())
+            } else {
+                None
+            };
+            // Receive phase: find the bit where we hang off the tree.
+            let mut mask = 1usize;
+            while mask < n {
+                if vr & mask != 0 {
+                    let src_vr = vr - mask;
+                    let src = g.world_rank((src_vr + root) % n);
+                    buf = Some(from_bytes(&self.recv_bytes(src, TAG_BCAST)));
+                    break;
+                }
+                mask <<= 1;
             }
-            mask <<= 1;
-        }
-        // Forward phase: relay to every subtree hanging below our receive
-        // bit (for the root, below the first power of two ≥ n).
-        let data = buf.expect("bcast: no data after receive phase");
-        let mut m = mask >> 1;
-        while m > 0 {
-            if vr + m < n {
-                let dst = g.world_rank((vr + m + root) % n);
-                self.send_bytes(dst, TAG_BCAST, to_bytes(&data));
+            // Forward phase: relay to every subtree hanging below our receive
+            // bit (for the root, below the first power of two ≥ n).
+            let data = buf.expect("bcast: no data after receive phase");
+            let mut m = mask >> 1;
+            while m > 0 {
+                if vr + m < n {
+                    let dst = g.world_rank((vr + m + root) % n);
+                    self.send_bytes(dst, TAG_BCAST, to_bytes(&data));
+                }
+                m >>= 1;
             }
-            m >>= 1;
-        }
-        data
+            data
+        })
     }
 
     /// Binomial-tree reduction to relative rank `root` with a commutative,
@@ -126,36 +148,40 @@ pub trait CommOps: Transport {
         data: &[P],
         f: impl Fn(&mut [P], &[P]),
     ) -> Option<Vec<P>> {
-        let n = g.size();
-        let rel = g.rel_unchecked();
-        assert!(root < n, "reduce root {root} out of group of {n}");
-        let vr = (rel + n - root) % n;
-        let mut acc = data.to_vec();
-        let mut mask = 1usize;
-        while mask < n {
-            if vr & mask == 0 {
-                let peer_vr = vr | mask;
-                if peer_vr < n {
-                    let src = g.world_rank((peer_vr + root) % n);
-                    let incoming: Vec<P> = from_bytes(&self.recv_bytes(src, TAG_REDUCE));
-                    assert_eq!(incoming.len(), acc.len(), "reduce length mismatch");
-                    f(&mut acc, &incoming);
+        traced(self, "reduce", || {
+            let n = g.size();
+            let rel = g.rel_unchecked();
+            assert!(root < n, "reduce root {root} out of group of {n}");
+            let vr = (rel + n - root) % n;
+            let mut acc = data.to_vec();
+            let mut mask = 1usize;
+            while mask < n {
+                if vr & mask == 0 {
+                    let peer_vr = vr | mask;
+                    if peer_vr < n {
+                        let src = g.world_rank((peer_vr + root) % n);
+                        let incoming: Vec<P> = from_bytes(&self.recv_bytes(src, TAG_REDUCE));
+                        assert_eq!(incoming.len(), acc.len(), "reduce length mismatch");
+                        f(&mut acc, &incoming);
+                    }
+                } else {
+                    let peer_vr = vr & !mask;
+                    let dst = g.world_rank((peer_vr + root) % n);
+                    self.send_bytes(dst, TAG_REDUCE, to_bytes(&acc));
+                    return None;
                 }
-            } else {
-                let peer_vr = vr & !mask;
-                let dst = g.world_rank((peer_vr + root) % n);
-                self.send_bytes(dst, TAG_REDUCE, to_bytes(&acc));
-                return None;
+                mask <<= 1;
             }
-            mask <<= 1;
-        }
-        Some(acc)
+            Some(acc)
+        })
     }
 
     /// Reduction + broadcast: everyone gets the combined value.
     fn allreduce<P: Pod>(&self, g: &Group, data: &[P], f: impl Fn(&mut [P], &[P])) -> Vec<P> {
-        let reduced = self.reduce(g, 0, data, f);
-        self.bcast(g, 0, reduced.as_deref())
+        traced(self, "allreduce", || {
+            let reduced = self.reduce(g, 0, data, f);
+            self.bcast(g, 0, reduced.as_deref())
+        })
     }
 
     /// Sum-allreduce for f64 slices.
@@ -189,86 +215,94 @@ pub trait CommOps: Transport {
     /// Returns `Some(per-member vectors, indexed by relative rank)` on the
     /// root.
     fn gatherv<P: Pod>(&self, g: &Group, root: usize, data: &[P]) -> Option<Vec<Vec<P>>> {
-        let n = g.size();
-        let rel = g.rel_unchecked();
-        assert!(root < n);
-        if rel != root {
-            self.send_bytes(g.world_rank(root), TAG_GATHER, to_bytes(data));
-            return None;
-        }
-        let mut out: Vec<Vec<P>> = Vec::with_capacity(n);
-        for r in 0..n {
-            if r == root {
-                out.push(data.to_vec());
-            } else {
-                out.push(from_bytes(&self.recv_bytes(g.world_rank(r), TAG_GATHER)));
+        traced(self, "gatherv", || {
+            let n = g.size();
+            let rel = g.rel_unchecked();
+            assert!(root < n);
+            if rel != root {
+                self.send_bytes(g.world_rank(root), TAG_GATHER, to_bytes(data));
+                return None;
             }
-        }
-        Some(out)
+            let mut out: Vec<Vec<P>> = Vec::with_capacity(n);
+            for r in 0..n {
+                if r == root {
+                    out.push(data.to_vec());
+                } else {
+                    out.push(from_bytes(&self.recv_bytes(g.world_rank(r), TAG_GATHER)));
+                }
+            }
+            Some(out)
+        })
     }
 
     /// Scatters per-member vectors from relative rank `root`; each member
     /// receives its slice. The root passes `Some(parts)` with
     /// `parts.len() == g.size()`.
     fn scatterv<P: Pod>(&self, g: &Group, root: usize, parts: Option<&[Vec<P>]>) -> Vec<P> {
-        let n = g.size();
-        let rel = g.rel_unchecked();
-        assert!(root < n);
-        if rel == root {
-            let parts = parts.expect("scatterv root must supply parts");
-            assert_eq!(parts.len(), n, "scatterv parts must match group size");
-            for r in 0..n {
-                if r != root {
-                    self.send_bytes(g.world_rank(r), TAG_SCATTER, to_bytes(&parts[r]));
+        traced(self, "scatterv", || {
+            let n = g.size();
+            let rel = g.rel_unchecked();
+            assert!(root < n);
+            if rel == root {
+                let parts = parts.expect("scatterv root must supply parts");
+                assert_eq!(parts.len(), n, "scatterv parts must match group size");
+                for (r, part) in parts.iter().enumerate() {
+                    if r != root {
+                        self.send_bytes(g.world_rank(r), TAG_SCATTER, to_bytes(part));
+                    }
                 }
+                parts[root].clone()
+            } else {
+                from_bytes(&self.recv_bytes(g.world_rank(root), TAG_SCATTER))
             }
-            parts[root].clone()
-        } else {
-            from_bytes(&self.recv_bytes(g.world_rank(root), TAG_SCATTER))
-        }
+        })
     }
 
     /// Ring allgather of variable-length contributions: returns all
     /// members' data, indexed by relative rank. n−1 rounds, each passing
     /// one block around the ring.
     fn allgatherv<P: Pod>(&self, g: &Group, data: &[P]) -> Vec<Vec<P>> {
-        let n = g.size();
-        let rel = g.rel_unchecked();
-        let mut blocks: Vec<Option<Vec<P>>> = vec![None; n];
-        blocks[rel] = Some(data.to_vec());
-        let next = g.world_rank((rel + 1) % n);
-        let prev = g.world_rank((rel + n - 1) % n);
-        for k in 0..n.saturating_sub(1) {
-            let send_idx = (rel + n - k) % n;
-            let recv_idx = (rel + n - k - 1) % n;
-            let outgoing = blocks[send_idx].as_ref().expect("ring invariant");
-            self.send_bytes(next, TAG_ALLGATHER, to_bytes(outgoing));
-            blocks[recv_idx] = Some(from_bytes(&self.recv_bytes(prev, TAG_ALLGATHER)));
-        }
-        blocks
-            .into_iter()
-            .map(|b| b.expect("ring complete"))
-            .collect()
+        traced(self, "allgatherv", || {
+            let n = g.size();
+            let rel = g.rel_unchecked();
+            let mut blocks: Vec<Option<Vec<P>>> = vec![None; n];
+            blocks[rel] = Some(data.to_vec());
+            let next = g.world_rank((rel + 1) % n);
+            let prev = g.world_rank((rel + n - 1) % n);
+            for k in 0..n.saturating_sub(1) {
+                let send_idx = (rel + n - k) % n;
+                let recv_idx = (rel + n - k - 1) % n;
+                let outgoing = blocks[send_idx].as_ref().expect("ring invariant");
+                self.send_bytes(next, TAG_ALLGATHER, to_bytes(outgoing));
+                blocks[recv_idx] = Some(from_bytes(&self.recv_bytes(prev, TAG_ALLGATHER)));
+            }
+            blocks
+                .into_iter()
+                .map(|b| b.expect("ring complete"))
+                .collect()
+        })
     }
 
     /// Personalized all-to-all: member `i` sends `parts[j]` to member `j`;
     /// returns what everyone sent to me, indexed by relative rank. Linear
     /// buffered exchange, staggered to spread NIC load.
     fn alltoallv<P: Pod>(&self, g: &Group, parts: &[Vec<P>]) -> Vec<Vec<P>> {
-        let n = g.size();
-        let rel = g.rel_unchecked();
-        assert_eq!(parts.len(), n, "alltoallv parts must match group size");
-        for k in 1..n {
-            let dst = (rel + k) % n;
-            self.send_bytes(g.world_rank(dst), TAG_ALLTOALL, to_bytes(&parts[dst]));
-        }
-        let mut out: Vec<Vec<P>> = (0..n).map(|_| Vec::new()).collect();
-        out[rel] = parts[rel].clone();
-        for k in 1..n {
-            let src = (rel + n - k) % n;
-            out[src] = from_bytes(&self.recv_bytes(g.world_rank(src), TAG_ALLTOALL));
-        }
-        out
+        traced(self, "alltoallv", || {
+            let n = g.size();
+            let rel = g.rel_unchecked();
+            assert_eq!(parts.len(), n, "alltoallv parts must match group size");
+            for k in 1..n {
+                let dst = (rel + k) % n;
+                self.send_bytes(g.world_rank(dst), TAG_ALLTOALL, to_bytes(&parts[dst]));
+            }
+            let mut out: Vec<Vec<P>> = (0..n).map(|_| Vec::new()).collect();
+            out[rel] = parts[rel].clone();
+            for k in 1..n {
+                let src = (rel + n - k) % n;
+                out[src] = from_bytes(&self.recv_bytes(g.world_rank(src), TAG_ALLTOALL));
+            }
+            out
+        })
     }
 }
 

@@ -1,5 +1,6 @@
 //! Transport backed by the virtual-time cluster simulator.
 
+use dynmpi_obs as obs;
 use dynmpi_sim::SimCtx;
 
 use crate::transport::{HostMeters, Transport};
@@ -35,19 +36,41 @@ impl Transport for SimTransport<'_> {
     }
 
     fn send_bytes(&self, dst: usize, tag: u64, payload: Vec<u8>) {
+        obs::observe(
+            "comm.msg_bytes_sent",
+            &obs::BYTE_BUCKETS,
+            payload.len() as u64,
+        );
         self.ctx.send(dst, tag, payload);
     }
 
     fn recv_bytes(&self, src: usize, tag: u64) -> Vec<u8> {
-        self.ctx.recv(src, tag)
+        let payload = self.ctx.recv(src, tag);
+        obs::observe(
+            "comm.msg_bytes_recvd",
+            &obs::BYTE_BUCKETS,
+            payload.len() as u64,
+        );
+        payload
     }
 
     fn recv_bytes_any(&self, tag: u64) -> (usize, Vec<u8>) {
-        self.ctx.recv_any(tag)
+        let (src, payload) = self.ctx.recv_any(tag);
+        obs::observe(
+            "comm.msg_bytes_recvd",
+            &obs::BYTE_BUCKETS,
+            payload.len() as u64,
+        );
+        (src, payload)
     }
 
     fn wtime(&self) -> f64 {
         self.ctx.now().as_secs_f64()
+    }
+
+    fn now_ns(&self) -> u64 {
+        // Exact: the simulator clock is already integer nanoseconds.
+        self.ctx.now().0
     }
 
     fn compute(&self, work: f64) {

@@ -1,6 +1,7 @@
 //! Real multi-threaded transport.
 //!
-//! One OS thread per rank, messages over crossbeam channels. This backend
+//! One OS thread per rank, messages over `std::sync::mpsc` channels. This
+//! backend
 //! proves the comm/runtime stack runs on genuine concurrency (no virtual
 //! clock, no global serialization). It is used by tests comparing results
 //! across transports and by the quickstart example's `--threads` mode.
@@ -10,7 +11,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 
 use crate::transport::{HostMeters, Transport};
 
@@ -140,20 +141,20 @@ where
     let mut senders = Vec::with_capacity(n);
     let mut inboxes = Vec::with_capacity(n);
     for _ in 0..n {
-        let (s, r) = unbounded();
+        let (s, r) = channel();
         senders.push(s);
         inboxes.push(r);
     }
-    // Keep every inbox alive until all ranks return: a rank may finish
-    // with control messages still addressed to peers that exited first
-    // (pipelined monitoring), and those sends must not observe a
-    // disconnected channel.
-    let _keepalive: Vec<Receiver<Envelope>> = inboxes.clone();
     let epoch = Instant::now();
     let poison = Arc::new(AtomicBool::new(false));
     let f = &f;
     let senders = &senders;
-    let results: Vec<std::thread::Result<R>> = std::thread::scope(|s| {
+    // Each thread returns its inbox receiver alongside its result so every
+    // channel stays connected until the whole scope joins: a rank may finish
+    // with control messages still addressed to peers that exited first
+    // (pipelined monitoring), and those sends must not observe a
+    // disconnected channel.
+    let results: Vec<(std::thread::Result<R>, Receiver<Envelope>)> = std::thread::scope(|s| {
         let handles: Vec<_> = inboxes
             .into_iter()
             .enumerate()
@@ -172,20 +173,28 @@ where
                     if out.is_err() {
                         poison.store(true, Ordering::Release);
                     }
-                    out
+                    let ThreadTransport { inbox, .. } = t;
+                    (out, inbox)
                 })
             })
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().unwrap_or_else(|e| Err(e)))
+            .map(|h| {
+                h.join().unwrap_or_else(|e| {
+                    // Join only fails if the thread panicked outside
+                    // catch_unwind; substitute a fresh (disconnected) inbox.
+                    let (_, dead_inbox) = channel();
+                    (Err(e), dead_inbox)
+                })
+            })
             .collect()
     });
     // Prefer a root-cause payload: one that is not the secondary
     // "peer rank panicked" unwind.
     let mut secondary = None;
     let mut oks = Vec::with_capacity(n);
-    for r in results {
+    for (r, _inbox) in results {
         match r {
             Ok(v) => oks.push(v),
             Err(e) => {

@@ -32,6 +32,13 @@ pub trait Transport {
     /// Wallclock seconds (virtual or real, per transport).
     fn wtime(&self) -> f64;
 
+    /// Wallclock in integer nanoseconds — the timestamp domain of the
+    /// tracing layer. Transports with an exact integer clock (the
+    /// simulator) override this to avoid the round trip through `f64`.
+    fn now_ns(&self) -> u64 {
+        (self.wtime() * 1e9).round() as u64
+    }
+
     /// Consumes `work` units of CPU. On the simulator this advances
     /// virtual time under the node's current load; on real transports the
     /// work is assumed to be performed by the caller's own code and this
@@ -66,7 +73,9 @@ mod tests {
 
     #[test]
     fn reserved_tag_base_leaves_room() {
-        assert!(RESERVED_TAG_BASE > u64::from(u32::MAX));
-        assert!(RESERVED_TAG_BASE < u64::MAX / 2);
+        const {
+            assert!(RESERVED_TAG_BASE > u32::MAX as u64);
+            assert!(RESERVED_TAG_BASE < u64::MAX / 2);
+        }
     }
 }

@@ -91,7 +91,7 @@ fn bcast_matches_across_transports() {
     for root in 0..3 {
         let (a, b) = on_both(3, move |t| {
             let g = Group::world(t.rank(), t.size());
-            let data = vec![root as i64, -7];
+            let data = [root as i64, -7];
             t.bcast(&g, root, (t.rank() == root).then_some(&data[..]))
         });
         assert_eq!(a, b);

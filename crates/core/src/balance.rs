@@ -103,10 +103,7 @@ pub fn partition_rows(row_weights: &[f64], shares: &[f64], min_rows: usize) -> V
         acc += w;
     }
     if min_rows > 0 {
-        loop {
-            let Some(deficit) = (0..n).find(|&i| counts[i] < min_rows) else {
-                break;
-            };
+        while let Some(deficit) = (0..n).find(|&i| counts[i] < min_rows) {
             let donor = (0..n).max_by_key(|&i| counts[i]).expect("nonempty");
             assert!(counts[donor] > min_rows, "cannot satisfy min_rows");
             counts[donor] -= 1;

@@ -161,6 +161,8 @@ impl Distribution {
 }
 
 #[cfg(test)]
+// Single-range arrays are exactly what `ranges()` assertions compare against.
+#[allow(clippy::single_range_in_vec_init)]
 mod tests {
     use super::*;
 

@@ -115,6 +115,8 @@ pub struct ArrayAccess {
 }
 
 #[cfg(test)]
+// Single-range arrays are exactly what `ranges()` assertions compare against.
+#[allow(clippy::single_range_in_vec_init)]
 mod tests {
     use super::*;
 

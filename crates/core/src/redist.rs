@@ -12,6 +12,7 @@
 //! determines the row set.
 
 use dynmpi_comm::{CommOps, Group, Transport};
+use dynmpi_obs::{self as obs, Json};
 
 use crate::array::RedistArray;
 use crate::dist::Distribution;
@@ -75,6 +76,10 @@ pub fn execute<T: Transport>(
     arrays: &mut [&mut dyn RedistArray],
 ) -> RedistOutcome {
     let t0 = t.wtime();
+    let traced = obs::enabled();
+    if traced {
+        obs::span_begin("redist", "redistribute", t.now_ns());
+    }
     let nrows = old_dist.nrows();
     assert_eq!(nrows, new_dist.nrows(), "row-space mismatch");
 
@@ -91,9 +96,15 @@ pub fn execute<T: Transport>(
     let mut bytes_sent = 0u64;
 
     // ---- Phase A: ownership moves -------------------------------------
+    if traced {
+        obs::span_begin("redist", "exchange", t.now_ns());
+    }
     for (ai, arr) in arrays.iter_mut().enumerate() {
         let tag = TAG_MOVE + ai as u64;
         // Sends: rows I had that someone else now owns.
+        if traced {
+            obs::span_begin("redist", "pack", t.now_ns());
+        }
         for dst_rel in 0..new_group.size() {
             let dst = new_group.world_rank(dst_rel);
             if dst == me {
@@ -107,6 +118,10 @@ pub fn execute<T: Transport>(
             rows_moved += mv.len();
             bytes_sent += payload.len() as u64;
             t.send_bytes(dst, tag, payload);
+        }
+        if traced {
+            obs::span_end(t.now_ns());
+            obs::span_begin("redist", "unpack", t.now_ns());
         }
         // Receives: rows I now own that someone else had.
         for src_rel in 0..old_group.size() {
@@ -122,6 +137,13 @@ pub fn execute<T: Transport>(
             rows_moved += mv.len();
             arr.unpack_rows(&mv, &payload);
         }
+        if traced {
+            obs::span_end(t.now_ns());
+        }
+    }
+    if traced {
+        obs::span_end(t.now_ns());
+        obs::span_begin("redist", "ghost_exchange", t.now_ns());
     }
 
     // ---- Phase B: ghost acquisition ------------------------------------
@@ -161,6 +183,10 @@ pub fn execute<T: Transport>(
     }
 
     // ---- Phase C: release stale storage --------------------------------
+    if traced {
+        obs::span_end(t.now_ns());
+        obs::span_begin("redist", "release", t.now_ns());
+    }
     for (ai, arr) in arrays.iter_mut().enumerate() {
         let keep = if let Some(my_rel) = new_group.rel_of(me) {
             my_new.union(&ghost_needs(new_dist, my_rel, ai, accesses, nrows))
@@ -169,6 +195,9 @@ pub fn execute<T: Transport>(
         };
         let stale = arr.present_rows().diff(&keep);
         arr.drop_rows(&stale);
+    }
+    if traced {
+        obs::span_end(t.now_ns());
     }
 
     // Close with a barrier over everyone involved so the measured time
@@ -184,6 +213,17 @@ pub fn execute<T: Transport>(
     let all = Group::new(members, me);
     t.barrier(&all);
 
+    if traced {
+        obs::count("redist.rows_moved", rows_moved as u64);
+        obs::count("redist.bytes_sent", bytes_sent);
+        obs::span_end_args(
+            t.now_ns(),
+            vec![
+                ("rows_moved".to_string(), Json::UInt(rows_moved as u64)),
+                ("bytes_sent".to_string(), Json::UInt(bytes_sent)),
+            ],
+        );
+    }
     RedistOutcome {
         seconds: t.wtime() - t0,
         rows_moved,
@@ -280,7 +320,7 @@ mod tests {
             assert_eq!(m.present_rows(), mine_new.union(&ghosts_new));
             m.present_rows().len()
         });
-        assert_eq!(out.iter().sum::<usize>() >= 12, true);
+        assert!(out.iter().sum::<usize>() >= 12);
     }
 
     #[test]

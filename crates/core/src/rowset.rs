@@ -191,6 +191,8 @@ impl FromIterator<usize> for RowSet {
 }
 
 #[cfg(test)]
+// Single-range arrays are exactly what `ranges()` assertions compare against.
+#[allow(clippy::single_range_in_vec_init)]
 mod tests {
     use super::*;
 

@@ -17,6 +17,7 @@
 //! reaches the identical conclusion without further coordination.
 
 use dynmpi_comm::{from_bytes, to_bytes, CommOps, Group, HostMeters};
+use dynmpi_obs::{self as obs, Json};
 
 use crate::array::{ArrayMeta, RedistArray};
 use crate::balance::{
@@ -419,7 +420,19 @@ impl<'a, T: HostMeters> DynMpi<'a, T> {
     /// (§4.2).
     pub fn charge_rows(&mut self, phase: PhaseId, work: impl Fn(usize) -> f64) {
         let rows = self.my_rows(phase);
-        if let (Mode::Grace { .. }, Some(timer)) = (self.mode, self.timer.as_mut()) {
+        let grace = matches!(self.mode, Mode::Grace { .. }) && self.timer.is_some();
+        let traced = obs::enabled();
+        if traced {
+            // Per-row grace measurement is a distinct span: it is the
+            // instrumented (and slightly slower) variant of the same work.
+            let name = if grace {
+                "grace_measure"
+            } else {
+                "charge_rows"
+            };
+            obs::span_begin("runtime", name, self.t.now_ns());
+        }
+        if let (true, Some(timer)) = (grace, self.timer.as_mut()) {
             for i in rows.iter() {
                 let w0 = self.t.wtime();
                 let p0 = self.t.proc_cpu_seconds();
@@ -430,12 +443,45 @@ impl<'a, T: HostMeters> DynMpi<'a, T> {
             let total: f64 = rows.iter().map(&work).sum();
             self.t.compute(total);
         }
+        if traced {
+            obs::span_end_args(
+                self.t.now_ns(),
+                vec![("rows".to_string(), Json::UInt(rows.len() as u64))],
+            );
+        }
     }
 
     /// Ends a phase cycle: monitoring, grace bookkeeping, redistribution,
     /// node removal, and removed-rank status handling. Pass every
     /// registered array, in registration order.
     pub fn end_cycle(&mut self, arrays: &mut [&mut dyn RedistArray]) -> CycleReport {
+        if !obs::enabled() {
+            return self.end_cycle_inner(arrays);
+        }
+        obs::span_begin("runtime", "end_cycle", self.t.now_ns());
+        let report = self.end_cycle_inner(arrays);
+        obs::span_end_args(
+            self.t.now_ns(),
+            vec![("cycle".to_string(), Json::UInt(report.cycle))],
+        );
+        report
+    }
+
+    /// Records an adaptation event: appended to the queryable log and, when
+    /// tracing is active, mirrored as an instant trace event.
+    fn note(&mut self, ev: RuntimeEvent) {
+        if obs::enabled() {
+            obs::instant(
+                "runtime",
+                ev.kind(),
+                self.t.now_ns(),
+                vec![("cycle".to_string(), Json::UInt(ev.cycle()))],
+            );
+        }
+        self.events.push(ev);
+    }
+
+    fn end_cycle_inner(&mut self, arrays: &mut [&mut dyn RedistArray]) -> CycleReport {
         assert!(self.setup_done, "call setup before cycling");
         self.validate_arrays(arrays);
         let cycle_time = self.t.wtime() - self.cycle_wall_start;
@@ -512,8 +558,8 @@ impl<'a, T: HostMeters> DynMpi<'a, T> {
         debug_assert_eq!(loads.len(), self.wsize);
 
         // Track load-free streaks of removed nodes (for rejoin).
-        for n in 0..self.wsize {
-            if loads[n] == 0 {
+        for (n, &load) in loads.iter().enumerate() {
+            if load == 0 {
                 self.clear_streak[n] = self.clear_streak[n].saturating_add(1);
             } else {
                 self.clear_streak[n] = 0;
@@ -569,7 +615,7 @@ impl<'a, T: HostMeters> DynMpi<'a, T> {
                         matches!(self.dist, Distribution::Block { .. }),
                         "adaptive rebalancing requires a block distribution"
                     );
-                    self.events.push(RuntimeEvent::LoadChangeDetected {
+                    self.note(RuntimeEvent::LoadChangeDetected {
                         cycle: self.cycle,
                         loads: loads.to_vec(),
                     });
@@ -593,7 +639,14 @@ impl<'a, T: HostMeters> DynMpi<'a, T> {
                 if left > 1 {
                     self.mode = Mode::Grace { left: left - 1 };
                 } else {
+                    let traced = obs::enabled();
+                    if traced {
+                        obs::span_begin("runtime", "finish_grace", self.t.now_ns());
+                    }
                     self.finish_grace(loads, arrays, report);
+                    if traced {
+                        obs::span_end(self.t.now_ns());
+                    }
                 }
             }
             Mode::PostRedist { left } => {
@@ -610,7 +663,14 @@ impl<'a, T: HostMeters> DynMpi<'a, T> {
                 if left > 1 {
                     self.mode = Mode::PostRedist { left: left - 1 };
                 } else {
+                    let traced = obs::enabled();
+                    if traced {
+                        obs::span_begin("runtime", "drop_eval", self.t.now_ns());
+                    }
                     self.finish_post_redist(loads, arrays, report);
+                    if traced {
+                        obs::span_end(self.t.now_ns());
+                    }
                     self.post_accum.iter_mut().for_each(|x| *x = 0.0);
                     self.post_count = 0;
                 }
@@ -628,7 +688,7 @@ impl<'a, T: HostMeters> DynMpi<'a, T> {
     ) {
         let timer = self.timer.take().expect("grace without timer");
         let mode = timer.mode().expect("grace period saw no cycles");
-        self.events.push(RuntimeEvent::GraceComplete {
+        self.note(RuntimeEvent::GraceComplete {
             cycle: self.cycle,
             mode,
         });
@@ -644,11 +704,18 @@ impl<'a, T: HostMeters> DynMpi<'a, T> {
         assert_eq!(weights.len(), self.nrows, "weight gather incomplete");
         self.row_weights = Some(weights);
 
+        let traced = obs::enabled();
+        if traced {
+            obs::span_begin("runtime", "balance", self.t.now_ns());
+        }
         let new_dist = self.balance(loads);
         let moved = self.moved_fraction(&new_dist);
+        if traced {
+            obs::span_end(self.t.now_ns());
+        }
         if moved > self.cfg.rebalance_threshold {
             let oc = self.redistribute_in_place(&new_dist, arrays);
-            self.events.push(RuntimeEvent::Redistributed {
+            self.note(RuntimeEvent::Redistributed {
                 cycle: self.cycle,
                 seconds: oc.seconds,
                 rows_moved: oc.rows_moved,
@@ -660,7 +727,7 @@ impl<'a, T: HostMeters> DynMpi<'a, T> {
                 left: self.cfg.post_redist_period,
             };
         } else {
-            self.events.push(RuntimeEvent::RedistributionSkipped {
+            self.note(RuntimeEvent::RedistributionSkipped {
                 cycle: self.cycle,
                 moved_fraction: moved,
             });
@@ -719,7 +786,7 @@ impl<'a, T: HostMeters> DynMpi<'a, T> {
             DropPolicy::Always => true,
             DropPolicy::Auto => pred * self.cfg.drop_margin < measured_max,
         };
-        self.events.push(RuntimeEvent::DropEvaluated {
+        self.note(RuntimeEvent::DropEvaluated {
             cycle: self.cycle,
             predicted_unloaded: pred,
             measured_max,
@@ -760,7 +827,7 @@ impl<'a, T: HostMeters> DynMpi<'a, T> {
             arrays,
         );
         self.redist_seconds_total += oc.seconds;
-        self.events.push(RuntimeEvent::NodesDropped {
+        self.note(RuntimeEvent::NodesDropped {
             cycle: self.cycle,
             nodes: loaded.clone(),
         });
@@ -841,7 +908,7 @@ impl<'a, T: HostMeters> DynMpi<'a, T> {
             arrays,
         );
         self.redist_seconds_total += oc.seconds;
-        self.events.push(RuntimeEvent::NodeRejoined {
+        self.note(RuntimeEvent::NodeRejoined {
             cycle: self.cycle,
             node,
         });
@@ -1046,7 +1113,7 @@ impl<'a, T: HostMeters> DynMpi<'a, T> {
             self.active = new_group;
             self.dist = new_dist;
             self.reset_ctrl_pipeline();
-            self.events.push(RuntimeEvent::NodeRejoined {
+            self.note(RuntimeEvent::NodeRejoined {
                 cycle: self.cycle,
                 node: self.wrank,
             });

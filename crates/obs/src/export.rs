@@ -1,0 +1,232 @@
+//! Trace exporters: Chrome `trace_event` JSON and a JSONL event stream.
+//!
+//! The Chrome format (loadable in `chrome://tracing` or
+//! <https://ui.perfetto.dev>) wants timestamps in *microseconds*; our events
+//! carry virtual nanoseconds, so `ts`/`dur` are emitted as fractional
+//! microseconds to preserve sub-µs precision. `pid` is always 0 (one
+//! simulated job); `tid` is the rank, so each rank gets its own track.
+
+use crate::json::{Json, JsonError};
+use crate::trace::TraceEvent;
+
+fn args_json(args: &[(String, Json)]) -> Json {
+    Json::Obj(args.to_vec())
+}
+
+fn us(ns: u64) -> Json {
+    if ns.is_multiple_of(1_000) {
+        Json::UInt(ns / 1_000)
+    } else {
+        Json::Num(ns as f64 / 1_000.0)
+    }
+}
+
+fn event_json(ev: &TraceEvent) -> Json {
+    match ev {
+        TraceEvent::Complete {
+            cat,
+            name,
+            rank,
+            ts_ns,
+            dur_ns,
+            args,
+        } => Json::obj([
+            ("ph", Json::str("X")),
+            ("cat", Json::str(*cat)),
+            ("name", Json::str(name.clone())),
+            ("pid", Json::UInt(0)),
+            ("tid", Json::UInt(*rank as u64)),
+            ("ts", us(*ts_ns)),
+            ("dur", us(*dur_ns)),
+            ("args", args_json(args)),
+        ]),
+        TraceEvent::Instant {
+            cat,
+            name,
+            rank,
+            ts_ns,
+            args,
+        } => Json::obj([
+            ("ph", Json::str("i")),
+            ("cat", Json::str(*cat)),
+            ("name", Json::str(name.clone())),
+            ("pid", Json::UInt(0)),
+            ("tid", Json::UInt(*rank as u64)),
+            ("ts", us(*ts_ns)),
+            ("s", Json::str("t")),
+            ("args", args_json(args)),
+        ]),
+    }
+}
+
+/// Render events as a Chrome `trace_event` document:
+/// `{"displayTimeUnit":"ns","traceEvents":[...]}`.
+pub fn chrome_trace(events: &[TraceEvent]) -> String {
+    let items: Vec<Json> = events.iter().map(event_json).collect();
+    Json::obj([
+        ("displayTimeUnit", Json::str("ns")),
+        ("traceEvents", Json::Arr(items)),
+    ])
+    .to_string()
+}
+
+/// Render events as JSONL: one event object per line, same fields as the
+/// Chrome export but with exact nanosecond `ts_ns`/`dur_ns` timestamps.
+pub fn jsonl(events: &[TraceEvent]) -> String {
+    let mut out = String::new();
+    for ev in events {
+        let j = match ev {
+            TraceEvent::Complete {
+                cat,
+                name,
+                rank,
+                ts_ns,
+                dur_ns,
+                args,
+            } => Json::obj([
+                ("kind", Json::str("span")),
+                ("cat", Json::str(*cat)),
+                ("name", Json::str(name.clone())),
+                ("rank", Json::UInt(*rank as u64)),
+                ("ts_ns", Json::UInt(*ts_ns)),
+                ("dur_ns", Json::UInt(*dur_ns)),
+                ("args", args_json(args)),
+            ]),
+            TraceEvent::Instant {
+                cat,
+                name,
+                rank,
+                ts_ns,
+                args,
+            } => Json::obj([
+                ("kind", Json::str("instant")),
+                ("cat", Json::str(*cat)),
+                ("name", Json::str(name.clone())),
+                ("rank", Json::UInt(*rank as u64)),
+                ("ts_ns", Json::UInt(*ts_ns)),
+                ("args", args_json(args)),
+            ]),
+        };
+        out.push_str(&j.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// A span decoded from an exported Chrome trace (round-trip direction).
+/// Timestamps are back in nanoseconds.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParsedEvent {
+    pub phase: char,
+    pub cat: String,
+    pub name: String,
+    pub pid: u64,
+    pub tid: u64,
+    pub ts_ns: u64,
+    pub dur_ns: u64,
+}
+
+/// Parse a Chrome `trace_event` document produced by [`chrome_trace`] back
+/// into its events. Used by round-trip tests and by external tooling that
+/// wants to post-process exported traces.
+pub fn parse_chrome_trace(text: &str) -> Result<Vec<ParsedEvent>, JsonError> {
+    let doc = Json::parse(text)?;
+    let bad = |msg: &str| JsonError {
+        pos: 0,
+        msg: msg.to_string(),
+    };
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| bad("missing traceEvents array"))?;
+    let mut out = Vec::with_capacity(events.len());
+    for ev in events {
+        let field_str = |k: &str| {
+            ev.get(k)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| bad(&format!("event missing string field `{k}`")))
+        };
+        let field_u64 = |k: &str| {
+            ev.get(k)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| bad(&format!("event missing integer field `{k}`")))
+        };
+        // ts/dur may be fractional µs; decode to ns with rounding.
+        let field_ns = |k: &str, required: bool| -> Result<u64, JsonError> {
+            match ev.get(k).and_then(Json::as_f64) {
+                Some(v) => Ok((v * 1_000.0).round() as u64),
+                None if required => Err(bad(&format!("event missing time field `{k}`"))),
+                None => Ok(0),
+            }
+        };
+        let ph = field_str("ph")?;
+        out.push(ParsedEvent {
+            phase: ph.chars().next().ok_or_else(|| bad("empty ph"))?,
+            cat: field_str("cat")?,
+            name: field_str("name")?,
+            pid: field_u64("pid")?,
+            tid: field_u64("tid")?,
+            ts_ns: field_ns("ts", true)?,
+            dur_ns: field_ns("dur", ph == "X")?,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::Complete {
+                cat: "sched",
+                name: "run".to_string(),
+                rank: 0,
+                ts_ns: 1_500,
+                dur_ns: 10_000,
+                args: vec![("work".to_string(), Json::Num(5.0))],
+            },
+            TraceEvent::Instant {
+                cat: "runtime",
+                name: "load-change".to_string(),
+                rank: 2,
+                ts_ns: 2_000_000,
+                args: vec![],
+            },
+        ]
+    }
+
+    #[test]
+    fn chrome_trace_round_trips() {
+        let text = chrome_trace(&sample());
+        let parsed = parse_chrome_trace(&text).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].phase, 'X');
+        assert_eq!(parsed[0].cat, "sched");
+        assert_eq!(parsed[0].ts_ns, 1_500); // fractional µs decoded exactly
+        assert_eq!(parsed[0].dur_ns, 10_000);
+        assert_eq!(parsed[1].phase, 'i');
+        assert_eq!(parsed[1].tid, 2);
+        assert_eq!(parsed[1].ts_ns, 2_000_000);
+    }
+
+    #[test]
+    fn jsonl_is_one_valid_object_per_line() {
+        let text = jsonl(&sample());
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            let j = Json::parse(line).unwrap();
+            assert!(j.get("kind").is_some());
+            assert!(j.get("ts_ns").unwrap().as_u64().is_some());
+        }
+    }
+
+    #[test]
+    fn parse_rejects_non_trace_documents() {
+        assert!(parse_chrome_trace("[1,2,3]").is_err());
+        assert!(parse_chrome_trace("{\"traceEvents\": [{}]}").is_err());
+    }
+}

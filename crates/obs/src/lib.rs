@@ -1,0 +1,212 @@
+//! # dynmpi-obs — virtual-time observability for the Dyn-MPI reproduction
+//!
+//! Three pieces, usable independently:
+//!
+//! * **Tracing** ([`trace`]): spans and instants stamped with *virtual*
+//!   nanoseconds (the simulator's clock, not wallclock). A thread-local
+//!   scope installed per rank thread buffers events without cross-thread
+//!   contention; everything is a no-op when no scope is installed.
+//! * **Metrics** ([`metrics`]): counters, gauges, and fixed-bucket
+//!   histograms with atomic recording and plain-data snapshots whose merge
+//!   is commutative and associative.
+//! * **Exporters** ([`export`]): Chrome `trace_event` JSON (open in
+//!   `chrome://tracing` or <https://ui.perfetto.dev>) and a JSONL stream,
+//!   plus a parser for round-trip verification. The tiny [`json`] module
+//!   backs both and is reused by the bench binaries for row output.
+//!
+//! The [`Recorder`] ties it together: one per traced run, cloned into each
+//! rank thread, collecting per-rank events and metric snapshots for export.
+//!
+//! This crate deliberately has **no dependencies** (it sits below the
+//! simulator in the crate graph) and never reads the wallclock: callers pass
+//! explicit timestamps, which is what keeps traces deterministic.
+
+pub mod export;
+pub mod json;
+pub mod metrics;
+pub mod trace;
+
+use std::io;
+use std::path::Path;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use trace::TraceEvent;
+
+pub use export::{parse_chrome_trace, ParsedEvent};
+pub use json::Json;
+pub use metrics::{Counter, Gauge, HistSnapshot, Histogram, Registry, Snapshot, BYTE_BUCKETS};
+pub use trace::{
+    count, counter_handle, enabled, gauge_handle, gauge_set, histogram_handle, instant, observe,
+    span_begin, span_end, span_end_args, ScopeGuard,
+};
+
+#[derive(Default)]
+struct RecorderInner {
+    /// Flushed rank buffers, in flush order; sorted on read.
+    events: Vec<TraceEvent>,
+    /// One metrics snapshot per rank (last flush wins per rank).
+    snapshots: Vec<(usize, Snapshot)>,
+}
+
+/// Collects trace events and metric snapshots from every rank of one run.
+///
+/// Cheap to clone (shared interior). Typical use:
+///
+/// ```
+/// use dynmpi_obs::Recorder;
+///
+/// let rec = Recorder::new();
+/// let handles: Vec<_> = (0..2)
+///     .map(|rank| {
+///         let rec = rec.clone();
+///         std::thread::spawn(move || {
+///             let _guard = rec.install(rank);
+///             dynmpi_obs::span_begin("sched", "run", 0);
+///             dynmpi_obs::count("quanta", 1);
+///             dynmpi_obs::span_end(10_000);
+///         })
+///     })
+///     .collect();
+/// for h in handles {
+///     h.join().unwrap();
+/// }
+/// assert_eq!(rec.events().len(), 2);
+/// assert_eq!(rec.merged_metrics().counter("quanta"), 2);
+/// ```
+#[derive(Clone, Default)]
+pub struct Recorder {
+    inner: Arc<Mutex<RecorderInner>>,
+}
+
+impl Recorder {
+    pub fn new() -> Self {
+        Recorder::default()
+    }
+
+    fn locked(&self) -> MutexGuard<'_, RecorderInner> {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Install a tracing scope for `rank` on the calling thread. The
+    /// returned guard flushes buffered events and this rank's metrics
+    /// snapshot back into the recorder when dropped (even on panic).
+    ///
+    /// Panics if the thread already has a scope installed.
+    pub fn install(&self, rank: usize) -> ScopeGuard {
+        trace::install_scope(self.clone(), rank)
+    }
+
+    pub(crate) fn absorb(&self, rank: usize, events: Vec<TraceEvent>, snapshot: Snapshot) {
+        let mut inner = self.locked();
+        inner.events.extend(events);
+        inner.snapshots.retain(|(r, _)| *r != rank);
+        inner.snapshots.push((rank, snapshot));
+    }
+
+    /// All flushed events, sorted by (virtual time, rank).
+    pub fn events(&self) -> Vec<TraceEvent> {
+        let mut events = self.locked().events.clone();
+        events.sort_by_key(|e| (e.ts_ns(), e.rank()));
+        events
+    }
+
+    /// Per-rank metric snapshots, sorted by rank.
+    pub fn snapshots(&self) -> Vec<(usize, Snapshot)> {
+        let mut snaps = self.locked().snapshots.clone();
+        snaps.sort_by_key(|(r, _)| *r);
+        snaps
+    }
+
+    /// All ranks' metrics merged into one aggregate.
+    pub fn merged_metrics(&self) -> Snapshot {
+        let mut total = Snapshot::default();
+        for (_, s) in self.snapshots() {
+            total.merge(&s);
+        }
+        total
+    }
+
+    /// Chrome `trace_event` JSON document of everything recorded so far.
+    pub fn chrome_trace(&self) -> String {
+        export::chrome_trace(&self.events())
+    }
+
+    /// JSONL stream of everything recorded so far.
+    pub fn jsonl(&self) -> String {
+        export::jsonl(&self.events())
+    }
+
+    /// Write the Chrome trace to `path`.
+    pub fn write_chrome_trace(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        std::fs::write(path, self.chrome_trace())
+    }
+
+    /// Write the JSONL stream to `path`.
+    pub fn write_jsonl(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        std::fs::write(path, self.jsonl())
+    }
+
+    /// Write the merged metrics report (JSON) to `path`, including the
+    /// per-rank snapshots under `"ranks"`.
+    pub fn write_metrics(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let ranks = Json::Obj(
+            self.snapshots()
+                .into_iter()
+                .map(|(r, s)| (r.to_string(), s.to_json()))
+                .collect(),
+        );
+        let doc = Json::obj([
+            ("merged", self.merged_metrics().to_json()),
+            ("ranks", ranks),
+        ]);
+        std::fs::write(path, doc.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recorder_collects_across_threads() {
+        let rec = Recorder::new();
+        let handles: Vec<_> = (0..4)
+            .map(|rank| {
+                let rec = rec.clone();
+                std::thread::spawn(move || {
+                    let _guard = rec.install(rank);
+                    span_begin("sched", "run", rank as u64 * 100);
+                    count("sim.msgs_sent", rank as u64);
+                    span_end(rank as u64 * 100 + 50);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let events = rec.events();
+        assert_eq!(events.len(), 4);
+        // Sorted by virtual time.
+        assert!(events.windows(2).all(|w| w[0].ts_ns() <= w[1].ts_ns()));
+        assert_eq!(rec.merged_metrics().counter("sim.msgs_sent"), 6); // 0+1+2+3
+        assert_eq!(rec.snapshots().len(), 4);
+    }
+
+    #[test]
+    fn reinstall_same_rank_replaces_snapshot() {
+        let rec = Recorder::new();
+        {
+            let _g = rec.install(0);
+            count("c", 1);
+        }
+        {
+            let _g = rec.install(0);
+            count("c", 5);
+        }
+        // Events accumulate, snapshots replace per rank.
+        assert_eq!(rec.merged_metrics().counter("c"), 5);
+        assert_eq!(rec.snapshots().len(), 1);
+    }
+}

@@ -1,0 +1,298 @@
+//! Span/event tracing stamped with **virtual** time.
+//!
+//! The simulator's clock is a `u64` nanosecond count since simulation start,
+//! so every tracing call takes an explicit `ts_ns` — guards cannot observe
+//! virtual time at drop, and wallclock would be meaningless inside a
+//! discrete-event run. A thread-local scope, installed per rank thread by
+//! the cluster runner, buffers events locally; nothing is shared until the
+//! scope flushes into its [`Recorder`](crate::Recorder). With no scope
+//! installed every call is a no-op, so instrumented code costs almost
+//! nothing outside traced runs.
+
+use std::cell::RefCell;
+
+use crate::json::Json;
+use crate::metrics::{Counter, Gauge, Histogram, Registry};
+use crate::Recorder;
+
+/// One trace event, timestamps in virtual nanoseconds.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TraceEvent {
+    /// A closed span (`ph: "X"` in Chrome trace_event terms).
+    Complete {
+        cat: &'static str,
+        name: String,
+        /// Rank that emitted the span (exported as `tid`).
+        rank: usize,
+        ts_ns: u64,
+        dur_ns: u64,
+        args: Vec<(String, Json)>,
+    },
+    /// A point event (`ph: "i"`).
+    Instant {
+        cat: &'static str,
+        name: String,
+        rank: usize,
+        ts_ns: u64,
+        args: Vec<(String, Json)>,
+    },
+}
+
+impl TraceEvent {
+    pub fn ts_ns(&self) -> u64 {
+        match self {
+            TraceEvent::Complete { ts_ns, .. } | TraceEvent::Instant { ts_ns, .. } => *ts_ns,
+        }
+    }
+
+    pub fn rank(&self) -> usize {
+        match self {
+            TraceEvent::Complete { rank, .. } | TraceEvent::Instant { rank, .. } => *rank,
+        }
+    }
+
+    pub fn cat(&self) -> &'static str {
+        match self {
+            TraceEvent::Complete { cat, .. } | TraceEvent::Instant { cat, .. } => cat,
+        }
+    }
+
+    pub fn name(&self) -> &str {
+        match self {
+            TraceEvent::Complete { name, .. } | TraceEvent::Instant { name, .. } => name,
+        }
+    }
+}
+
+struct OpenSpan {
+    cat: &'static str,
+    name: String,
+    ts_ns: u64,
+}
+
+struct RankScope {
+    recorder: Recorder,
+    rank: usize,
+    registry: Registry,
+    events: Vec<TraceEvent>,
+    stack: Vec<OpenSpan>,
+}
+
+thread_local! {
+    static SCOPE: RefCell<Option<RankScope>> = const { RefCell::new(None) };
+}
+
+/// RAII handle returned by [`Recorder::install`]. Dropping it — including
+/// during a panic unwind — flushes the rank's buffered events and metrics
+/// snapshot into the recorder and clears the thread-local scope.
+pub struct ScopeGuard {
+    _priv: (),
+}
+
+impl Drop for ScopeGuard {
+    fn drop(&mut self) {
+        SCOPE.with(|s| {
+            if let Some(mut scope) = s.borrow_mut().take() {
+                // Close any spans left open (panic unwind mid-span): give
+                // them zero duration at their start time so the trace stays
+                // well-formed.
+                while let Some(open) = scope.stack.pop() {
+                    scope.events.push(TraceEvent::Complete {
+                        cat: open.cat,
+                        name: open.name,
+                        rank: scope.rank,
+                        ts_ns: open.ts_ns,
+                        dur_ns: 0,
+                        args: vec![("truncated".to_string(), Json::Bool(true))],
+                    });
+                }
+                scope
+                    .recorder
+                    .absorb(scope.rank, scope.events, scope.registry.snapshot());
+            }
+        });
+    }
+}
+
+pub(crate) fn install_scope(recorder: Recorder, rank: usize) -> ScopeGuard {
+    SCOPE.with(|s| {
+        let prev = s.borrow_mut().replace(RankScope {
+            recorder,
+            rank,
+            registry: Registry::new(),
+            events: Vec::new(),
+            stack: Vec::new(),
+        });
+        assert!(prev.is_none(), "tracing scope already installed on thread");
+    });
+    ScopeGuard { _priv: () }
+}
+
+/// Is a tracing scope installed on this thread?
+pub fn enabled() -> bool {
+    SCOPE.with(|s| s.borrow().is_some())
+}
+
+fn with_scope<T>(f: impl FnOnce(&mut RankScope) -> T) -> Option<T> {
+    SCOPE.with(|s| s.borrow_mut().as_mut().map(f))
+}
+
+/// Open a span at virtual time `ts_ns`. Pair with [`span_end`]; spans on one
+/// rank must close in LIFO order (they nest).
+pub fn span_begin(cat: &'static str, name: &str, ts_ns: u64) {
+    with_scope(|scope| {
+        scope.stack.push(OpenSpan {
+            cat,
+            name: name.to_string(),
+            ts_ns,
+        });
+    });
+}
+
+/// Close the innermost open span at virtual time `ts_ns`.
+pub fn span_end(ts_ns: u64) {
+    span_end_args(ts_ns, Vec::new());
+}
+
+/// Close the innermost open span, attaching `args` to the emitted event.
+pub fn span_end_args(ts_ns: u64, args: Vec<(String, Json)>) {
+    with_scope(|scope| {
+        let Some(open) = scope.stack.pop() else {
+            debug_assert!(false, "span_end with no open span");
+            return;
+        };
+        let rank = scope.rank;
+        scope.events.push(TraceEvent::Complete {
+            cat: open.cat,
+            name: open.name,
+            rank,
+            ts_ns: open.ts_ns,
+            dur_ns: ts_ns.saturating_sub(open.ts_ns),
+            args,
+        });
+    });
+}
+
+/// Emit a point event at virtual time `ts_ns`.
+pub fn instant(cat: &'static str, name: &str, ts_ns: u64, args: Vec<(String, Json)>) {
+    with_scope(|scope| {
+        let rank = scope.rank;
+        scope.events.push(TraceEvent::Instant {
+            cat,
+            name: name.to_string(),
+            rank,
+            ts_ns,
+            args,
+        });
+    });
+}
+
+/// Add `n` to the counter `name` in this rank's registry (no-op untraced).
+pub fn count(name: &str, n: u64) {
+    with_scope(|scope| scope.registry.counter(name).add(n));
+}
+
+/// Set the gauge `name` in this rank's registry (no-op untraced).
+pub fn gauge_set(name: &str, value: f64) {
+    with_scope(|scope| scope.registry.gauge(name).set(value));
+}
+
+/// Record `value` into histogram `name` with `bounds` (no-op untraced).
+pub fn observe(name: &str, bounds: &[u64], value: u64) {
+    with_scope(|scope| scope.registry.histogram(name, bounds).record(value));
+}
+
+/// Handles for hot paths that record many times: resolves once, then each
+/// record is a bare atomic. `None` when tracing is off for this thread.
+pub fn counter_handle(name: &str) -> Option<Counter> {
+    with_scope(|scope| scope.registry.counter(name))
+}
+
+pub fn gauge_handle(name: &str) -> Option<Gauge> {
+    with_scope(|scope| scope.registry.gauge(name))
+}
+
+pub fn histogram_handle(name: &str, bounds: &[u64]) -> Option<Histogram> {
+    with_scope(|scope| scope.registry.histogram(name, bounds))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_without_scope() {
+        assert!(!enabled());
+        span_begin("cat", "x", 0);
+        span_end(10);
+        instant("cat", "p", 5, vec![]);
+        count("c", 1);
+        assert!(counter_handle("c").is_none());
+    }
+
+    #[test]
+    fn spans_nest_and_flush_on_drop() {
+        let rec = Recorder::new();
+        {
+            let _guard = rec.install(3);
+            assert!(enabled());
+            span_begin("runtime", "outer", 100);
+            span_begin("runtime", "inner", 150);
+            count("events", 2);
+            span_end(180);
+            instant("runtime", "mark", 190, vec![("k".into(), Json::UInt(1))]);
+            span_end(200);
+        }
+        assert!(!enabled());
+        let events = rec.events();
+        assert_eq!(events.len(), 3);
+        // Sorted by start time: outer (100) precedes inner (150).
+        let TraceEvent::Complete {
+            name,
+            ts_ns,
+            dur_ns,
+            rank,
+            ..
+        } = &events[0]
+        else {
+            panic!("expected span");
+        };
+        assert_eq!(
+            (name.as_str(), *ts_ns, *dur_ns, *rank),
+            ("outer", 100, 100, 3)
+        );
+        let TraceEvent::Complete {
+            name,
+            ts_ns,
+            dur_ns,
+            ..
+        } = &events[1]
+        else {
+            panic!("expected span");
+        };
+        assert_eq!((name.as_str(), *ts_ns, *dur_ns), ("inner", 150, 30));
+        assert_eq!(rec.merged_metrics().counter("events"), 2);
+    }
+
+    #[test]
+    fn open_spans_truncate_on_unwind() {
+        let rec = Recorder::new();
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = rec.install(0);
+            span_begin("runtime", "doomed", 50);
+            panic!("boom");
+        }));
+        assert!(r.is_err());
+        let events = rec.events();
+        assert_eq!(events.len(), 1);
+        let TraceEvent::Complete {
+            name, dur_ns, args, ..
+        } = &events[0]
+        else {
+            panic!("expected span");
+        };
+        assert_eq!(name, "doomed");
+        assert_eq!(*dur_ns, 0);
+        assert_eq!(args[0].0, "truncated");
+    }
+}

@@ -15,12 +15,25 @@ use crate::timeline::NcpTimeline;
 
 /// A virtual cluster: node specs, OS and network parameters, and the load
 /// script. One application rank runs per node (the paper's model).
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct Cluster {
     nodes: Vec<NodeSpec>,
     os: OsParams,
     net: NetParams,
     script: LoadScript,
+    recorder: Option<dynmpi_obs::Recorder>,
+}
+
+impl std::fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cluster")
+            .field("nodes", &self.nodes)
+            .field("os", &self.os)
+            .field("net", &self.net)
+            .field("script", &self.script)
+            .field("traced", &self.recorder.is_some())
+            .finish()
+    }
 }
 
 impl Cluster {
@@ -32,6 +45,7 @@ impl Cluster {
             os: OsParams::default(),
             net: NetParams::default(),
             script: LoadScript::dedicated(),
+            recorder: None,
         }
     }
 
@@ -43,6 +57,7 @@ impl Cluster {
             os: OsParams::default(),
             net: NetParams::default(),
             script: LoadScript::dedicated(),
+            recorder: None,
         }
     }
 
@@ -61,6 +76,14 @@ impl Cluster {
     /// Installs the competing-process schedule.
     pub fn with_script(mut self, script: LoadScript) -> Self {
         self.script = script;
+        self
+    }
+
+    /// Attaches an observability recorder: every rank thread gets a tracing
+    /// scope for the duration of [`run_spmd`](Self::run_spmd), so spans,
+    /// instants, and metrics land in `recorder` stamped with virtual time.
+    pub fn with_recorder(mut self, recorder: dynmpi_obs::Recorder) -> Self {
+        self.recorder = Some(recorder);
         self
     }
 
@@ -129,7 +152,11 @@ impl Cluster {
             let handles: Vec<_> = (0..n)
                 .map(|pid| {
                     let shared = Arc::clone(&shared);
+                    let recorder = self.recorder.clone();
                     s.spawn(move || {
+                        // Guard dropped (and buffers flushed) after the rank
+                        // finishes or unwinds.
+                        let _obs = recorder.map(|r| r.install(pid));
                         let ctx = SimCtx::new(Arc::clone(&shared), pid, n);
                         shared.wait_turn(pid);
                         let out = catch_unwind(AssertUnwindSafe(|| f(&ctx)));

@@ -36,6 +36,18 @@ pub struct Segment {
     pub completed: bool,
 }
 
+impl Segment {
+    /// Scheduler-span name for tracing: the application either ran during
+    /// this segment or waited out competing processes' slices.
+    pub fn kind(&self) -> &'static str {
+        if self.work_done > 0.0 {
+            "run"
+        } else {
+            "wait"
+        }
+    }
+}
+
 /// Slice-cycle scheduler state for a single node.
 #[derive(Clone, Debug)]
 pub struct CpuSched {

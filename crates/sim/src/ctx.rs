@@ -7,10 +7,11 @@
 
 use std::sync::Arc;
 
-use parking_lot::MutexGuard;
+use dynmpi_obs as obs;
 
 use crate::engine::{EngineState, Envelope, RecvWait, Shared, Status};
 use crate::monitor;
+use crate::sync::MutexGuard;
 use crate::time::{SimDur, SimTime};
 
 /// Handle held by one simulated rank.
@@ -105,6 +106,13 @@ impl SimCtx {
             }
             remaining = (remaining - seg.work_done).max(0.0);
             if seg.end > now {
+                if obs::enabled() {
+                    // Scheduler-quantum span: this rank either ran or sat
+                    // out competitors' slices from `now` to `seg.end`.
+                    obs::span_begin("sched", seg.kind(), now.0);
+                    obs::span_end(seg.end.0);
+                    obs::count("sim.sched.quanta", 1);
+                }
                 st.procs[self.pid].status = Status::Scheduled;
                 st.push_event(seg.end, self.pid);
                 self.yield_turn(&mut st);
@@ -153,12 +161,13 @@ impl SimCtx {
             seq,
             payload,
         };
-        let wake = match st.procs[dst].status {
-            Status::BlockedRecv(w) if w.matches(&env) => true,
-            _ => false,
-        };
+        let wake = matches!(st.procs[dst].status, Status::BlockedRecv(w) if w.matches(&env));
         st.procs[self.pid].msgs_sent += 1;
         st.procs[self.pid].bytes_sent += len as u64;
+        // Mirrors the ProcState counters exactly, so merged per-rank
+        // metrics reconcile with `SimReport` totals integer-for-integer.
+        obs::count("sim.msgs_sent", 1);
+        obs::count("sim.bytes_sent", len as u64);
         st.procs[dst].mailbox.push(env);
         if wake {
             st.procs[dst].status = Status::Scheduled;
@@ -198,6 +207,8 @@ impl SimCtx {
                 let len = env.payload.len();
                 st.procs[self.pid].msgs_recvd += 1;
                 st.procs[self.pid].bytes_recvd += len as u64;
+                obs::count("sim.msgs_recvd", 1);
+                obs::count("sim.bytes_recvd", len as u64);
                 let p = st.net.params();
                 let cpu = p.recv_cpu_base + p.recv_cpu_per_byte * len as f64;
                 drop(st);
@@ -205,6 +216,7 @@ impl SimCtx {
                 return (env.src, env.payload);
             }
             // Not deliverable yet: block (this is what `vmstat` misses).
+            obs::span_begin("sched", "blocked", now.0);
             let node = st.procs[self.pid].node;
             st.nodes[node].blocks.block(now);
             if let Some(arrival) = st.procs[self.pid].find_pending(wait) {
@@ -217,6 +229,7 @@ impl SimCtx {
             }
             self.yield_turn(&mut st);
             let wake = st.clock;
+            obs::span_end(wake.0);
             let node = st.procs[self.pid].node;
             st.nodes[node].blocks.unblock(wake);
             let ncp = st.nodes[node].timeline.at(wake);

@@ -9,7 +9,7 @@
 
 use std::collections::BinaryHeap;
 
-use parking_lot::{Condvar, Mutex};
+use crate::sync::{Condvar, Mutex};
 
 use crate::cpu::CpuSched;
 use crate::monitor::BlockHistory;

@@ -45,6 +45,7 @@ mod network;
 mod params;
 mod report;
 mod script;
+mod sync;
 mod time;
 mod timeline;
 

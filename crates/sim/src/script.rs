@@ -65,6 +65,7 @@ impl LoadScript {
 
     /// Splits the script per node: `(time events, cycle events)`, each
     /// sorted by their trigger. Used by the cluster builder.
+    #[allow(clippy::type_complexity)]
     pub fn split_for_node(&self, node: usize) -> (Vec<(SimTime, u32)>, Vec<(u64, u32)>) {
         let mut times = Vec::new();
         let mut cycles = Vec::new();

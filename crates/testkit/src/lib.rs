@@ -1,0 +1,270 @@
+//! Dependency-free test support for the Dyn-MPI workspace.
+//!
+//! Provides three things the external crates `proptest`, `rand`, and
+//! `criterion` used to supply, scoped down to exactly what this repo needs:
+//!
+//! * [`Rng`] — a seeded SplitMix64 generator with ranged helpers, so tests
+//!   and data generators stay deterministic per seed.
+//! * [`check`] / [`check_n`] — a property-check harness: run a closure over
+//!   `n` generated cases and panic with the failing seed on the first
+//!   counterexample, so failures are reproducible with `Rng::new(seed)`.
+//! * [`bench`] — a tiny wall-clock micro-benchmark loop used by the
+//!   `crates/bench/benches/*` binaries (which run with `harness = false`).
+
+use std::time::Instant;
+
+// ---------------------------------------------------------------------------
+// Seeded RNG
+// ---------------------------------------------------------------------------
+
+/// SplitMix64 pseudo-random generator. Deterministic per seed, statistically
+/// adequate for test-case generation (not cryptographic).
+#[derive(Clone, Debug)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// Create a generator from a seed. Equal seeds yield equal streams.
+    pub fn new(seed: u64) -> Self {
+        Rng { state: seed }
+    }
+
+    /// Next raw 64-bit value (SplitMix64 step).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `u64` in `[lo, hi)`. Panics if the range is empty.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo + self.next_u64() % (hi - lo)
+    }
+
+    /// Uniform `usize` in `[lo, hi)`. Panics if the range is empty.
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        self.range_u64(lo as u64, hi as u64) as usize
+    }
+
+    /// Uniform `u32` in `[lo, hi)`. Panics if the range is empty.
+    pub fn range_u32(&mut self, lo: u32, hi: u32) -> u32 {
+        self.range_u64(u64::from(lo), u64::from(hi)) as u32
+    }
+
+    /// Uniform `i64` in `[lo, hi)`. Panics if the range is empty.
+    pub fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo.wrapping_add(self.range_u64(0, (hi - lo) as u64) as i64)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn f64_unit(&mut self) -> f64 {
+        // 53 mantissa bits of the raw stream.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo + self.f64_unit() * (hi - lo)
+    }
+
+    /// Bernoulli draw with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.f64_unit() < p
+    }
+
+    /// A vector of `len` values from `gen`.
+    pub fn vec<T>(&mut self, len: usize, mut gen: impl FnMut(&mut Rng) -> T) -> Vec<T> {
+        (0..len).map(|_| gen(self)).collect()
+    }
+
+    /// A vector whose length is drawn from `[min_len, max_len)`.
+    pub fn vec_in<T>(
+        &mut self,
+        min_len: usize,
+        max_len: usize,
+        gen: impl FnMut(&mut Rng) -> T,
+    ) -> Vec<T> {
+        let len = self.range_usize(min_len, max_len);
+        self.vec(len, gen)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Property-check harness
+// ---------------------------------------------------------------------------
+
+/// Default number of cases per property, matching what the proptest-based
+/// suites used before.
+pub const DEFAULT_CASES: u32 = 64;
+
+/// Run `prop` over [`DEFAULT_CASES`] seeded cases. Each case receives its own
+/// [`Rng`]; if the property panics, the harness re-panics naming the case
+/// seed so the failure can be replayed with `Rng::new(seed)`.
+pub fn check(name: &str, prop: impl Fn(&mut Rng)) {
+    check_n(name, DEFAULT_CASES, prop);
+}
+
+/// Like [`check`] but with an explicit case count.
+pub fn check_n(name: &str, cases: u32, prop: impl Fn(&mut Rng)) {
+    for case in 0..cases {
+        // Stable per-(property, case) seed: hash the name into the stream so
+        // distinct properties explore distinct inputs.
+        let mut seed = 0xD6E8_FEB8_6659_FD93u64 ^ u64::from(case);
+        for b in name.bytes() {
+            seed = seed
+                .wrapping_mul(0x100_0000_01B3)
+                .wrapping_add(u64::from(b));
+        }
+        let mut rng = Rng::new(seed);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| prop(&mut rng)));
+        if let Err(payload) = result {
+            let msg = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied())
+                .unwrap_or("<non-string panic>");
+            panic!("property `{name}` failed on case {case} (seed {seed:#x}): {msg}");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Micro-bench harness
+// ---------------------------------------------------------------------------
+
+/// One timed result from [`bench`].
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    pub name: String,
+    pub iters: u64,
+    pub mean_ns: f64,
+    pub min_ns: f64,
+}
+
+impl BenchResult {
+    fn fmt_ns(ns: f64) -> String {
+        if ns >= 1e9 {
+            format!("{:.3} s", ns / 1e9)
+        } else if ns >= 1e6 {
+            format!("{:.3} ms", ns / 1e6)
+        } else if ns >= 1e3 {
+            format!("{:.3} µs", ns / 1e3)
+        } else {
+            format!("{ns:.0} ns")
+        }
+    }
+
+    /// Print a one-line summary in `name  mean (min)` form.
+    pub fn report(&self) {
+        println!(
+            "{:<48} {:>12} /iter (min {:>12}, {} iters)",
+            self.name,
+            Self::fmt_ns(self.mean_ns),
+            Self::fmt_ns(self.min_ns),
+            self.iters
+        );
+    }
+}
+
+/// Time `f` with a warm-up pass and several measurement batches, returning
+/// mean and best per-iteration wall time. Replacement for the criterion
+/// harness: coarse, but stable enough to rank implementations.
+pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) -> BenchResult {
+    // Warm-up and batch sizing: aim for batches of at least ~2 ms.
+    let mut iters_per_batch = 1u64;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters_per_batch {
+            std::hint::black_box(f());
+        }
+        let elapsed = start.elapsed();
+        if elapsed.as_millis() >= 2 || iters_per_batch >= 1 << 20 {
+            break;
+        }
+        iters_per_batch *= 4;
+    }
+
+    const BATCHES: usize = 8;
+    let mut total_ns = 0.0f64;
+    let mut min_ns = f64::INFINITY;
+    for _ in 0..BATCHES {
+        let start = Instant::now();
+        for _ in 0..iters_per_batch {
+            std::hint::black_box(f());
+        }
+        let per_iter = start.elapsed().as_secs_f64() * 1e9 / iters_per_batch as f64;
+        total_ns += per_iter;
+        min_ns = min_ns.min(per_iter);
+    }
+    let res = BenchResult {
+        name: name.to_string(),
+        iters: iters_per_batch * BATCHES as u64,
+        mean_ns: total_ns / BATCHES as f64,
+        min_ns,
+    };
+    res.report();
+    res
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_per_seed() {
+        let a: Vec<u64> = {
+            let mut r = Rng::new(42);
+            (0..16).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = Rng::new(42);
+            (0..16).map(|_| r.next_u64()).collect()
+        };
+        let c: Vec<u64> = {
+            let mut r = Rng::new(43);
+            (0..16).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = Rng::new(7);
+        for _ in 0..10_000 {
+            let u = r.range_usize(3, 17);
+            assert!((3..17).contains(&u));
+            let f = r.range_f64(-2.0, 5.0);
+            assert!((-2.0..5.0).contains(&f));
+            let i = r.range_i64(-50, -3);
+            assert!((-50..-3).contains(&i));
+        }
+    }
+
+    #[test]
+    fn check_reports_failing_seed() {
+        let err = std::panic::catch_unwind(|| {
+            check_n("always-fails", 4, |_| panic!("boom"));
+        })
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().unwrap();
+        assert!(msg.contains("always-fails"));
+        assert!(msg.contains("seed"));
+        assert!(msg.contains("boom"));
+    }
+
+    #[test]
+    fn f64_unit_in_range() {
+        let mut r = Rng::new(1);
+        for _ in 0..10_000 {
+            let x = r.f64_unit();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+}

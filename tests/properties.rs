@@ -1,73 +1,97 @@
-//! Property-based tests on the core invariants (proptest).
+//! Property-based tests on the core invariants, driven by the seeded
+//! `dynmpi_testkit` harness: each property runs over many generated cases
+//! and failures report the reproducing seed.
 
 use dynmpi::{
     partition_rows, relative_power, successive_balance, successive_balance_with_floor, CommModel,
     Distribution, Drsd, NodeLoad, RowSet,
 };
-use proptest::prelude::*;
+use dynmpi_testkit::{check, Rng};
 
-fn rowset_strategy() -> impl Strategy<Value = RowSet> {
-    prop::collection::vec((0usize..200, 1usize..20), 0..12)
-        .prop_map(|pairs| RowSet::from_ranges(pairs.into_iter().map(|(s, l)| s..s + l)))
+fn gen_rowset(rng: &mut Rng) -> RowSet {
+    let pairs = rng.vec_in(0, 12, |r| (r.range_usize(0, 200), r.range_usize(1, 20)));
+    RowSet::from_ranges(pairs.into_iter().map(|(s, l)| s..s + l))
 }
 
-proptest! {
-    // ---------------- RowSet algebra ----------------------------------
+// ---------------- RowSet algebra ----------------------------------
 
-    #[test]
-    fn rowset_union_contains_both(a in rowset_strategy(), b in rowset_strategy()) {
+#[test]
+fn rowset_union_contains_both() {
+    check("rowset_union_contains_both", |rng| {
+        let a = gen_rowset(rng);
+        let b = gen_rowset(rng);
         let u = a.union(&b);
         for r in a.iter().chain(b.iter()) {
-            prop_assert!(u.contains(r));
+            assert!(u.contains(r));
         }
-        prop_assert_eq!(u.len(), a.iter().chain(b.iter()).collect::<std::collections::BTreeSet<_>>().len());
-    }
+        assert_eq!(
+            u.len(),
+            a.iter()
+                .chain(b.iter())
+                .collect::<std::collections::BTreeSet<_>>()
+                .len()
+        );
+    });
+}
 
-    #[test]
-    fn rowset_diff_intersect_partition(a in rowset_strategy(), b in rowset_strategy()) {
+#[test]
+fn rowset_diff_intersect_partition() {
+    check("rowset_diff_intersect_partition", |rng| {
+        let a = gen_rowset(rng);
+        let b = gen_rowset(rng);
         // a = (a \ b) ⊎ (a ∩ b), disjointly.
         let d = a.diff(&b);
         let i = a.intersect(&b);
-        prop_assert_eq!(d.len() + i.len(), a.len());
-        prop_assert!(d.intersect(&i).is_empty());
-        prop_assert_eq!(d.union(&i), a.clone());
+        assert_eq!(d.len() + i.len(), a.len());
+        assert!(d.intersect(&i).is_empty());
+        assert_eq!(d.union(&i), a.clone());
         // Nothing in the difference is in b.
         for r in d.iter() {
-            prop_assert!(!b.contains(r));
+            assert!(!b.contains(r));
         }
-    }
+    });
+}
 
-    #[test]
-    fn rowset_ranges_sorted_disjoint(a in rowset_strategy()) {
+#[test]
+fn rowset_ranges_sorted_disjoint() {
+    check("rowset_ranges_sorted_disjoint", |rng| {
+        let a = gen_rowset(rng);
         let rs = a.ranges();
         for w in rs.windows(2) {
-            prop_assert!(w[0].end < w[1].start, "ranges must be disjoint, non-adjacent");
+            assert!(
+                w[0].end < w[1].start,
+                "ranges must be disjoint, non-adjacent"
+            );
         }
-    }
+    });
+}
 
-    // ---------------- distributions -----------------------------------
+// ---------------- distributions -----------------------------------
 
-    #[test]
-    fn block_weights_partition_rows(
-        nrows in 1usize..500,
-        weights in prop::collection::vec(0.0f64..10.0, 1..9),
-    ) {
-        prop_assume!(weights.iter().sum::<f64>() > 0.0);
+#[test]
+fn block_weights_partition_rows() {
+    check("block_weights_partition_rows", |rng| {
+        let nrows = rng.range_usize(1, 500);
+        let weights = rng.vec_in(1, 9, |r| r.range_f64(0.0, 10.0));
+        if weights.iter().sum::<f64>() <= 0.0 {
+            return;
+        }
         let d = Distribution::block_from_weights(nrows, &weights, 0);
-        prop_assert_eq!(d.counts().iter().sum::<usize>(), nrows);
+        assert_eq!(d.counts().iter().sum::<usize>(), nrows);
         // Every row has exactly one owner, consistent with rows_of.
         for row in 0..nrows {
             let o = d.owner(row);
-            prop_assert!(d.rows_of(o).contains(row));
+            assert!(d.rows_of(o).contains(row));
         }
-    }
+    });
+}
 
-    #[test]
-    fn transfers_conserve_rows(
-        nrows in 2usize..300,
-        w1 in prop::collection::vec(0.1f64..5.0, 2..6),
-        w2 in prop::collection::vec(0.1f64..5.0, 2..6),
-    ) {
+#[test]
+fn transfers_conserve_rows() {
+    check("transfers_conserve_rows", |rng| {
+        let nrows = rng.range_usize(2, 300);
+        let w1 = rng.vec_in(2, 6, |r| r.range_f64(0.1, 5.0));
+        let w2 = rng.vec_in(2, 6, |r| r.range_f64(0.1, 5.0));
         let old = Distribution::block_from_weights(nrows, &w1, 0);
         let new = Distribution::block_from_weights(nrows, &w2, 0);
         let t = old.transfers_to(&new);
@@ -77,118 +101,144 @@ proptest! {
             total += rs.len();
             all = all.union(rs);
         }
-        prop_assert_eq!(total, nrows, "every row lands exactly once");
-        prop_assert_eq!(all, RowSet::from_range(0..nrows));
-    }
+        assert_eq!(total, nrows, "every row lands exactly once");
+        assert_eq!(all, RowSet::from_range(0..nrows));
+    });
+}
 
-    // ---------------- balancers ---------------------------------------
+// ---------------- balancers ---------------------------------------
 
-    #[test]
-    fn balancers_conserve_work(
-        nrows in 4usize..400,
-        ncps in prop::collection::vec(0u32..4, 2..8),
-        recvs in 0.0f64..6.0,
-    ) {
-        let loads: Vec<NodeLoad> = ncps.iter().map(|&n| NodeLoad { ncp: n, speed: 1.0 }).collect();
-        prop_assume!(nrows >= loads.len());
+#[test]
+fn balancers_conserve_work() {
+    check("balancers_conserve_work", |rng| {
+        let nrows = rng.range_usize(4, 400);
+        let ncps = rng.vec_in(2, 8, |r| r.range_u32(0, 4));
+        let recvs = rng.range_f64(0.0, 6.0);
+        let loads: Vec<NodeLoad> = ncps
+            .iter()
+            .map(|&n| NodeLoad { ncp: n, speed: 1.0 })
+            .collect();
+        if nrows < loads.len() {
+            return;
+        }
         let w: Vec<f64> = (0..nrows).map(|i| 0.5 + (i % 5) as f64).collect();
-        let comm = CommModel { blocking_recvs_per_cycle: recvs, quantum: 0.01, wait_factor: 0.05 };
+        let comm = CommModel {
+            blocking_recvs_per_cycle: recvs,
+            quantum: 0.01,
+            wait_factor: 0.05,
+        };
         for d in [
             relative_power(&w, &loads, 0),
             successive_balance(&w, &loads, &comm, 0),
             successive_balance_with_floor(&w, &loads, &comm, 0, 0.0),
         ] {
-            prop_assert_eq!(d.counts().iter().sum::<usize>(), nrows);
+            assert_eq!(d.counts().iter().sum::<usize>(), nrows);
         }
-    }
+    });
+}
 
-    #[test]
-    fn successive_balance_never_gives_loaded_more_than_unloaded(
-        nrows in 50usize..400,
-        ncp in 1u32..4,
-    ) {
+#[test]
+fn successive_balance_never_gives_loaded_more_than_unloaded() {
+    check("successive_balance_loaded_vs_unloaded", |rng| {
+        let nrows = rng.range_usize(50, 400);
+        let ncp = rng.range_u32(1, 4);
         let loads = [
             NodeLoad { ncp, speed: 1.0 },
             NodeLoad::unloaded(1.0),
             NodeLoad::unloaded(1.0),
         ];
         let w = vec![1.0; nrows];
-        let comm = CommModel { blocking_recvs_per_cycle: 2.0, quantum: 0.01, wait_factor: 0.05 };
+        let comm = CommModel {
+            blocking_recvs_per_cycle: 2.0,
+            quantum: 0.01,
+            wait_factor: 0.05,
+        };
         let c = successive_balance(&w, &loads, &comm, 0).counts();
-        prop_assert!(c[0] <= c[1] + 1, "loaded {} vs unloaded {}", c[0], c[1]);
-        prop_assert!(c[0] <= c[2] + 1);
-    }
+        assert!(c[0] <= c[1] + 1, "loaded {} vs unloaded {}", c[0], c[1]);
+        assert!(c[0] <= c[2] + 1);
+    });
+}
 
-    #[test]
-    fn partition_respects_min_rows(
-        nrows in 20usize..300,
-        shares in prop::collection::vec(0.0f64..5.0, 2..6),
-        min_rows in 0usize..4,
-    ) {
-        prop_assume!(shares.iter().sum::<f64>() > 0.0);
-        prop_assume!(min_rows * shares.len() <= nrows);
+#[test]
+fn partition_respects_min_rows() {
+    check("partition_respects_min_rows", |rng| {
+        let nrows = rng.range_usize(20, 300);
+        let shares = rng.vec_in(2, 6, |r| r.range_f64(0.0, 5.0));
+        let min_rows = rng.range_usize(0, 4);
+        if shares.iter().sum::<f64>() <= 0.0 || min_rows * shares.len() > nrows {
+            return;
+        }
         let w = vec![1.0; nrows];
         let counts = partition_rows(&w, &shares, min_rows);
-        prop_assert_eq!(counts.iter().sum::<usize>(), nrows);
+        assert_eq!(counts.iter().sum::<usize>(), nrows);
         for c in counts {
-            prop_assert!(c >= min_rows);
+            assert!(c >= min_rows);
         }
-    }
+    });
+}
 
-    // ---------------- DRSDs -------------------------------------------
+// ---------------- DRSDs -------------------------------------------
 
-    #[test]
-    fn drsd_eval_stays_in_bounds(
-        lo in 0usize..100,
-        span in 0usize..100,
-        halo in 0i64..5,
-        nrows in 1usize..250,
-    ) {
+#[test]
+fn drsd_eval_stays_in_bounds() {
+    check("drsd_eval_stays_in_bounds", |rng| {
+        let lo = rng.range_usize(0, 100);
+        let span = rng.range_usize(0, 100);
+        let halo = rng.range_i64(0, 5);
+        let nrows = rng.range_usize(1, 250);
         let hi = lo + span;
         let d = Drsd::with_halo(halo);
         let s = d.eval(lo, hi, nrows);
         if let (Some(first), Some(last)) = (s.first(), s.last()) {
-            prop_assert!(last < nrows);
-            prop_assert!(first <= last);
+            assert!(last < nrows);
+            assert!(first <= last);
         }
-    }
+    });
+}
 
-    #[test]
-    fn drsd_halo_superset_of_iter_space(
-        lo in 0usize..50,
-        span in 0usize..50,
-        nrows in 100usize..200,
-    ) {
+#[test]
+fn drsd_halo_superset_of_iter_space() {
+    check("drsd_halo_superset_of_iter_space", |rng| {
+        let lo = rng.range_usize(0, 50);
+        let span = rng.range_usize(0, 50);
+        let nrows = rng.range_usize(100, 200);
         let hi = lo + span;
         let base = Drsd::iter_space().eval(lo, hi, nrows);
         let widened = Drsd::with_halo(2).eval(lo, hi, nrows);
-        prop_assert_eq!(base.diff(&widened).len(), 0);
-    }
+        assert_eq!(base.diff(&widened).len(), 0);
+    });
+}
 
-    // ---------------- wire formats -------------------------------------
+// ---------------- wire formats -------------------------------------
 
-    #[test]
-    fn dense_pack_unpack_round_trip(
-        rows in rowset_strategy(),
-        row_len in 1usize..16,
-    ) {
+#[test]
+fn dense_pack_unpack_round_trip() {
+    check("dense_pack_unpack_round_trip", |rng| {
         use dynmpi::{DenseMatrix, RedistArray};
-        let rows = rows.clamp(200);
+        let rows = gen_rowset(rng).clamp(200);
+        let row_len = rng.range_usize(1, 16);
         let mut a = DenseMatrix::<f64>::new(200, row_len);
         a.fill_rows(&rows, |i, j| (i * 31 + j) as f64);
         let bytes = a.pack_rows(&rows, false);
         let mut b = DenseMatrix::<f64>::new(200, row_len);
         b.unpack_rows(&rows, &bytes);
         for i in rows.iter() {
-            prop_assert_eq!(a.row(i), b.row(i));
+            assert_eq!(a.row(i), b.row(i));
         }
-    }
+    });
+}
 
-    #[test]
-    fn sparse_pack_unpack_round_trip(
-        entries in prop::collection::vec((0usize..40, 0u32..60, -10.0f64..10.0), 0..80),
-    ) {
+#[test]
+fn sparse_pack_unpack_round_trip() {
+    check("sparse_pack_unpack_round_trip", |rng| {
         use dynmpi::{RedistArray, SparseMatrix};
+        let entries = rng.vec_in(0, 80, |r| {
+            (
+                r.range_usize(0, 40),
+                r.range_u32(0, 60),
+                r.range_f64(-10.0, 10.0),
+            )
+        });
         let mut a = SparseMatrix::<f64>::new(40, 60);
         for &(i, c, v) in &entries {
             a.set(i, c, v);
@@ -197,9 +247,9 @@ proptest! {
         let bytes = a.pack_rows(&rows, false);
         let mut b = SparseMatrix::<f64>::new(40, 60);
         b.unpack_rows(&rows, &bytes);
-        prop_assert_eq!(a.nnz(), b.nnz());
+        assert_eq!(a.nnz(), b.nnz());
         for (i, c, v) in a.iter() {
-            prop_assert_eq!(b.row(i).get(c), Some(v));
+            assert_eq!(b.row(i).get(c), Some(v));
         }
-    }
+    });
 }
