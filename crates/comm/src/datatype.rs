@@ -3,8 +3,31 @@
 //! Message payloads travel as byte vectors; typed sends and receives cast
 //! element slices to and from bytes. The `Pod` trait marks types for which
 //! this is sound: no padding, no invalid bit patterns, no pointers.
+//!
+//! Every conversion in this module charges the [`BYTES_COPIED`] counter
+//! with the number of payload bytes it memcpy'd (when an obs recorder is
+//! installed), so the collectives' copy discipline is measurable: the
+//! micro-bench and the equivalence tests compare algorithms by exactly
+//! this counter. The `*_into` variants reuse a caller-owned buffer so
+//! steady-state collectives allocate once and stay one-copy per hop.
+
+use dynmpi_obs as obs;
+
+/// Metric charged (in bytes) by every payload memcpy in the comm crate:
+/// serialization, deserialization, and relay clones alike.
+pub const BYTES_COPIED: &str = "comm.bytes_copied";
+
+/// Records `n` payload bytes copied. Exposed so `ops.rs` can charge relay
+/// clones and block assemblies through the same counter.
+#[inline]
+pub(crate) fn count_copied(n: usize) {
+    obs::count(BYTES_COPIED, n as u64);
+}
 
 /// Marker for types that can be safely reinterpreted as raw bytes.
+///
+/// `ZERO` gives collectives a valid fill value so they can preallocate
+/// output vectors in safe code before assembling received blocks in place.
 ///
 /// # Safety
 ///
@@ -12,36 +35,76 @@
 /// pattern as a valid value. All implementations live in this module; the
 /// trait is sealed by convention (do not implement it downstream unless the
 /// same guarantees hold).
-pub unsafe trait Pod: Copy + Send + 'static {}
+pub unsafe trait Pod: Copy + Send + 'static {
+    /// The all-zero-bits value.
+    const ZERO: Self;
+}
 
-unsafe impl Pod for u8 {}
-unsafe impl Pod for i8 {}
-unsafe impl Pod for u16 {}
-unsafe impl Pod for i16 {}
-unsafe impl Pod for u32 {}
-unsafe impl Pod for i32 {}
-unsafe impl Pod for u64 {}
-unsafe impl Pod for i64 {}
-unsafe impl Pod for f32 {}
-unsafe impl Pod for f64 {}
+macro_rules! impl_pod {
+    ($($t:ty => $zero:expr),* $(,)?) => {
+        $(unsafe impl Pod for $t {
+            const ZERO: Self = $zero;
+        })*
+    };
+}
+
+impl_pod! {
+    u8 => 0, i8 => 0, u16 => 0, i16 => 0, u32 => 0, i32 => 0,
+    u64 => 0, i64 => 0, f32 => 0.0, f64 => 0.0,
+}
+
+/// Appends the byte image of `data` to `out` without clearing it — the
+/// primitive under [`to_bytes_into`] and the framed-message builders in
+/// `ops.rs`.
+pub(crate) fn append_bytes<P: Pod>(data: &[P], out: &mut Vec<u8>) {
+    let len = std::mem::size_of_val(data);
+    let old = out.len();
+    out.reserve(len);
+    // SAFETY: `P: Pod` has no padding, so reading its bytes is defined;
+    // the destination was reserved for `len` additional bytes.
+    unsafe {
+        std::ptr::copy_nonoverlapping(data.as_ptr().cast::<u8>(), out.as_mut_ptr().add(old), len);
+        out.set_len(old + len);
+    }
+    count_copied(len);
+}
+
+/// Typed clone that charges [`BYTES_COPIED`], so `data.to_vec()` on hot
+/// paths stays visible to the copy accounting.
+pub(crate) fn counted_to_vec<P: Pod>(data: &[P]) -> Vec<P> {
+    count_copied(std::mem::size_of_val(data));
+    data.to_vec()
+}
 
 /// Serializes a slice of POD elements to bytes (native endianness; both
 /// transports stay within one process, so this is lossless).
 pub fn to_bytes<P: Pod>(data: &[P]) -> Vec<u8> {
-    let len = std::mem::size_of_val(data);
-    let mut out = vec![0u8; len];
-    // SAFETY: `P: Pod` has no padding, so reading its bytes is defined;
-    // lengths match by construction.
-    unsafe {
-        std::ptr::copy_nonoverlapping(data.as_ptr().cast::<u8>(), out.as_mut_ptr(), len);
-    }
+    let mut out = Vec::new();
+    to_bytes_into(data, &mut out);
     out
+}
+
+/// Serializes into a reusable buffer: clears `out`, then appends the byte
+/// image of `data`. Capacity is retained across calls, so a loop that
+/// serializes into the same buffer allocates only on growth.
+pub fn to_bytes_into<P: Pod>(data: &[P], out: &mut Vec<u8>) {
+    out.clear();
+    append_bytes(data, out);
 }
 
 /// Deserializes bytes produced by [`to_bytes`] back into elements.
 ///
 /// Panics if the byte length is not a multiple of the element size.
 pub fn from_bytes<P: Pod>(bytes: &[u8]) -> Vec<P> {
+    let mut out = Vec::new();
+    from_bytes_into(bytes, &mut out);
+    out
+}
+
+/// Deserializes into a reusable buffer: clears `out`, then appends the
+/// decoded elements. Panics if the byte length is not a multiple of the
+/// element size.
+pub fn from_bytes_into<P: Pod>(bytes: &[u8], out: &mut Vec<P>) {
     let esz = std::mem::size_of::<P>();
     assert!(esz > 0, "zero-sized POD elements are not supported");
     assert!(
@@ -51,7 +114,8 @@ pub fn from_bytes<P: Pod>(bytes: &[u8]) -> Vec<P> {
         esz
     );
     let n = bytes.len() / esz;
-    let mut out = Vec::<P>::with_capacity(n);
+    out.clear();
+    out.reserve(n);
     // SAFETY: `P: Pod` accepts any bit pattern; the destination has
     // capacity for `n` elements and is properly aligned by Vec; lengths
     // match.
@@ -59,7 +123,40 @@ pub fn from_bytes<P: Pod>(bytes: &[u8]) -> Vec<P> {
         std::ptr::copy_nonoverlapping(bytes.as_ptr(), out.as_mut_ptr().cast::<u8>(), bytes.len());
         out.set_len(n);
     }
-    out
+    count_copied(bytes.len());
+}
+
+/// Decodes `bytes` into `out[at..at + bytes.len()/esz]` in place — the
+/// block-assembly primitive of the scatter–allgather collectives, which
+/// write each received block straight into the final output vector
+/// instead of growing intermediate vectors.
+///
+/// Panics if the byte length is not a multiple of the element size or the
+/// decoded elements would overrun `out`.
+pub fn write_bytes_at<P: Pod>(out: &mut [P], at: usize, bytes: &[u8]) {
+    let esz = std::mem::size_of::<P>();
+    assert!(esz > 0, "zero-sized POD elements are not supported");
+    assert!(
+        bytes.len().is_multiple_of(esz),
+        "byte length {} is not a multiple of element size {}",
+        bytes.len(),
+        esz
+    );
+    let n = bytes.len() / esz;
+    assert!(
+        at.checked_add(n).is_some_and(|end| end <= out.len()),
+        "write_bytes_at: {n} elements at offset {at} overrun output of {}",
+        out.len()
+    );
+    // SAFETY: bounds checked above; `P: Pod` accepts any bit pattern.
+    unsafe {
+        std::ptr::copy_nonoverlapping(
+            bytes.as_ptr(),
+            out.as_mut_ptr().add(at).cast::<u8>(),
+            bytes.len(),
+        );
+    }
+    count_copied(bytes.len());
 }
 
 #[cfg(test)]
@@ -103,5 +200,33 @@ mod tests {
     fn byte_length_is_exact() {
         let v = vec![0u16; 7];
         assert_eq!(to_bytes(&v).len(), 14);
+    }
+
+    #[test]
+    fn into_variants_reuse_capacity() {
+        let mut bytes = Vec::new();
+        let mut elems: Vec<u32> = Vec::new();
+        to_bytes_into(&[1u32, 2, 3, 4], &mut bytes);
+        let cap = bytes.capacity();
+        from_bytes_into(&bytes, &mut elems);
+        assert_eq!(elems, vec![1, 2, 3, 4]);
+        // A smaller payload must not reallocate the byte buffer.
+        to_bytes_into(&[9u32], &mut bytes);
+        assert_eq!(bytes.capacity(), cap);
+        assert_eq!(from_bytes::<u32>(&bytes), vec![9]);
+    }
+
+    #[test]
+    fn write_bytes_at_places_block() {
+        let mut out = vec![0u64; 6];
+        write_bytes_at(&mut out, 2, &to_bytes(&[7u64, 8, 9]));
+        assert_eq!(out, vec![0, 0, 7, 8, 9, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "overrun")]
+    fn write_bytes_at_rejects_overrun() {
+        let mut out = vec![0u64; 2];
+        write_bytes_at(&mut out, 1, &to_bytes(&[1u64, 2]));
     }
 }

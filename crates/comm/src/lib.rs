@@ -29,9 +29,11 @@ mod sim_transport;
 mod thread;
 mod transport;
 
-pub use datatype::{from_bytes, to_bytes, Pod};
+pub use datatype::{
+    from_bytes, from_bytes_into, to_bytes, to_bytes_into, write_bytes_at, Pod, BYTES_COPIED,
+};
 pub use group::Group;
-pub use ops::CommOps;
+pub use ops::{CommOps, COLL_LARGE_THRESHOLD, LARGE_ALGO_MIN_RANKS};
 pub use sim_transport::SimTransport;
 pub use thread::{run_threads, ThreadTransport};
 pub use transport::{HostMeters, Transport, RESERVED_TAG_BASE};

@@ -29,6 +29,10 @@ trait DynTransport {
     fn bcast(&self, g: &Group, root: usize, data: Option<&[i64]>) -> Vec<i64>;
     fn alltoallv(&self, g: &Group, parts: &[Vec<u32>]) -> Vec<Vec<u32>>;
     fn sendrecv_ring(&self, val: u64) -> u64;
+    /// Adaptive bcast plus both forced algorithms, in that order.
+    fn bcast_all_algos(&self, g: &Group, root: usize, data: Option<&[u64]>) -> [Vec<u64>; 3];
+    /// Ring allreduce plus the reduce+bcast tree path, in that order.
+    fn allreduce_both_algos(&self, g: &Group, data: &[f64]) -> [Vec<f64>; 2];
 }
 
 struct TransportObj<'a, T: Transport>(&'a T);
@@ -57,6 +61,24 @@ impl<T: Transport> DynTransport for TransportObj<'_, T> {
         let r = self.0.rank();
         let got = self.0.sendrecv((r + 1) % n, 3, &[val], (r + n - 1) % n, 3);
         got[0]
+    }
+    fn bcast_all_algos(&self, g: &Group, root: usize, data: Option<&[u64]>) -> [Vec<u64>; 3] {
+        [
+            self.0.bcast(g, root, data),
+            self.0.bcast_binomial(g, root, data),
+            self.0.bcast_scatter_allgather(g, root, data),
+        ]
+    }
+    fn allreduce_both_algos(&self, g: &Group, data: &[f64]) -> [Vec<f64>; 2] {
+        let sum = |a: &mut [f64], b: &[f64]| {
+            for (x, y) in a.iter_mut().zip(b) {
+                *x += y;
+            }
+        };
+        let ring = self.0.allreduce_ring(g, data, sum);
+        let reduced = self.0.reduce(g, 0, data, sum);
+        let tree = self.0.bcast_binomial(g, 0, reduced.as_deref());
+        [ring, tree]
     }
 }
 
@@ -116,6 +138,63 @@ fn ring_shift_matches_across_transports() {
     let (a, b) = on_both(5, |t| t.sendrecv_ring(t.rank() as u64 * 3));
     assert_eq!(a, b);
     assert_eq!(a, vec![12, 0, 3, 6, 9]);
+}
+
+/// The size-adaptive dispatch must be invisible to callers: the adaptive
+/// bcast and both forced algorithms return byte-identical payloads, on
+/// both transports, across group sizes, roots, and the small/large
+/// threshold.
+#[test]
+fn bcast_algorithms_byte_identical_across_transports() {
+    // 97 u64s stay under the large threshold; 16 Ki u64s (128 KiB) cross
+    // it, so the adaptive path exercises both algorithms.
+    for elems in [97usize, 16 * 1024] {
+        for n in [1usize, 2, 3, 5, 8] {
+            for root in [0, n - 1] {
+                let (threads, sim) = on_both(n, move |t| {
+                    let g = Group::world(t.rank(), t.size());
+                    let data: Vec<u64> =
+                        (0..elems as u64).map(|i| i ^ (root as u64) << 32).collect();
+                    t.bcast_all_algos(&g, root, (t.rank() == root).then_some(&data))
+                });
+                let expect: Vec<u64> = (0..elems as u64).map(|i| i ^ (root as u64) << 32).collect();
+                assert_eq!(threads, sim, "elems={elems} n={n} root={root}");
+                for per_rank in &threads {
+                    let [adaptive, binomial, vdg] = per_rank;
+                    assert_eq!(adaptive, &expect, "elems={elems} n={n} root={root}");
+                    assert_eq!(binomial, &expect, "elems={elems} n={n} root={root}");
+                    assert_eq!(vdg, &expect, "elems={elems} n={n} root={root}");
+                }
+            }
+        }
+    }
+}
+
+/// Ring allreduce vs reduce+bcast on exactly representable values: the
+/// two associations are byte-identical for integer-valued doubles, on
+/// both transports.
+#[test]
+fn allreduce_algorithms_byte_identical_across_transports() {
+    for elems in [64usize, 16 * 1024] {
+        for n in [1usize, 2, 3, 5, 8] {
+            let (threads, sim) = on_both(n, move |t| {
+                let g = Group::world(t.rank(), t.size());
+                // Small integers: every partial sum is exact in f64, so
+                // both associations must agree bit-for-bit.
+                let data: Vec<f64> = (0..elems).map(|i| ((t.rank() + i) % 13) as f64).collect();
+                t.allreduce_both_algos(&g, &data)
+            });
+            assert_eq!(threads, sim, "elems={elems} n={n}");
+            for (r, per_rank) in threads.iter().enumerate() {
+                let [ring, tree] = per_rank;
+                assert_eq!(ring, tree, "elems={elems} n={n} rank={r}");
+                let expect: Vec<f64> = (0..elems)
+                    .map(|i| (0..n).map(|rk| ((rk + i) % 13) as f64).sum())
+                    .collect();
+                assert_eq!(ring, &expect, "elems={elems} n={n} rank={r}");
+            }
+        }
+    }
 }
 
 #[test]

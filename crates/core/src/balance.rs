@@ -188,7 +188,11 @@ pub fn successive_balance_with_floor(
             work[i] = work[i].max(naive * floor_frac);
         }
     }
-    Distribution::block_from_counts(&partition_rows(row_weights, &normalize(&work), min_rows))
+    Distribution::block_from_counts(&partition_rows(
+        row_weights,
+        &shares_or_uniform(&work),
+        min_rows,
+    ))
 }
 
 /// [`successive_balance_with_floor`] with the default 50 % participation
@@ -222,7 +226,12 @@ fn solve_makespan(avail: &[f64], pen: &[f64], w: f64) -> f64 {
     t
 }
 
-fn normalize(work: &[f64]) -> Vec<f64> {
+/// Returns the work shares unchanged, or uniform shares when they sum to
+/// nothing (every node fully loaded). Despite the old name ("normalize"),
+/// this never rescales — `partition_rows` only cares about relative
+/// proportions — it exists solely to keep a degenerate all-zero share
+/// vector from producing an empty distribution.
+fn shares_or_uniform(work: &[f64]) -> Vec<f64> {
     let s: f64 = work.iter().sum();
     if s <= 0.0 {
         vec![1.0; work.len()]

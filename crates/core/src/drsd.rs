@@ -87,6 +87,34 @@ impl Drsd {
         Drsd { start, end, step }
     }
 
+    /// Conservative bounding interval of [`Drsd::eval`] over *any* loop
+    /// ranges contained in `[first, last]`: a half-open row interval
+    /// guaranteed to contain every row the section can touch for a node
+    /// whose owned rows start at `first` and end at `last`. O(1) bound
+    /// arithmetic — the redistribution scheduler uses it to skip schedule
+    /// pairs whose row sets cannot intersect without materializing any
+    /// [`RowSet`].
+    ///
+    /// Conservativeness: for a sub-range `[rlo, rhi] ⊆ [first, last]`,
+    /// every start bound is minimized at `(first, first)` and every end
+    /// bound maximized at `(last, last)` (the expressions are monotone in
+    /// both loop bounds), so the interval returned here contains
+    /// `eval(rlo, rhi, nrows)` — including its clamping behavior — for
+    /// every such sub-range.
+    pub fn envelope(&self, first: usize, last: usize, nrows: usize) -> Option<(usize, usize)> {
+        if last < first {
+            return None;
+        }
+        let s = self.start.eval(first as i64, first as i64);
+        let e = self.end.eval(last as i64, last as i64);
+        if e < s {
+            return None;
+        }
+        let lo = s.max(0) as usize;
+        let hi = ((e.max(0) as usize) + 1).min(nrows);
+        (lo < hi).then_some((lo, hi))
+    }
+
     /// Evaluates the descriptor for a node whose partitioned loop covers
     /// global rows `[lo, hi]` inclusive, clamped to `0..nrows`.
     /// An empty loop range (`hi < lo`) yields the empty set.
@@ -172,5 +200,38 @@ mod tests {
     fn negative_start_clamps_to_zero() {
         let d = Drsd::with_halo(3);
         assert_eq!(d.eval(0, 2, 100).ranges(), &[0..6]);
+    }
+
+    #[test]
+    fn envelope_contains_eval_for_every_subrange() {
+        dynmpi_testkit::check("drsd-envelope-superset", |rng| {
+            let nrows = rng.range_usize(1, 60);
+            let bound = |rng: &mut dynmpi_testkit::Rng| match rng.range_u32(0, 3) {
+                0 => Bound::Const(rng.range_i64(-5, nrows as i64 + 5)),
+                1 => Bound::Start(rng.range_i64(-6, 7)),
+                _ => Bound::End(rng.range_i64(-6, 7)),
+            };
+            let d = Drsd {
+                start: bound(rng),
+                end: bound(rng),
+                step: rng.range_u32(1, 4),
+            };
+            let first = rng.range_usize(0, nrows);
+            let last = rng.range_usize(first, nrows);
+            let env = d.envelope(first, last, nrows);
+            // Every sub-range's evaluation must land inside the envelope.
+            for _ in 0..8 {
+                let rlo = rng.range_usize(first, last + 1);
+                let rhi = rng.range_usize(rlo, last + 1);
+                let rows = d.eval(rlo, rhi, nrows);
+                if let Some(row) = rows.first() {
+                    let (lo, hi) = env.expect("non-empty eval needs an envelope");
+                    assert!(
+                        row >= lo && rows.last().unwrap() < hi,
+                        "{d:?} {rows:?} vs {env:?}"
+                    );
+                }
+            }
+        });
     }
 }

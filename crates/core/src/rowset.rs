@@ -37,18 +37,17 @@ impl RowSet {
     }
 
     /// A strided set: `start, start+step, …` up to but excluding `end`.
+    /// Built in one pass — the elements are already sorted and (for
+    /// `step > 1`) non-adjacent, so each becomes its own range directly
+    /// instead of going through `insert_range`'s splice.
     pub fn strided(start: usize, end: usize, step: usize) -> Self {
         assert!(step > 0, "stride must be positive");
         if step == 1 {
             return RowSet::from_range(start..end.max(start));
         }
-        let mut s = RowSet::new();
-        let mut i = start;
-        while i < end {
-            s.insert_range(i..i + 1);
-            i += step;
+        RowSet {
+            ranges: (start..end).step_by(step).map(|i| i..i + 1).collect(),
         }
-        s
     }
 
     /// Inserts a range, merging as needed.
@@ -181,12 +180,20 @@ impl fmt::Debug for RowSet {
 }
 
 impl FromIterator<usize> for RowSet {
+    /// Sort–dedup–coalesce: O(n log n) on arbitrary input instead of the
+    /// O(n²) worst case of per-element `insert_range` splicing.
     fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
-        let mut s = RowSet::new();
-        for i in iter {
-            s.insert_range(i..i + 1);
+        let mut rows: Vec<usize> = iter.into_iter().collect();
+        rows.sort_unstable();
+        rows.dedup();
+        let mut ranges: Vec<Range<usize>> = Vec::new();
+        for i in rows {
+            match ranges.last_mut() {
+                Some(r) if r.end == i => r.end = i + 1,
+                _ => ranges.push(i..i + 1),
+            }
         }
-        s
+        RowSet { ranges }
     }
 }
 
@@ -270,6 +277,38 @@ mod tests {
     fn from_iterator_collects() {
         let s: RowSet = [5usize, 1, 2, 9, 3].into_iter().collect();
         assert_eq!(s.ranges(), &[1..4, 5..6, 9..10]);
+    }
+
+    /// One-pass constructors must agree with a `BTreeSet` oracle on
+    /// random inputs: same members, and ranges that are sorted, disjoint,
+    /// non-adjacent, and non-empty (the representation invariant).
+    #[test]
+    fn one_pass_builders_match_btreeset_oracle() {
+        use std::collections::BTreeSet;
+
+        let invariant_holds = |s: &RowSet| {
+            s.ranges().iter().all(|r| r.start < r.end)
+                && s.ranges().windows(2).all(|w| w[0].end < w[1].start)
+        };
+        dynmpi_testkit::check("rowset-one-pass-oracle", |rng| {
+            // FromIterator on unsorted input with duplicates.
+            let n = rng.range_usize(0, 40);
+            let rows: Vec<usize> = (0..n).map(|_| rng.range_usize(0, 30)).collect();
+            let s: RowSet = rows.iter().copied().collect();
+            let oracle: BTreeSet<usize> = rows.into_iter().collect();
+            assert_eq!(s.iter().collect::<BTreeSet<_>>(), oracle);
+            assert_eq!(s.len(), oracle.len());
+            assert!(invariant_holds(&s), "{s:?}");
+
+            // strided against the same oracle.
+            let start = rng.range_usize(0, 20);
+            let end = rng.range_usize(0, 40);
+            let step = rng.range_usize(1, 5);
+            let s = RowSet::strided(start, end, step);
+            let oracle: BTreeSet<usize> = (start..end.max(start)).step_by(step).collect();
+            assert_eq!(s.iter().collect::<BTreeSet<_>>(), oracle);
+            assert!(invariant_holds(&s), "{s:?}");
+        });
     }
 
     #[test]

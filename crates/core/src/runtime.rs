@@ -27,9 +27,12 @@ use crate::config::{BalancerKind, DropPolicy, DynMpiConfig};
 use crate::dist::Distribution;
 use crate::drsd::{AccessMode, ArrayAccess, Drsd};
 use crate::events::RuntimeEvent;
-use crate::redist::{self, RedistOutcome};
+use crate::redist::{self, RedistOutcome, ScheduleCache, TransferSchedule};
 use crate::rowset::RowSet;
 use crate::timing::RowTimer;
+
+use std::cell::RefCell;
+use std::rc::Rc;
 
 /// Status messages from the active root to removed ranks.
 const TAG_STATUS: u64 = (1 << 33) + 0x20_0000;
@@ -158,6 +161,12 @@ pub struct DynMpi<'a, T: HostMeters> {
     /// Blobs to ignore at the start of a PostRedist window (they carry
     /// pre-redistribution cycle times because of the pipeline lag).
     post_skip: u32,
+
+    /// Transfer-schedule cache: steady-state cycles (ghost exchange,
+    /// repeated redistributions over an unchanged distribution) reuse the
+    /// schedule instead of re-deriving it. `RefCell` because the
+    /// per-cycle ghost exchange runs behind `&self`.
+    sched_cache: RefCell<ScheduleCache>,
 }
 
 impl<'a, T: HostMeters> DynMpi<'a, T> {
@@ -202,6 +211,7 @@ impl<'a, T: HostMeters> DynMpi<'a, T> {
             ctrl_sent: 0,
             self_samples: std::collections::VecDeque::new(),
             post_skip: 0,
+            sched_cache: RefCell::new(ScheduleCache::new()),
         }
     }
 
@@ -250,6 +260,8 @@ impl<'a, T: HostMeters> DynMpi<'a, T> {
         assert!(!self.setup_done, "register accesses before setup");
         assert!(array < self.arrays.len(), "unknown array id {array}");
         self.accesses.push(ArrayAccess { array, mode, drsd });
+        // Schedules embed the access list; anything cached is now stale.
+        self.sched_cache.borrow_mut().invalidate();
     }
 
     /// Finalizes registration and allocates each array's owned and ghost
@@ -342,20 +354,26 @@ impl<'a, T: HostMeters> DynMpi<'a, T> {
     /// Rows of `array` present on this rank: owned plus DRSD ghosts. Use
     /// after `setup` (or a redistribution) to know what to initialize.
     pub fn local_rows(&self, array: ArrayId) -> RowSet {
-        if self.is_removed {
+        if self.is_removed || self.active.rel().is_none() {
             return RowSet::new();
         }
-        let Some(rel) = self.active.rel() else {
-            return RowSet::new();
-        };
-        let owned = self.dist.rows_of(rel);
-        owned.union(&redist::ghost_needs(
+        self.steady_schedule().keep[array].clone()
+    }
+
+    /// The identity transfer schedule for the current membership and
+    /// distribution. Ghost legs double as the per-cycle boundary-exchange
+    /// plan; `keep` sets are owned ∪ ghost rows. Cached until the group,
+    /// the distribution, or the access list changes.
+    fn steady_schedule(&self) -> Rc<TransferSchedule> {
+        self.sched_cache.borrow_mut().schedule(
+            self.wrank,
+            &self.active,
             &self.dist,
-            rel,
-            array,
+            &self.active,
+            &self.dist,
             &self.accesses,
-            self.nrows,
-        ))
+            self.arrays.len(),
+        )
     }
 
     /// The current distribution over active nodes.
@@ -816,9 +834,10 @@ impl<'a, T: HostMeters> DynMpi<'a, T> {
                 self.cfg.balance_floor,
             ),
         };
-        let oc = redist::execute(
+        let oc = redist::execute_cached(
             self.t,
             self.wrank,
+            self.sched_cache.get_mut(),
             &old_group,
             &old_dist,
             &new_group,
@@ -897,9 +916,10 @@ impl<'a, T: HostMeters> DynMpi<'a, T> {
         if was_root {
             self.send_statuses(&pre_removed, loads);
         }
-        let oc = redist::execute(
+        let oc = redist::execute_cached(
             self.t,
             self.wrank,
+            self.sched_cache.get_mut(),
             &old_group,
             &old_dist,
             &new_group,
@@ -1007,9 +1027,10 @@ impl<'a, T: HostMeters> DynMpi<'a, T> {
         new_dist: &Distribution,
         arrays: &mut [&mut dyn RedistArray],
     ) -> RedistOutcome {
-        let oc = redist::execute(
+        let oc = redist::execute_cached(
             self.t,
             self.wrank,
+            self.sched_cache.get_mut(),
             &self.active,
             &self.dist,
             &self.active,
@@ -1098,9 +1119,10 @@ impl<'a, T: HostMeters> DynMpi<'a, T> {
             let old_dist = Distribution::block_from_counts(&self.known_counts);
             let new_group = Group::new(members.clone(), self.wrank);
             let new_dist = Distribution::block_from_counts(&counts);
-            let oc = redist::execute(
+            let oc = redist::execute_cached(
                 self.t,
                 self.wrank,
+                self.sched_cache.get_mut(),
                 &old_group,
                 &old_dist,
                 &new_group,
@@ -1133,31 +1155,19 @@ impl<'a, T: HostMeters> DynMpi<'a, T> {
         if self.is_removed {
             return;
         }
-        let rel = self.active.rel_unchecked();
+        assert!(
+            self.active.rel().is_some(),
+            "ghost_exchange on a non-member rank"
+        );
+        let sched = self.steady_schedule();
         let tag = TAG_GEX + array as u64;
-        let mine = self.dist.rows_of(rel);
-        for dst_rel in 0..self.active.size() {
-            if dst_rel == rel {
-                continue;
-            }
-            let need = redist::ghost_needs(&self.dist, dst_rel, array, &self.accesses, self.nrows);
-            let from_me = need.intersect(&mine);
-            if !from_me.is_empty() {
-                let payload = arr.pack_rows(&from_me, false);
-                self.t
-                    .send_bytes(self.active.world_rank(dst_rel), tag, payload);
-            }
+        for (dst, from_me) in &sched.ghost_sends[array] {
+            let payload = arr.pack_rows(from_me, false);
+            self.t.send_bytes(*dst, tag, payload);
         }
-        let my_need = redist::ghost_needs(&self.dist, rel, array, &self.accesses, self.nrows);
-        for src_rel in 0..self.active.size() {
-            if src_rel == rel {
-                continue;
-            }
-            let from_src = my_need.intersect(&self.dist.rows_of(src_rel));
-            if !from_src.is_empty() {
-                let payload = self.t.recv_bytes(self.active.world_rank(src_rel), tag);
-                arr.unpack_rows(&from_src, &payload);
-            }
+        for (src, from_src) in &sched.ghost_recvs[array] {
+            let payload = self.t.recv_bytes(*src, tag);
+            arr.unpack_rows(from_src, &payload);
         }
     }
 

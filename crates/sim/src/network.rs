@@ -6,6 +6,8 @@
 //! contention that matters for ghost-row exchanges and redistribution
 //! bursts. Rank-to-self messages cost a memcpy.
 
+use dynmpi_obs as obs;
+
 use crate::params::NetParams;
 use crate::time::{SimDur, SimTime};
 
@@ -18,6 +20,9 @@ pub struct Network {
     /// Completion time of the last rank-to-self copy, per node (self
     /// deliveries are FIFO like everything else).
     self_free: Vec<SimTime>,
+    /// Accumulated time frames spent queued behind a busy NIC, per node.
+    tx_wait: Vec<SimDur>,
+    rx_wait: Vec<SimDur>,
     messages: u64,
     bytes: u64,
 }
@@ -30,6 +35,8 @@ impl Network {
             tx_free: vec![SimTime::ZERO; nodes],
             rx_free: vec![SimTime::ZERO; nodes],
             self_free: vec![SimTime::ZERO; nodes],
+            tx_wait: vec![SimDur::ZERO; nodes],
+            rx_wait: vec![SimDur::ZERO; nodes],
             messages: 0,
             bytes: 0,
         }
@@ -42,6 +49,13 @@ impl Network {
     /// Schedules a `bytes`-byte message from `src` to `dst`, with the send
     /// call issued at `t`. Returns the virtual time at which the payload is
     /// fully available at the destination.
+    ///
+    /// Cut-through model: the frame serializes once on the sender's TX NIC
+    /// and once on the receiver's RX NIC, overlapped except for the wire
+    /// latency between the first bits. A frame that finds the RX NIC busy
+    /// queues and then pays its full serialization there too — fan-in is
+    /// as expensive as fan-out, which is what makes the eager-tree
+    /// broadcast's root-side burst visible in simulated time.
     pub fn deliver_at(&mut self, src: usize, dst: usize, bytes: usize, t: SimTime) -> SimTime {
         self.messages += 1;
         self.bytes += bytes as u64;
@@ -55,10 +69,24 @@ impl Network {
         let tx_start = t.max(self.tx_free[src]);
         let tx_end = tx_start + ser;
         self.tx_free[src] = tx_end;
-        let arrive_start = tx_end + self.params.latency;
-        // The receive NIC must also be free to land the frame.
-        let arrival = arrive_start.max(self.rx_free[dst]);
+        // First bit reaches the receiver one latency after it left the
+        // sender; the RX NIC then serializes the frame from that point
+        // (or from whenever it frees up, if later).
+        let rx_ready = tx_start + self.params.latency;
+        let rx_start = rx_ready.max(self.rx_free[dst]);
+        let arrival = rx_start + ser;
         self.rx_free[dst] = arrival;
+
+        let tx_queued = tx_start - t;
+        let rx_queued = rx_start - rx_ready;
+        self.tx_wait[src] += tx_queued;
+        self.rx_wait[dst] += rx_queued;
+        if tx_queued > SimDur::ZERO {
+            obs::count("net.tx_wait_ns", tx_queued.0);
+        }
+        if rx_queued > SimDur::ZERO {
+            obs::count("net.rx_wait_ns", rx_queued.0);
+        }
         arrival
     }
 
@@ -70,6 +98,18 @@ impl Network {
     /// Total payload bytes injected so far.
     pub fn byte_count(&self) -> u64 {
         self.bytes
+    }
+
+    /// Accumulated TX-NIC queueing across all nodes: time frames sat
+    /// behind earlier sends from the same node.
+    pub fn tx_wait_total(&self) -> SimDur {
+        self.tx_wait.iter().fold(SimDur::ZERO, |a, &b| a + b)
+    }
+
+    /// Accumulated RX-NIC queueing across all nodes: time frames sat
+    /// behind earlier arrivals at the same node (fan-in contention).
+    pub fn rx_wait_total(&self) -> SimDur {
+        self.rx_wait.iter().fold(SimDur::ZERO, |a, &b| a + b)
     }
 
     /// Pure cost model (no state): time for one isolated message.
@@ -113,8 +153,22 @@ mod tests {
         let b = n.deliver_at(1, 2, 125_000, SimTime::ZERO);
         assert_eq!(a, SimTime::from_micros(10_100));
         // Both frames serialized on their own TX concurrently, but the
-        // receiver lands them one after the other.
-        assert!(b >= a);
+        // receiver lands them one after the other: the second frame queues
+        // until 10.1 ms and then pays its own 10 ms RX serialization — it
+        // must NOT land "for free" the instant the NIC frees up.
+        assert_eq!(b, SimTime::from_micros(20_100));
+        assert_eq!(n.tx_wait_total(), SimDur::ZERO);
+        assert_eq!(n.rx_wait_total(), SimDur::from_micros(10_000));
+    }
+
+    #[test]
+    fn contention_stats_split_tx_and_rx() {
+        let mut n = net(3);
+        // Two back-to-back sends from node 0: pure TX queueing.
+        n.deliver_at(0, 1, 125_000, SimTime::ZERO);
+        n.deliver_at(0, 2, 125_000, SimTime::ZERO);
+        assert_eq!(n.tx_wait_total(), SimDur::from_micros(10_000));
+        assert_eq!(n.rx_wait_total(), SimDur::ZERO);
     }
 
     #[test]
