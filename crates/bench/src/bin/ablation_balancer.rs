@@ -40,54 +40,60 @@ fn main() {
     } else {
         (1024, 150usize, NodeSpec::ultra5_360())
     };
-    let mut rows = Vec::new();
-    let mut table = Vec::new();
-    for nodes in [8usize, 16] {
-        for cps in [1u32, 2, 3] {
-            let script = LoadScript::dedicated().at_cycle(nodes - 1, 10, cps);
-            let settled = |balancer: BalancerKind| {
-                let mk = |iters: usize| {
-                    let p = SorParams {
-                        n,
-                        iters,
-                        omega: 1.5,
-                        exercise_kernel: false,
-                    };
-                    run_sim(
-                        &Experiment::new(AppSpec::Sor(p), nodes)
-                            .with_node_spec(node)
-                            .with_cfg(DynMpiConfig {
-                                balancer,
-                                drop_policy: DropPolicy::Never,
-                                ..Default::default()
-                            })
-                            .with_script(script.clone()),
-                    )
+    let items: Vec<(usize, u32)> = [8usize, 16]
+        .into_iter()
+        .flat_map(|nodes| [1u32, 2, 3].map(|cps| (nodes, cps)))
+        .collect();
+    let rows: Vec<Row> = dynmpi_testkit::sweep(&items, args.threads, |_i, item| {
+        let (nodes, cps) = *item;
+        let script = LoadScript::dedicated().at_cycle(nodes - 1, 10, cps);
+        let settled = |balancer: BalancerKind| {
+            let mk = |iters: usize| {
+                let p = SorParams {
+                    n,
+                    iters,
+                    omega: 1.5,
+                    exercise_kernel: false,
                 };
-                let short = mk(iters);
-                let long = mk(2 * iters);
-                (long.makespan - short.makespan) / iters as f64
+                run_sim(
+                    &Experiment::new(AppSpec::Sor(p), nodes)
+                        .with_node_spec(node)
+                        .with_cfg(DynMpiConfig {
+                            balancer,
+                            drop_policy: DropPolicy::Never,
+                            ..Default::default()
+                        })
+                        .with_script(script.clone()),
+                )
             };
-            let naive = settled(BalancerKind::RelativePower);
-            let sb = settled(BalancerKind::SuccessiveBalancing);
-            let gain = (naive - sb) / naive * 100.0;
-            table.push(vec![
-                nodes.to_string(),
-                cps.to_string(),
-                fmt_s(naive),
-                fmt_s(sb),
-                format!("{gain:+.1}%"),
-            ]);
-            rows.push(Row {
-                table: "ablation_balancer",
-                nodes,
-                cps,
-                naive_cycle_s: naive,
-                sb_cycle_s: sb,
-                gain_pct: gain,
-            });
+            let short = mk(iters);
+            let long = mk(2 * iters);
+            (long.makespan - short.makespan) / iters as f64
+        };
+        let naive = settled(BalancerKind::RelativePower);
+        let sb = settled(BalancerKind::SuccessiveBalancing);
+        let gain = (naive - sb) / naive * 100.0;
+        Row {
+            table: "ablation_balancer",
+            nodes,
+            cps,
+            naive_cycle_s: naive,
+            sb_cycle_s: sb,
+            gain_pct: gain,
         }
-    }
+    });
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|row| {
+            vec![
+                row.nodes.to_string(),
+                row.cps.to_string(),
+                fmt_s(row.naive_cycle_s),
+                fmt_s(row.sb_cycle_s),
+                format!("{:+.1}%", row.gain_pct),
+            ]
+        })
+        .collect();
     print_table(
         "Ablation — settled SOR cycle time: relative power vs successive balancing",
         &["nodes", "CPs", "naive(s)", "succ-bal(s)", "gain"],

@@ -42,9 +42,9 @@ fn main() {
     } else {
         (1024, 150usize, NodeSpec::ultra5_360())
     };
-    let mut rows = Vec::new();
-    let mut table = Vec::new();
-    for nodes in [8usize, 16, 32] {
+    let items = [8usize, 16, 32];
+    let rows: Vec<Row> = dynmpi_testkit::sweep(&items, args.threads, |_i, nodes| {
+        let nodes = *nodes;
         let cps = 3u32;
         let script = LoadScript::dedicated().at_cycle(nodes - 1, 10, cps);
         let settled = |policy: DropPolicy| {
@@ -73,22 +73,27 @@ fn main() {
         let logical = settled(DropPolicy::Logical);
         let physical = settled(DropPolicy::Always);
         let gain = (logical - physical) / logical * 100.0;
-        table.push(vec![
-            nodes.to_string(),
-            cps.to_string(),
-            fmt_s(logical),
-            fmt_s(physical),
-            format!("{gain:+.1}%"),
-        ]);
-        rows.push(Row {
+        Row {
             table: "ablation_drop_mode",
             nodes,
             cps,
             logical_cycle_s: logical,
             physical_cycle_s: physical,
             physical_gain_pct: gain,
-        });
-    }
+        }
+    });
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|row| {
+            vec![
+                row.nodes.to_string(),
+                row.cps.to_string(),
+                fmt_s(row.logical_cycle_s),
+                fmt_s(row.physical_cycle_s),
+                format!("{:+.1}%", row.physical_gain_pct),
+            ]
+        })
+        .collect();
     print_table(
         "Ablation — settled SOR cycle time: logical vs physical node dropping (3 CPs)",
         &["nodes", "CPs", "logical(s)", "physical(s)", "physical gain"],

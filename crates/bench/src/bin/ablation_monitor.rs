@@ -33,9 +33,9 @@ impl Row {
 fn main() {
     let args = BenchArgs::parse();
     let seconds = if args.quick { 20 } else { 60 };
-    let mut rows = Vec::new();
-    let mut table = Vec::new();
-    for ncp in [1u32, 2, 3] {
+    let items = [1u32, 2, 3];
+    let rows: Vec<Row> = dynmpi_testkit::sweep(&items, args.threads, |_i, ncp| {
+        let ncp = *ncp;
         let script = LoadScript::dedicated().at_time(0, SimTime::ZERO, ncp);
         let c = Cluster::homogeneous(2, NodeSpec::with_speed(1e7)).with_script(script);
         let out = c.run_spmd(move |ctx| {
@@ -76,21 +76,25 @@ fn main() {
             (samples, ps_hits, vm_hits)
         });
         let (samples, ps, vm) = out.results[0];
-        let row = Row {
+        Row {
             table: "ablation_monitor",
             ncp,
             samples,
             dmpi_ps_correct_pct: ps as f64 / samples.max(1) as f64 * 100.0,
             vmstat_correct_pct: vm as f64 / samples.max(1) as f64 * 100.0,
-        };
-        table.push(vec![
-            ncp.to_string(),
-            samples.to_string(),
-            format!("{:.0}%", row.dmpi_ps_correct_pct),
-            format!("{:.0}%", row.vmstat_correct_pct),
-        ]);
-        rows.push(row);
-    }
+        }
+    });
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|row| {
+            vec![
+                row.ncp.to_string(),
+                row.samples.to_string(),
+                format!("{:.0}%", row.dmpi_ps_correct_pct),
+                format!("{:.0}%", row.vmstat_correct_pct),
+            ]
+        })
+        .collect();
     print_table(
         "Ablation — monitor accuracy on a comm-bound node (correct load readings)",
         &["CPs", "samples", "dmpi_ps", "vmstat"],

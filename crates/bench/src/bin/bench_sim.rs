@@ -1,0 +1,328 @@
+//! Simulator fast-path micro-bench: before/after numbers for the
+//! closed-form CPU fast-forward, the turn-handoff bypass, and the
+//! indexed mailbox.
+//!
+//! Three comparisons, each against the seed's behavior:
+//!
+//! * **engine events** — heap pushes to simulate a 100-virtual-second
+//!   compute under ncp = 3: `DYNMPI_SIM_STEPPED`-style stepped mode
+//!   (the seed's one-event-per-quantum strategy, selected here with
+//!   `with_stepped(true)`) vs the default fast-forward + bypass path.
+//!   Both must produce bit-identical virtual outputs.
+//! * **recv matching** — envelopes examined (and wall time) to drain a
+//!   deep out-of-order mailbox: the seed's linear min-(arrival, seq)
+//!   scan vs the per-(tag, src) indexed queues, reproduced here as
+//!   standalone micro-models of the two matchers.
+//! * **sweep wall-clock** — a fig4-shaped block of independent Jacobi
+//!   runs through `dynmpi_testkit::sweep` at `--threads 1` vs the
+//!   machine's parallelism, asserting identical makespans.
+//!
+//! Prints the before/after table and writes `results/BENCH_sim.json`.
+//! `--check` runs a scaled-down configuration and only asserts the
+//! invariants (used by CI's bench-smoke job).
+
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+use std::time::Instant;
+
+use dynmpi::DynMpiConfig;
+use dynmpi_apps::harness::{run_sim, AppSpec, Experiment};
+use dynmpi_apps::jacobi::JacobiParams;
+use dynmpi_bench::{log_info, print_table};
+use dynmpi_obs::Json;
+use dynmpi_sim::{Cluster, LoadScript, NodeSpec, SimReport, SimTime};
+
+/// One rank computing `work` units on a speed-1e6 node that hosts three
+/// competing processes from t = 0, so the guest holds a quarter share and
+/// stepped mode pays one heap event per 10 ms quantum.
+fn loaded_compute(stepped: bool, work: f64) -> SimReport {
+    let script = LoadScript::dedicated().at_time(0, SimTime::ZERO, 3);
+    Cluster::homogeneous(1, NodeSpec::with_speed(1e6))
+        .with_script(script)
+        .with_stepped(stepped)
+        .run_spmd(move |ctx| ctx.advance(work))
+        .report
+}
+
+/// A pending message in the matcher micro-models.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+struct Env {
+    src: usize,
+    tag: u64,
+    arrival: u64,
+    seq: u64,
+}
+
+trait Matcher {
+    fn push(&mut self, e: Env);
+    fn pop(&mut self, src: usize, tag: u64) -> Env;
+}
+
+/// The seed's matcher: one flat `Vec`, every `recv` scans all pending
+/// envelopes for the min-(arrival, seq) match.
+#[derive(Default)]
+struct LinearBox {
+    msgs: Vec<Env>,
+    examined: u64,
+}
+
+impl Matcher for LinearBox {
+    fn push(&mut self, e: Env) {
+        self.msgs.push(e);
+    }
+
+    fn pop(&mut self, src: usize, tag: u64) -> Env {
+        self.examined += self.msgs.len() as u64;
+        let best = self
+            .msgs
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| m.src == src && m.tag == tag)
+            .min_by_key(|(_, m)| (m.arrival, m.seq))
+            .map(|(i, _)| i)
+            .expect("message present");
+        self.msgs.remove(best)
+    }
+}
+
+/// The engine's current matcher shape: per-(tag, src) FIFO queues, one
+/// probe per `recv`.
+#[derive(Default)]
+struct IndexedBox {
+    queues: BTreeMap<(u64, usize), VecDeque<Env>>,
+    probed: u64,
+}
+
+impl Matcher for IndexedBox {
+    fn push(&mut self, e: Env) {
+        self.queues.entry((e.tag, e.src)).or_default().push_back(e);
+    }
+
+    fn pop(&mut self, src: usize, tag: u64) -> Env {
+        self.probed += 1;
+        let q = self.queues.get_mut(&(tag, src)).expect("queue present");
+        let e = q.pop_front().expect("message present");
+        if q.is_empty() {
+            self.queues.remove(&(tag, src));
+        }
+        e
+    }
+}
+
+/// Fills a matcher with `senders * per_sender` envelopes, then drains it
+/// in an order that keeps the backlog deep (round-robin over senders).
+/// Returns the drained envelopes for cross-checking.
+fn drive_matcher<M: Matcher>(senders: usize, per_sender: usize, b: &mut M) -> Vec<Env> {
+    let mut arrival = 0u64;
+    for m in 0..per_sender {
+        for src in 0..senders {
+            arrival += 7;
+            b.push(Env {
+                src,
+                tag: src as u64,
+                arrival,
+                seq: (m * senders + src) as u64,
+            });
+        }
+    }
+    let mut out = Vec::with_capacity(senders * per_sender);
+    for _ in 0..per_sender {
+        for src in 0..senders {
+            out.push(b.pop(src, src as u64));
+        }
+    }
+    out
+}
+
+/// Wall-clock of a fig4-shaped block of independent Jacobi runs under
+/// `sweep` with `threads` workers. Returns (makespans, seconds).
+fn mini_sweep(threads: usize, iters: usize) -> (Vec<f64>, f64) {
+    let items: Vec<(usize, usize)> = [2usize, 4]
+        .into_iter()
+        .flat_map(|nodes| [iters, 2 * iters, 3 * iters].map(|it| (nodes, it)))
+        .collect();
+    let start = Instant::now();
+    let makespans = dynmpi_testkit::sweep(&items, threads, |_i, item| {
+        let (nodes, it) = *item;
+        let p = JacobiParams {
+            n: 256,
+            iters: it,
+            exercise_kernel: false,
+            rebalance_at: None,
+        };
+        run_sim(
+            &Experiment::new(AppSpec::Jacobi(p), nodes)
+                .with_node_spec(NodeSpec::with_speed(5e6))
+                .with_cfg(DynMpiConfig::no_adapt())
+                .with_script(LoadScript::dedicated().at_cycle(nodes - 1, 10, 1)),
+        )
+        .makespan
+    });
+    (makespans, start.elapsed().as_secs_f64())
+}
+
+fn main() {
+    let mut check = false;
+    let mut out_dir = "results".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--check" => check = true,
+            "--out" => {
+                out_dir = args.next().unwrap_or_else(|| {
+                    eprintln!("--out needs a value");
+                    std::process::exit(2);
+                })
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: bench_sim [--check] [--out DIR]");
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    // 100 virtual seconds normally (25e6 work at a quarter of 1e6/s);
+    // --check shrinks it but keeps thousands of stepped quanta.
+    let work = if check { 2.5e6 } else { 25e6 };
+    let (senders, per_sender) = if check { (16, 16) } else { (64, 64) };
+    let sweep_iters = if check { 10 } else { 40 };
+
+    log_info!("engine events: {work} work units under ncp=3, stepped vs fast");
+    let stepped = loaded_compute(true, work);
+    let fast = loaded_compute(false, work);
+    assert_eq!(
+        stepped.virtual_outputs(),
+        fast.virtual_outputs(),
+        "stepped and fast modes diverged on virtual outputs"
+    );
+    let event_ratio = stepped.engine_events as f64 / fast.engine_events.max(1) as f64;
+
+    log_info!("recv matching: {senders} senders x {per_sender} msgs, linear vs indexed");
+    let mut lin = LinearBox::default();
+    let lin_out = drive_matcher(senders, per_sender, &mut lin);
+    let mut idx = IndexedBox::default();
+    let idx_out = drive_matcher(senders, per_sender, &mut idx);
+    assert_eq!(lin_out, idx_out, "matchers disagree on delivery order");
+    let lin_ns = dynmpi_testkit::bench("matcher: seed linear scan", || {
+        drive_matcher(senders, per_sender, &mut LinearBox::default())
+    })
+    .mean_ns;
+    let idx_ns = dynmpi_testkit::bench("matcher: indexed queues", || {
+        drive_matcher(senders, per_sender, &mut IndexedBox::default())
+    })
+    .mean_ns;
+
+    let threads = dynmpi_testkit::available_threads();
+    log_info!("sweep wall-clock: 6 Jacobi runs at --threads 1 vs {threads}");
+    let (serial_ms, serial_s) = mini_sweep(1, sweep_iters);
+    let (par_ms, par_s) = mini_sweep(threads, sweep_iters);
+    assert_eq!(serial_ms, par_ms, "sweep results changed with thread count");
+
+    print_table(
+        "sim fast path: before/after",
+        &["metric", "seed", "now", "ratio"],
+        &[
+            vec![
+                format!(
+                    "engine events, {:.0}s virtual ncp=3",
+                    fast.finish_time.as_secs_f64()
+                ),
+                stepped.engine_events.to_string(),
+                fast.engine_events.to_string(),
+                format!("{event_ratio:.0}x"),
+            ],
+            vec![
+                "turn bypasses (fast mode)".to_string(),
+                "0".to_string(),
+                fast.turn_bypasses.to_string(),
+                "-".to_string(),
+            ],
+            vec![
+                format!("envelopes examined, {} msgs", senders * per_sender),
+                lin.examined.to_string(),
+                idx.probed.to_string(),
+                format!("{:.0}x", lin.examined as f64 / idx.probed.max(1) as f64),
+            ],
+            vec![
+                "matcher drain time (µs)".to_string(),
+                format!("{:.1}", lin_ns / 1e3),
+                format!("{:.1}", idx_ns / 1e3),
+                format!("{:.1}x", lin_ns / idx_ns),
+            ],
+            vec![
+                format!("sweep wall-clock, 6 runs x{threads} threads (s)"),
+                format!("{serial_s:.2}"),
+                format!("{par_s:.2}"),
+                format!("{:.2}x", serial_s / par_s),
+            ],
+        ],
+    );
+
+    // The acceptance bars this binary exists to hold.
+    assert!(
+        stepped.engine_events >= 5 * fast.engine_events,
+        "fast path must push >=5x fewer engine events than stepped mode \
+         (stepped {}, fast {})",
+        stepped.engine_events,
+        fast.engine_events
+    );
+    assert!(
+        fast.turn_bypasses > 0,
+        "turn-handoff bypass never fired on a single-rank compute"
+    );
+    assert!(
+        lin.examined >= 10 * idx.probed,
+        "indexed mailbox regressed: {} examined vs {} probes",
+        lin.examined,
+        idx.probed
+    );
+
+    if check {
+        println!("bench_sim --check OK");
+        return;
+    }
+
+    let doc = Json::obj([
+        ("bench", Json::str("bench_sim")),
+        (
+            "engine_events",
+            Json::obj([
+                ("virtual_seconds", Json::Num(fast.finish_time.as_secs_f64())),
+                ("ncp", Json::UInt(3)),
+                ("stepped", Json::UInt(stepped.engine_events)),
+                ("fast", Json::UInt(fast.engine_events)),
+                ("turn_bypasses", Json::UInt(fast.turn_bypasses)),
+                ("stepped_over_fast", Json::Num(event_ratio)),
+            ]),
+        ),
+        (
+            "recv_matching",
+            Json::obj([
+                ("messages", Json::UInt((senders * per_sender) as u64)),
+                ("linear_examined", Json::UInt(lin.examined)),
+                ("indexed_probes", Json::UInt(idx.probed)),
+                ("linear_drain_ns", Json::Num(lin_ns)),
+                ("indexed_drain_ns", Json::Num(idx_ns)),
+                ("speedup", Json::Num(lin_ns / idx_ns)),
+            ]),
+        ),
+        (
+            "sweep_wall_clock",
+            Json::obj([
+                ("runs", Json::UInt(serial_ms.len() as u64)),
+                ("threads", Json::UInt(threads as u64)),
+                ("serial_s", Json::Num(serial_s)),
+                ("parallel_s", Json::Num(par_s)),
+                ("speedup", Json::Num(serial_s / par_s)),
+            ]),
+        ),
+    ]);
+    let path = format!("{out_dir}/BENCH_sim.json");
+    std::fs::create_dir_all(&out_dir).ok();
+    std::fs::write(&path, format!("{doc}\n")).expect("write BENCH_sim.json");
+    log_info!("wrote {path}");
+}

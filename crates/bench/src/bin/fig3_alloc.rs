@@ -5,6 +5,12 @@
 //! reallocation and shift whenever the held range changes), for dense and
 //! sparse matrices, across redistribution magnitudes. Reports both real
 //! time and the memory-operation counters.
+//!
+//! This binary stays serial on purpose (`--threads` is accepted but
+//! unused): it measures real wall-clock time with `Instant`, and running
+//! configurations concurrently would contend for cores and corrupt the
+//! timings. The virtual-time figure binaries are the ones that sweep in
+//! parallel.
 
 use std::time::Instant;
 

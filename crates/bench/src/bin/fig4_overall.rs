@@ -104,84 +104,91 @@ fn apps(quick: bool) -> Vec<(&'static str, AppCtor)> {
 fn main() {
     let args = BenchArgs::parse();
 
-    // With --trace-out, the first Dyn-MPI run (the smallest adaptive
-    // configuration) is recorded; later runs would overlay the same
-    // virtual-time axis in one trace file.
-    let mut recorder: Option<Recorder> = None;
-    let mut rows = Vec::new();
-    let mut table = Vec::new();
-    for (name, mk) in apps(args.quick) {
-        // Quick mode shrinks the problem but also slows the nodes, so
-        // virtual cycle times (and hence the 1 Hz monitor's behaviour)
-        // stay paper-like.
-        let node = if args.quick && name != "particle" {
-            NodeSpec::with_speed(5e6)
-        } else {
-            NodeSpec::xeon_550()
-        };
-        for nodes in [2usize, 4, 8] {
-            // The competing process appears at the 10th phase cycle on one
-            // node (§5.1) — the last one for the uniform apps, but for the
-            // particle simulation the paper puts it on the node that also
-            // holds twice the particles (node 0).
-            let cp_node = if name == "particle" { 0 } else { nodes - 1 };
-            let loaded_script = LoadScript::dedicated().at_cycle(cp_node, 10, 1);
-            let spec = mk(nodes);
-            let ded = run_sim(
-                &Experiment::new(spec.clone(), nodes)
-                    .with_node_spec(node)
-                    .with_cfg(DynMpiConfig::no_adapt()),
-            );
-            let noad = run_sim(
-                &Experiment::new(spec.clone(), nodes)
-                    .with_node_spec(node)
-                    .with_cfg(DynMpiConfig::no_adapt())
-                    .with_script(loaded_script.clone()),
-            );
-            let run_rec = if args.trace_out.is_some() && recorder.is_none() {
-                let r = Recorder::new();
-                recorder = Some(r.clone());
-                Some(r)
+    // Pre-build every (app, nodes) configuration, then run them through the
+    // parallel sweep: each item is three independent deterministic sims, so
+    // results (and thus the JSONL) are identical at any --threads value.
+    let items: Vec<(&'static str, usize, AppSpec, NodeSpec)> = apps(args.quick)
+        .into_iter()
+        .flat_map(|(name, mk)| {
+            // Quick mode shrinks the problem but also slows the nodes, so
+            // virtual cycle times (and hence the 1 Hz monitor's behaviour)
+            // stay paper-like.
+            let node = if args.quick && name != "particle" {
+                NodeSpec::with_speed(5e6)
             } else {
-                None
+                NodeSpec::xeon_550()
             };
-            let dyn_ = run_sim_with(
-                &Experiment::new(spec, nodes)
-                    .with_node_spec(node)
-                    .with_cfg(DynMpiConfig::default())
-                    .with_script(loaded_script.clone()),
-                run_rec,
-            );
-            let row = Row {
-                figure: "fig4",
-                app: name,
-                nodes,
-                dedicated_s: ded.makespan,
-                no_adapt_s: noad.makespan,
-                dynmpi_s: dyn_.makespan,
-                no_adapt_norm: noad.makespan / ded.makespan,
-                dynmpi_norm: dyn_.makespan / ded.makespan,
-                redist_s: dyn_.redist_seconds(),
-            };
-            table.push(vec![
-                name.to_string(),
-                nodes.to_string(),
+            [2usize, 4, 8]
+                .into_iter()
+                .map(move |nodes| (name, nodes, mk(nodes), node))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+
+    // With --trace-out, the first Dyn-MPI run (the smallest adaptive
+    // configuration, pinned to sweep item 0) is recorded; later runs would
+    // overlay the same virtual-time axis in one trace file.
+    let recorder = args.trace_out.as_ref().map(|_| Recorder::new());
+    let rows: Vec<Row> = dynmpi_testkit::sweep(&items, args.threads, |i, item| {
+        let (name, nodes, spec, node) = item;
+        let (name, nodes) = (*name, *nodes);
+        // The competing process appears at the 10th phase cycle on one
+        // node (§5.1) — the last one for the uniform apps, but for the
+        // particle simulation the paper puts it on the node that also
+        // holds twice the particles (node 0).
+        let cp_node = if name == "particle" { 0 } else { nodes - 1 };
+        let loaded_script = LoadScript::dedicated().at_cycle(cp_node, 10, 1);
+        let ded = run_sim(
+            &Experiment::new(spec.clone(), nodes)
+                .with_node_spec(*node)
+                .with_cfg(DynMpiConfig::no_adapt()),
+        );
+        let noad = run_sim(
+            &Experiment::new(spec.clone(), nodes)
+                .with_node_spec(*node)
+                .with_cfg(DynMpiConfig::no_adapt())
+                .with_script(loaded_script.clone()),
+        );
+        let dyn_ = run_sim_with(
+            &Experiment::new(spec.clone(), nodes)
+                .with_node_spec(*node)
+                .with_cfg(DynMpiConfig::default())
+                .with_script(loaded_script.clone()),
+            (i == 0).then(|| recorder.clone()).flatten(),
+        );
+        log_info!(
+            "fig4 {name} n={nodes}: ded {:.2}s noadapt {:.2}s dynmpi {:.2}s",
+            ded.makespan,
+            noad.makespan,
+            dyn_.makespan
+        );
+        Row {
+            figure: "fig4",
+            app: name,
+            nodes,
+            dedicated_s: ded.makespan,
+            no_adapt_s: noad.makespan,
+            dynmpi_s: dyn_.makespan,
+            no_adapt_norm: noad.makespan / ded.makespan,
+            dynmpi_norm: dyn_.makespan / ded.makespan,
+            redist_s: dyn_.redist_seconds(),
+        }
+    });
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|row| {
+            vec![
+                row.app.to_string(),
+                row.nodes.to_string(),
                 fmt_s(row.dedicated_s),
                 fmt_s(row.no_adapt_s),
                 fmt_s(row.dynmpi_s),
                 fmt_x(row.no_adapt_norm),
                 fmt_x(row.dynmpi_norm),
                 fmt_s(row.redist_s),
-            ]);
-            log_info!(
-                "fig4 {name} n={nodes}: ded {:.2}s noadapt {:.2}s dynmpi {:.2}s",
-                ded.makespan,
-                noad.makespan,
-                dyn_.makespan
-            );
-            rows.push(row);
-        }
-    }
+            ]
+        })
+        .collect();
     print_table(
         "Figure 4 — execution time relative to all-dedicated (1 CP on one node at cycle 10)",
         &[

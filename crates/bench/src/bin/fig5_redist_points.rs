@@ -65,16 +65,10 @@ fn main() {
     } else {
         (2048, NodeSpec::xeon_550())
     };
-    // --trace-out records the first adaptive arm (short, redist-once).
-    let mut recorder: Option<Recorder> = None;
-    let mut rows = Vec::new();
-    let mut table = Vec::new();
-    for (execution, period) in [("short", 50usize), ("long", 500usize)] {
-        // The CP lands on the last node (not the control root).
-        let script = LoadScript::dedicated()
-            .at_cycle(3, period as u64, 1)
-            .at_cycle(3, (2 * period) as u64, 0);
-        for (variant, cfg) in [
+    // Every (execution, variant) arm is an independent run: build the six
+    // items up front and hand them to the parallel sweep.
+    let variants = |period: usize| {
+        [
             ("no-redist", DynMpiConfig::no_adapt()),
             (
                 "redist-once",
@@ -91,58 +85,72 @@ fn main() {
                     ..Default::default()
                 },
             ),
-        ] {
-            let p = JacobiParams {
-                n,
-                iters: 3 * period,
-                exercise_kernel: false,
-                rebalance_at: None,
-            };
-            let adaptive = variant != "no-redist";
-            let run_rec = if adaptive && args.trace_out.is_some() && recorder.is_none() {
-                let rec = Recorder::new();
-                recorder = Some(rec.clone());
-                Some(rec)
-            } else {
-                None
-            };
-            let r = run_sim_with(
-                &Experiment::new(AppSpec::Jacobi(p), 4)
-                    .with_node_spec(node)
-                    .with_cfg(cfg)
-                    .with_script(script.clone()),
-                run_rec,
-            );
-            let row = Row {
-                figure: "fig5",
-                execution,
-                variant,
-                period1_s: period_sum(&r.per_rank, 0..period),
-                period2_s: period_sum(&r.per_rank, period..2 * period),
-                period3_s: period_sum(&r.per_rank, 2 * period..3 * period),
-                redist_s: r.redist_seconds(),
-                total_s: r.makespan,
-            };
-            log_info!(
-                "fig5 {execution} {variant}: total {:.2}s (p1 {:.2} p2 {:.2} p3 {:.2} redist {:.3})",
-                row.total_s,
-                row.period1_s,
-                row.period2_s,
-                row.period3_s,
-                row.redist_s
-            );
-            table.push(vec![
-                execution.to_string(),
-                variant.to_string(),
+        ]
+        .map(|(variant, cfg)| (variant, cfg, period))
+    };
+    let items: Vec<(&'static str, DynMpiConfig, usize, &'static str)> =
+        [("short", 50usize), ("long", 500usize)]
+            .into_iter()
+            .flat_map(|(execution, period)| {
+                variants(period).map(|(variant, cfg, period)| (variant, cfg, period, execution))
+            })
+            .collect();
+    // --trace-out records the first adaptive arm: item 1 (short, redist-once).
+    let recorder = args.trace_out.as_ref().map(|_| Recorder::new());
+    let rows: Vec<Row> = dynmpi_testkit::sweep(&items, args.threads, |i, item| {
+        let (variant, cfg, period, execution) = item;
+        let (variant, period, execution) = (*variant, *period, *execution);
+        // The CP lands on the last node (not the control root).
+        let script = LoadScript::dedicated()
+            .at_cycle(3, period as u64, 1)
+            .at_cycle(3, (2 * period) as u64, 0);
+        let p = JacobiParams {
+            n,
+            iters: 3 * period,
+            exercise_kernel: false,
+            rebalance_at: None,
+        };
+        let r = run_sim_with(
+            &Experiment::new(AppSpec::Jacobi(p), 4)
+                .with_node_spec(node)
+                .with_cfg(cfg.clone())
+                .with_script(script),
+            (i == 1).then(|| recorder.clone()).flatten(),
+        );
+        let row = Row {
+            figure: "fig5",
+            execution,
+            variant,
+            period1_s: period_sum(&r.per_rank, 0..period),
+            period2_s: period_sum(&r.per_rank, period..2 * period),
+            period3_s: period_sum(&r.per_rank, 2 * period..3 * period),
+            redist_s: r.redist_seconds(),
+            total_s: r.makespan,
+        };
+        log_info!(
+            "fig5 {execution} {variant}: total {:.2}s (p1 {:.2} p2 {:.2} p3 {:.2} redist {:.3})",
+            row.total_s,
+            row.period1_s,
+            row.period2_s,
+            row.period3_s,
+            row.redist_s
+        );
+        row
+    });
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|row| {
+            vec![
+                row.execution.to_string(),
+                row.variant.to_string(),
                 fmt_s(row.period1_s),
                 fmt_s(row.period2_s),
                 fmt_s(row.period3_s),
                 fmt_s(row.redist_s),
                 fmt_s(row.total_s),
-            ]);
-            rows.push(row);
-        }
-    }
+            ]
+        })
+        .collect();
     print_table(
         "Figure 5 — Jacobi, 4 nodes: periods 1–3, CP on one node during period 2 only",
         &[

@@ -54,67 +54,70 @@ fn main() {
         (1024, 150usize, NodeSpec::ultra5_360())
     };
     let extra = iters; // long run doubles the cycles
-                       // --trace-out records the first drop-enabled short run (8 nodes, 1 CP).
-    let mut recorder: Option<Recorder> = None;
-    let mut rows = Vec::new();
-    let mut table = Vec::new();
-    for nodes in [8usize, 16, 32] {
-        for cps in [1u32, 2, 3] {
-            let script = LoadScript::dedicated().at_cycle(nodes - 1, 10, cps);
-            let run_pair = |policy: DropPolicy, rec: Option<Recorder>| {
-                let mk = |iters: usize, rec: Option<Recorder>| {
-                    let p = SorParams {
-                        n,
-                        iters,
-                        omega: 1.5,
-                        exercise_kernel: false,
-                    };
-                    run_sim_with(
-                        &Experiment::new(AppSpec::Sor(p), nodes)
-                            .with_node_spec(node)
-                            .with_cfg(DynMpiConfig {
-                                drop_policy: policy,
-                                ..Default::default()
-                            })
-                            .with_script(script.clone()),
-                        rec,
-                    )
+    let items: Vec<(usize, u32)> = [8usize, 16, 32]
+        .into_iter()
+        .flat_map(|nodes| [1u32, 2, 3].map(|cps| (nodes, cps)))
+        .collect();
+    // --trace-out records the first drop-enabled short run (8 nodes, 1 CP,
+    // sweep item 0). Each item runs four sims (keep/drop × short/long).
+    let recorder = args.trace_out.as_ref().map(|_| Recorder::new());
+    let rows: Vec<Row> = dynmpi_testkit::sweep(&items, args.threads, |i, item| {
+        let (nodes, cps) = *item;
+        let script = LoadScript::dedicated().at_cycle(nodes - 1, 10, cps);
+        let run_pair = |policy: DropPolicy, rec: Option<Recorder>| {
+            let mk = |iters: usize, rec: Option<Recorder>| {
+                let p = SorParams {
+                    n,
+                    iters,
+                    omega: 1.5,
+                    exercise_kernel: false,
                 };
-                let short = mk(iters, rec);
-                let long = mk(iters + extra, None);
-                settled_cycle(short.makespan, long.makespan, extra)
+                run_sim_with(
+                    &Experiment::new(AppSpec::Sor(p), nodes)
+                        .with_node_spec(node)
+                        .with_cfg(DynMpiConfig {
+                            drop_policy: policy,
+                            ..Default::default()
+                        })
+                        .with_script(script.clone()),
+                    rec,
+                )
             };
-            let run_rec = if args.trace_out.is_some() && recorder.is_none() {
-                let rec = Recorder::new();
-                recorder = Some(rec.clone());
-                Some(rec)
-            } else {
-                None
-            };
-            let kc = run_pair(DropPolicy::Never, None);
-            let dc = run_pair(DropPolicy::Always, run_rec);
-            let row = Row {
-                figure: "fig6",
-                nodes,
-                cps,
-                keep_cycle_s: kc,
-                drop_cycle_s: dc,
-                drop_gain_pct: (kc - dc) / kc * 100.0,
-            };
-            log_info!(
-                "fig6 nodes={nodes} cps={cps}: keep {kc:.4}s drop {dc:.4}s gain {:+.1}%",
-                row.drop_gain_pct
-            );
-            table.push(vec![
-                nodes.to_string(),
-                cps.to_string(),
+            let short = mk(iters, rec);
+            let long = mk(iters + extra, None);
+            settled_cycle(short.makespan, long.makespan, extra)
+        };
+        let kc = run_pair(DropPolicy::Never, None);
+        let dc = run_pair(
+            DropPolicy::Always,
+            (i == 0).then(|| recorder.clone()).flatten(),
+        );
+        let row = Row {
+            figure: "fig6",
+            nodes,
+            cps,
+            keep_cycle_s: kc,
+            drop_cycle_s: dc,
+            drop_gain_pct: (kc - dc) / kc * 100.0,
+        };
+        log_info!(
+            "fig6 nodes={nodes} cps={cps}: keep {kc:.4}s drop {dc:.4}s gain {:+.1}%",
+            row.drop_gain_pct
+        );
+        row
+    });
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|row| {
+            vec![
+                row.nodes.to_string(),
+                row.cps.to_string(),
                 fmt_s(row.keep_cycle_s),
                 fmt_s(row.drop_cycle_s),
                 format!("{:+.1}", row.drop_gain_pct),
-            ]);
-            rows.push(row);
-        }
-    }
+            ]
+        })
+        .collect();
     print_table(
         "Figure 6 — SOR avg phase-cycle time after redistribution: keep loaded node vs drop",
         &["nodes", "CPs", "keep(s)", "drop(s)", "drop gain %"],

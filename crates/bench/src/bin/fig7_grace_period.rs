@@ -37,46 +37,51 @@ fn main() {
     let args = BenchArgs::parse();
     let iters = if args.quick { 120 } else { 200 };
     let extra = iters;
-    let mut rows = Vec::new();
-    let mut table = Vec::new();
-    for part in [10.0f64, 50.0] {
-        for gp in [1u32, 5] {
-            // Per §5.4 the competing process lands on P0 — the node that
-            // also holds the imbalanced hot rows, so mismeasuring them
-            // corrupts exactly the weights that matter.
-            let script = LoadScript::dedicated().at_cycle(0, 10, 1);
-            let cfg = DynMpiConfig {
-                grace_period: gp,
-                drop_policy: DropPolicy::Never,
-                ..Default::default()
-            };
-            let mk = |iters: usize| {
-                let mut p = ParticleParams::fig7(part);
-                p.iters = iters;
-                run_sim(
-                    &Experiment::new(AppSpec::Particle(p), 8)
-                        .with_cfg(cfg.clone())
-                        .with_script(script.clone()),
-                )
-            };
-            let short = mk(iters);
-            let long = mk(iters + extra);
-            let settled = (long.makespan - short.makespan) / extra as f64;
-            let row = Row {
-                figure: "fig7",
-                part,
-                gp,
-                settled_cycle_s: settled,
-            };
-            log_info!("fig7 part={part} gp={gp}: settled {settled:.4}s/cycle");
-            table.push(vec![
-                format!("{part}"),
-                gp.to_string(),
-                fmt_s(row.settled_cycle_s),
-            ]);
-            rows.push(row);
+    let items: Vec<(f64, u32)> = [10.0f64, 50.0]
+        .into_iter()
+        .flat_map(|part| [1u32, 5].map(|gp| (part, gp)))
+        .collect();
+    let rows: Vec<Row> = dynmpi_testkit::sweep(&items, args.threads, |_i, item| {
+        let (part, gp) = *item;
+        // Per §5.4 the competing process lands on P0 — the node that
+        // also holds the imbalanced hot rows, so mismeasuring them
+        // corrupts exactly the weights that matter.
+        let script = LoadScript::dedicated().at_cycle(0, 10, 1);
+        let cfg = DynMpiConfig {
+            grace_period: gp,
+            drop_policy: DropPolicy::Never,
+            ..Default::default()
+        };
+        let mk = |iters: usize| {
+            let mut p = ParticleParams::fig7(part);
+            p.iters = iters;
+            run_sim(
+                &Experiment::new(AppSpec::Particle(p), 8)
+                    .with_cfg(cfg.clone())
+                    .with_script(script.clone()),
+            )
+        };
+        let short = mk(iters);
+        let long = mk(iters + extra);
+        let settled = (long.makespan - short.makespan) / extra as f64;
+        log_info!("fig7 part={part} gp={gp}: settled {settled:.4}s/cycle");
+        Row {
+            figure: "fig7",
+            part,
+            gp,
+            settled_cycle_s: settled,
         }
-    }
+    });
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|row| {
+            vec![
+                format!("{}", row.part),
+                row.gp.to_string(),
+                fmt_s(row.settled_cycle_s),
+            ]
+        })
+        .collect();
     print_table(
         "Figure 7 — particle sim, 8 nodes: settled cycle time by grace period",
         &["Part", "GP", "cycle(s)"],

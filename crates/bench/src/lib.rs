@@ -14,12 +14,18 @@
 //! | `ablation_balancer` | successive balancing vs relative power |
 //! | `ablation_drop_mode` | physical vs logical node dropping (§2.2) |
 //! | `ablation_monitor` | `dmpi_ps` vs `vmstat` load readings (§4.2) |
+//! | `bench_comm` | before/after comm hot-path micro-bench (`--check` in CI) |
+//! | `bench_sim` | before/after simulator fast-path micro-bench (`--check` in CI) |
 //!
 //! Binaries print the figure's table to stdout and append JSON rows to
 //! `results/*.jsonl` for EXPERIMENTS.md. Pass `--quick` for scaled-down
 //! inputs (same shapes, minutes → seconds). Pass `--trace-out PATH` on
 //! the figure binaries to capture a Chrome/Perfetto trace of the run
 //! (virtual timestamps; `PATH.metrics.json` gets the metrics snapshots).
+//! Pass `--threads N` to size the configuration-sweep worker pool
+//! (default: available parallelism; output is byte-identical at any
+//! value — `fig3_alloc` ignores it and stays serial because it measures
+//! real wall-clock time).
 //!
 //! Progress output goes through a leveled logger controlled by the
 //! `DYNMPI_LOG` environment variable (`error`, `warn`, `info` — the
@@ -116,12 +122,17 @@ macro_rules! log_trace {
     ($($arg:tt)*) => { $crate::log_at($crate::LogLevel::Trace, format_args!($($arg)*)) };
 }
 
-/// Common CLI handling: `--quick`, an optional `--out DIR`, and an
-/// optional `--trace-out PATH` (Chrome trace of the instrumented runs).
+/// Common CLI handling: `--quick`, an optional `--out DIR`, an optional
+/// `--trace-out PATH` (Chrome trace of the instrumented runs), and
+/// `--threads N` (worker count for the parallel configuration sweep;
+/// defaults to the machine's available parallelism). Every simulated
+/// configuration is an independent deterministic run, so output is
+/// byte-identical at any thread count.
 pub struct BenchArgs {
     pub quick: bool,
     pub out_dir: String,
     pub trace_out: Option<String>,
+    pub threads: usize,
 }
 
 impl BenchArgs {
@@ -129,6 +140,7 @@ impl BenchArgs {
         let mut quick = false;
         let mut out_dir = "results".to_string();
         let mut trace_out = None;
+        let mut threads = dynmpi_testkit::available_threads();
         let mut args = std::env::args().skip(1);
         let value = |flag: &str, args: &mut dyn Iterator<Item = String>| {
             args.next().unwrap_or_else(|| {
@@ -141,8 +153,19 @@ impl BenchArgs {
                 "--quick" => quick = true,
                 "--out" => out_dir = value("--out", &mut args),
                 "--trace-out" => trace_out = Some(value("--trace-out", &mut args)),
+                "--threads" => {
+                    let v = value("--threads", &mut args);
+                    threads = v.parse().unwrap_or_else(|_| {
+                        eprintln!("--threads needs a positive integer, got {v}");
+                        std::process::exit(2);
+                    });
+                    if threads == 0 {
+                        eprintln!("--threads must be at least 1");
+                        std::process::exit(2);
+                    }
+                }
                 "--help" | "-h" => {
-                    eprintln!("usage: [--quick] [--out DIR] [--trace-out PATH]");
+                    eprintln!("usage: [--quick] [--out DIR] [--trace-out PATH] [--threads N]");
                     std::process::exit(0);
                 }
                 other => {
@@ -155,6 +178,7 @@ impl BenchArgs {
             quick,
             out_dir,
             trace_out,
+            threads,
         }
     }
 }

@@ -22,6 +22,9 @@ pub struct Cluster {
     net: NetParams,
     script: LoadScript,
     recorder: Option<dynmpi_obs::Recorder>,
+    /// `Some(true)` forces the per-slice stepped CPU path, `Some(false)`
+    /// forces fast-forward; `None` defers to `DYNMPI_SIM_STEPPED`.
+    stepped: Option<bool>,
 }
 
 impl std::fmt::Debug for Cluster {
@@ -46,6 +49,7 @@ impl Cluster {
             net: NetParams::default(),
             script: LoadScript::dedicated(),
             recorder: None,
+            stepped: None,
         }
     }
 
@@ -58,6 +62,7 @@ impl Cluster {
             net: NetParams::default(),
             script: LoadScript::dedicated(),
             recorder: None,
+            stepped: None,
         }
     }
 
@@ -84,6 +89,17 @@ impl Cluster {
     /// instants, and metrics land in `recorder` stamped with virtual time.
     pub fn with_recorder(mut self, recorder: dynmpi_obs::Recorder) -> Self {
         self.recorder = Some(recorder);
+        self
+    }
+
+    /// Forces the CPU advance mode: `true` runs the per-slice stepped
+    /// reference path, `false` the closed-form fast-forward. Without this
+    /// override the mode comes from the `DYNMPI_SIM_STEPPED` environment
+    /// variable (`1` → stepped), defaulting to fast-forward. Both modes
+    /// produce bit-identical virtual timings; the override exists so
+    /// equivalence tests can compare them within one process.
+    pub fn with_stepped(mut self, stepped: bool) -> Self {
+        self.stepped = Some(stepped);
         self
     }
 
@@ -138,7 +154,10 @@ impl Cluster {
             })
             .collect();
         let proc_nodes: Vec<usize> = (0..n).collect();
-        let state = EngineState::new(node_states, &proc_nodes, Network::new(n, self.net));
+        let mut state = EngineState::new(node_states, &proc_nodes, Network::new(n, self.net));
+        state.stepped = self
+            .stepped
+            .unwrap_or_else(|| std::env::var("DYNMPI_SIM_STEPPED").is_ok_and(|v| v == "1"));
         let shared = Arc::new(Shared::new(state));
 
         // Kick off: hand the turn to the earliest initial event.
@@ -226,6 +245,8 @@ impl Cluster {
                 .collect(),
             net_messages: st.net.message_count(),
             net_bytes: st.net.byte_count(),
+            engine_events: st.events_pushed,
+            turn_bypasses: st.bypasses,
         };
         SimOutcome { results, report }
     }

@@ -48,6 +48,34 @@ impl Segment {
     }
 }
 
+/// An integer-exact scheduling step: the unit the engine's stepped and
+/// fast-forward CPU paths share. Work is expressed in nanoseconds of CPU
+/// the application still needs ([`CpuSched::work_to_ns`]); `cpu` is how
+/// much of it this step delivered and `slices` how many distinct scheduler
+/// slices were (partially) run — one per step on the stepped path, many on
+/// an aggregated fast-forward stretch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Step {
+    pub end: SimTime,
+    pub cpu: SimDur,
+    pub slices: u64,
+    pub completed: bool,
+}
+
+impl Step {
+    /// Scheduler-span name for tracing: pure run, pure wait, or an
+    /// aggregated stretch mixing both.
+    pub fn kind(&self, start: SimTime) -> &'static str {
+        if self.cpu == SimDur::ZERO {
+            "wait"
+        } else if self.end.since(start) == self.cpu {
+            "run"
+        } else {
+            "run+wait"
+        }
+    }
+}
+
 /// Slice-cycle scheduler state for a single node.
 #[derive(Clone, Debug)]
 pub struct CpuSched {
@@ -163,13 +191,9 @@ impl CpuSched {
         debug_assert!(change_bound > t, "ncp change not strictly in the future");
 
         if ncp == 0 {
-            // Dedicated CPU: run straight through.
-            return self.run_until(
-                t,
-                remaining_work,
-                change_bound.min(SimTime::MAX),
-                change_bound,
-            );
+            // Dedicated CPU: run straight through (bounded only by the
+            // load change).
+            return self.run_until(t, remaining_work, change_bound, change_bound);
         }
 
         let q = self.os.quantum.0;
@@ -209,8 +233,18 @@ impl CpuSched {
         bound: SimTime,
         change_bound: SimTime,
     ) -> Segment {
-        let finish_ns = (remaining_work / self.spec.speed * 1e9).ceil() as u64;
-        let finish = SimTime(t.0.saturating_add(finish_ns.max(1)));
+        let finish_ns = self.work_to_ns(remaining_work).0;
+        if finish_ns == 0 {
+            // Work too small to register at ns granularity: complete in
+            // place instead of inflating the segment by 1 ns (which would
+            // diverge from the closed-form integer paths).
+            return Segment {
+                end: t,
+                work_done: remaining_work,
+                completed: true,
+            };
+        }
+        let finish = SimTime(t.0.saturating_add(finish_ns));
         let end = finish.min(bound).min(change_bound);
         if end == finish {
             Segment {
@@ -225,6 +259,167 @@ impl CpuSched {
                 work_done: done.min(remaining_work),
                 completed: false,
             }
+        }
+    }
+
+    /// Converts work units into whole nanoseconds of dedicated CPU,
+    /// rounding up — the same `ceil(work / speed · 1e9)` the float path
+    /// uses, computed once so the stepped and fast-forward integer paths
+    /// share one quantization and stay bit-identical.
+    pub fn work_to_ns(&self, work: f64) -> SimDur {
+        if work <= 0.0 {
+            return SimDur::ZERO;
+        }
+        SimDur((work / self.spec.speed * 1e9).ceil() as u64)
+    }
+
+    /// Integer-exact single scheduling step: the *stepped* reference path
+    /// (`DYNMPI_SIM_STEPPED=1`). `need` is the remaining dedicated-CPU
+    /// nanoseconds from [`Self::work_to_ns`]. Advances by at most one
+    /// slice or one wait, exactly like [`Self::segment`] but without any
+    /// float accumulation, so [`Self::fast_forward`] can match it bit for
+    /// bit.
+    pub fn step_ns(
+        &self,
+        t: SimTime,
+        ncp: u32,
+        next_change: Option<SimTime>,
+        need: SimDur,
+    ) -> Step {
+        if need == SimDur::ZERO {
+            return Step {
+                end: t,
+                cpu: SimDur::ZERO,
+                slices: 0,
+                completed: true,
+            };
+        }
+        let change_bound = next_change.unwrap_or(SimTime::MAX);
+        debug_assert!(change_bound > t, "ncp change not strictly in the future");
+        if ncp == 0 {
+            return self.finish_by(t, need, SimTime::MAX, change_bound);
+        }
+        let q = self.os.quantum.0;
+        let cycle = (u64::from(ncp) + 1) * q;
+        let shifted = t.0.wrapping_add(self.phase_offset);
+        let round = shifted / cycle;
+        let pos = shifted % cycle;
+        let start = self.slot_start(round, cycle, q);
+        if pos >= start && pos < start + q {
+            let slice_end = SimTime(t.0 + (start + q - pos));
+            return self.finish_by(t, need, slice_end, change_bound);
+        }
+        let next_start_shifted = if pos < start {
+            round * cycle + start
+        } else {
+            (round + 1) * cycle + self.slot_start(round + 1, cycle, q)
+        };
+        let wait_end = SimTime(t.0 + (next_start_shifted - shifted));
+        Step {
+            end: wait_end.min(change_bound),
+            cpu: SimDur::ZERO,
+            slices: 0,
+            completed: false,
+        }
+    }
+
+    /// Runs from `t` for up to `need` ns of CPU, bounded by `bound` and
+    /// `change_bound` — the integer twin of [`Self::run_until`].
+    fn finish_by(&self, t: SimTime, need: SimDur, bound: SimTime, change_bound: SimTime) -> Step {
+        let finish = SimTime(t.0.saturating_add(need.0));
+        let end = finish.min(bound).min(change_bound);
+        Step {
+            end,
+            cpu: end.since(t),
+            slices: 1,
+            completed: end == finish,
+        }
+    }
+
+    /// Closed-form multi-round fast-forward: delivers as much of `need`
+    /// as fits before `next_change` in O(1), no matter how many scheduler
+    /// rounds that spans.
+    ///
+    /// The invariant that makes this sound: the rotated [`Self::slot_start`]
+    /// moves the application slice *within* its `(ncp+1)·q` round but never
+    /// changes the one-slice-per-round total, so `r` whole rounds always
+    /// deliver exactly `r·q` ns of CPU. Only the partial first slice and the
+    /// final slice need their rotated positions evaluated; everything in
+    /// between is arithmetic. Returns exactly what iterating
+    /// [`Self::step_ns`] to the same point would have accumulated.
+    pub fn fast_forward(
+        &self,
+        t: SimTime,
+        ncp: u32,
+        next_change: Option<SimTime>,
+        need: SimDur,
+    ) -> Step {
+        if need == SimDur::ZERO || ncp == 0 {
+            return self.step_ns(t, ncp, next_change, need);
+        }
+        let q = self.os.quantum.0;
+        let cycle = (u64::from(ncp) + 1) * q;
+        let Some(shifted) = t.0.checked_add(self.phase_offset) else {
+            // The shifted clock wrapped (unreachable for realistic offsets,
+            // which stay below two cycles): defer to the wrapping stepper.
+            return self.step_ns(t, ncp, next_change, need);
+        };
+        let round = shifted / cycle;
+        let pos = shifted % cycle;
+        let start = self.slot_start(round, cycle, q);
+        // First (possibly partial) slice, plus the round holding the next
+        // untouched full slice.
+        let (consumed, first_slices, next_round) = if pos >= start && pos < start + q {
+            let avail = start + q - pos;
+            if need.0 <= avail {
+                // Completes inside the current slice: a single step.
+                return self.step_ns(t, ncp, next_change, need);
+            }
+            (avail, 1u64, round + 1)
+        } else if pos < start {
+            (0, 0, round)
+        } else {
+            (0, 0, round + 1)
+        };
+        let rem = need.0 - consumed;
+        let k = rem.div_ceil(q); // further slices needed, >= 1
+        let rf = next_round + k - 1; // round of the final (partial) slice
+        let last = rem - (k - 1) * q; // ns run in the final slice, 1..=q
+        let shifted128 = shifted as u128;
+        let cycle128 = cycle as u128;
+        let finish_shifted =
+            rf as u128 * cycle128 + self.slot_start(rf, cycle, q) as u128 + last as u128;
+        let change_shifted = next_change.map(|c| c.0 as u128 + self.phase_offset as u128);
+        if change_shifted.is_none_or(|cs| finish_shifted <= cs) {
+            return Step {
+                end: SimTime(t.0 + (finish_shifted - shifted128) as u64),
+                cpu: need,
+                slices: first_slices + k,
+                completed: true,
+            };
+        }
+        // The load changes before the work finishes. Aggregate only the
+        // whole rounds that provably end before the change — every round
+        // `r` with `(r+1)·cycle <= change_shifted` runs its full `q` slice
+        // regardless of rotation — and let the caller re-plan from there.
+        let cs = change_shifted.unwrap();
+        let r_safe = match (cs / cycle128).checked_sub(1) {
+            Some(r) if r >= next_round as u128 => r as u64,
+            // No whole round fits before the change: single-step through
+            // the boundary neighborhood.
+            _ => return self.step_ns(t, ncp, next_change, need),
+        };
+        // finish_shifted > cs >= (r_safe+1)·cycle and slot+last <= cycle
+        // together force r_safe < rf, so these rounds are all fully used.
+        let full = r_safe + 1 - next_round;
+        let end_shifted =
+            r_safe as u128 * cycle128 + self.slot_start(r_safe, cycle, q) as u128 + q as u128;
+        debug_assert!(end_shifted <= cs && end_shifted > shifted128);
+        Step {
+            end: SimTime(t.0 + (end_shifted - shifted128) as u64),
+            cpu: SimDur(consumed + full * q),
+            slices: first_slices + full,
+            completed: false,
         }
     }
 }
@@ -405,6 +600,112 @@ mod tests {
         let seg = s.segment(SimTime::from_millis(3), 2, None, 0.0);
         assert!(seg.completed);
         assert_eq!(seg.end, SimTime::from_millis(3));
+    }
+
+    /// Drives the integer API to completion and returns (finish, cpu,
+    /// slices, steps taken).
+    fn drive_ns(
+        s: &CpuSched,
+        start: SimTime,
+        need: SimDur,
+        ncp: u32,
+        fast: bool,
+    ) -> (SimTime, SimDur, u64, u64) {
+        let mut t = start;
+        let mut left = need;
+        let mut cpu = SimDur::ZERO;
+        let mut slices = 0;
+        let mut steps = 0;
+        for _ in 0..10_000_000u64 {
+            let st = if fast {
+                s.fast_forward(t, ncp, None, left)
+            } else {
+                s.step_ns(t, ncp, None, left)
+            };
+            cpu += st.cpu;
+            left = left - st.cpu;
+            slices += st.slices;
+            t = st.end;
+            steps += 1;
+            if st.completed {
+                return (t, cpu, slices, steps);
+            }
+        }
+        panic!("integer step loop did not terminate");
+    }
+
+    #[test]
+    fn fast_forward_matches_stepped_unbounded() {
+        for (salt, ncp, need_ms) in [(0u64, 1u32, 250u64), (7, 3, 1_000), (99, 2, 95)] {
+            let mut s = sched();
+            s.set_salt(salt);
+            let need = SimDur::from_millis(need_ms);
+            let stepped = drive_ns(&s, SimTime::from_micros(123), need, ncp, false);
+            let fast = drive_ns(&s, SimTime::from_micros(123), need, ncp, true);
+            assert_eq!(stepped.0, fast.0, "finish time");
+            assert_eq!(stepped.1, fast.1, "cpu time");
+            assert_eq!(stepped.2, fast.2, "slice count");
+            assert!(fast.3 == 1, "unbounded fast-forward must be O(1)");
+            assert!(stepped.3 > 10, "stepped path must actually step");
+        }
+    }
+
+    #[test]
+    fn fast_forward_respects_change_bound() {
+        // A change point mid-run: the fast path must stop at the last
+        // whole-round slice end before it and agree with stepping.
+        let s = sched();
+        let need = SimDur::from_millis(500);
+        let change = Some(SimTime::from_millis(333));
+        let mut t = SimTime::ZERO;
+        let mut left = need;
+        let mut cpu_stepped = SimDur::ZERO;
+        while t < SimTime::from_millis(333) {
+            let st = s.step_ns(t, 3, change, left);
+            cpu_stepped += st.cpu;
+            left = left - st.cpu;
+            t = st.end;
+            if st.completed {
+                break;
+            }
+        }
+        let ff = s.fast_forward(SimTime::ZERO, 3, change, need);
+        assert!(!ff.completed);
+        assert!(ff.end <= SimTime::from_millis(333));
+        // Re-step from the aggregate end to the change point: totals agree.
+        let mut t2 = ff.end;
+        let mut left2 = need - ff.cpu;
+        let mut cpu2 = ff.cpu;
+        while t2 < SimTime::from_millis(333) {
+            let st = s.step_ns(t2, 3, change, left2);
+            cpu2 += st.cpu;
+            left2 = left2 - st.cpu;
+            t2 = st.end;
+            if st.completed {
+                break;
+            }
+        }
+        assert_eq!(t2, t);
+        assert_eq!(cpu2, cpu_stepped);
+    }
+
+    #[test]
+    fn step_ns_matches_float_segment_on_dedicated() {
+        let s = sched();
+        let need = s.work_to_ns(2e6);
+        let st = s.step_ns(SimTime::from_secs(1), 0, None, need);
+        let seg = s.segment(SimTime::from_secs(1), 0, None, 2e6);
+        assert_eq!(st.end, seg.end);
+        assert!(st.completed && seg.completed);
+        assert_eq!(st.end, SimTime::from_secs(3));
+    }
+
+    #[test]
+    fn work_to_ns_rounds_up_and_zero_stays_zero() {
+        let s = sched(); // speed 1e6 units/s = 1e-3 units/ns
+        assert_eq!(s.work_to_ns(0.0), SimDur::ZERO);
+        assert_eq!(s.work_to_ns(1.0), SimDur::from_micros(1));
+        assert_eq!(s.work_to_ns(1e-9), SimDur(1)); // rounds up, not to 0
     }
 
     #[test]

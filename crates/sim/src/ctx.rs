@@ -89,35 +89,51 @@ impl SimCtx {
     /// Consumes `work` units of CPU (≈flops). Wall time depends on the
     /// node's speed and current competing load; CPU accounting is charged
     /// for time actually run.
+    ///
+    /// The remaining work is quantized to nanoseconds once up front
+    /// ([`crate::CpuSched::work_to_ns`]) and then advanced in exact integer
+    /// steps: one scheduler slice at a time when the engine runs stepped
+    /// (`DYNMPI_SIM_STEPPED=1`), or whole load phases at a time through the
+    /// closed-form fast-forward otherwise. Both paths produce bit-identical
+    /// timestamps and CPU accounting; the fast path just touches the event
+    /// queue O(1) times per load phase instead of O(phase/quantum).
     pub fn advance(&self, work: f64) {
         if work <= 0.0 {
             return;
         }
-        let mut remaining = work;
         let mut st = self.shared.state.lock();
+        let node = st.procs[self.pid].node;
+        let mut need = st.nodes[node].sched.work_to_ns(work);
+        let stepped = st.stepped;
         loop {
             let now = st.clock;
             let node = st.procs[self.pid].node;
             let ncp = st.nodes[node].timeline.at(now);
             let next = st.nodes[node].timeline.next_change_after(now);
-            let seg = st.nodes[node].sched.segment(now, ncp, next, remaining);
-            if seg.work_done > 0.0 {
-                st.procs[self.pid].cpu_time += seg.end - now;
+            let step = if stepped {
+                st.nodes[node].sched.step_ns(now, ncp, next, need)
+            } else {
+                st.nodes[node].sched.fast_forward(now, ncp, next, need)
+            };
+            if step.cpu > SimDur::ZERO {
+                st.procs[self.pid].cpu_time += step.cpu;
+                need = need - step.cpu;
             }
-            remaining = (remaining - seg.work_done).max(0.0);
-            if seg.end > now {
+            if step.end > now {
                 if obs::enabled() {
-                    // Scheduler-quantum span: this rank either ran or sat
-                    // out competitors' slices from `now` to `seg.end`.
-                    obs::span_begin("sched", seg.kind(), now.0);
-                    obs::span_end(seg.end.0);
-                    obs::count("sim.sched.quanta", 1);
+                    // Scheduler span: this rank ran and/or sat out
+                    // competitors' slices from `now` to `step.end` (a
+                    // fast-forwarded stretch aggregates many slices into
+                    // one span; `slices` preserves the quantum count).
+                    obs::span_begin("sched", step.kind(now), now.0);
+                    obs::span_end(step.end.0);
+                    if step.slices > 0 {
+                        obs::count("sim.sched.quanta", step.slices);
+                    }
                 }
-                st.procs[self.pid].status = Status::Scheduled;
-                st.push_event(seg.end, self.pid);
-                self.yield_turn(&mut st);
+                self.advance_to(&mut st, step.end);
             }
-            if seg.completed {
+            if step.completed {
                 return;
             }
         }
@@ -130,9 +146,7 @@ impl SimCtx {
         }
         let mut st = self.shared.state.lock();
         let t = st.clock + dur;
-        st.procs[self.pid].status = Status::Scheduled;
-        st.push_event(t, self.pid);
-        self.yield_turn(&mut st);
+        self.advance_to(&mut st, t);
     }
 
     /// Sends `payload` to rank `dst` with `tag`. Charges the sender the CPU
@@ -190,11 +204,9 @@ impl SimCtx {
     /// Non-blocking probe: is a matching message already deliverable?
     pub fn probe(&self, src: Option<usize>, tag: u64) -> bool {
         let st = self.shared.state.lock();
-        let wait = RecvWait { src, tag };
         st.procs[self.pid]
             .mailbox
-            .iter()
-            .any(|e| wait.matches(e) && e.arrival <= st.clock)
+            .has_ready(RecvWait { src, tag }, st.clock)
     }
 
     fn recv_matching(&self, src: Option<usize>, tag: u64) -> (usize, Vec<u8>) {
@@ -202,8 +214,7 @@ impl SimCtx {
         let mut st = self.shared.state.lock();
         loop {
             let now = st.clock;
-            if let Some(i) = st.procs[self.pid].find_ready(wait, now) {
-                let env = st.procs[self.pid].mailbox.swap_remove(i);
+            if let Some(env) = st.procs[self.pid].mailbox.pop_ready(wait, now) {
                 let len = env.payload.len();
                 st.procs[self.pid].msgs_recvd += 1;
                 st.procs[self.pid].bytes_recvd += len as u64;
@@ -219,15 +230,15 @@ impl SimCtx {
             obs::span_begin("sched", "blocked", now.0);
             let node = st.procs[self.pid].node;
             st.nodes[node].blocks.block(now);
-            if let Some(arrival) = st.procs[self.pid].find_pending(wait) {
-                // Arrival already determined by the network: sleep to it.
-                st.procs[self.pid].status = Status::Scheduled;
-                st.push_event(arrival, self.pid);
+            if let Some(arrival) = st.procs[self.pid].mailbox.pending_arrival(wait) {
+                // Arrival already determined by the network: sleep to it
+                // (same-rank continuation if no earlier event intervenes).
+                self.advance_to(&mut st, arrival);
             } else {
                 // Unknown: the sender will wake us.
                 st.procs[self.pid].status = Status::BlockedRecv(wait);
+                self.yield_turn(&mut st);
             }
-            self.yield_turn(&mut st);
             let wake = st.clock;
             obs::span_end(wake.0);
             let node = st.procs[self.pid].node;
@@ -273,11 +284,47 @@ impl SimCtx {
         st.nodes[node].timeline.set(clock, ncp);
     }
 
+    /// Advances the virtual clock to `t` on behalf of this (running) rank.
+    ///
+    /// Turn-handoff bypass: if no *other* rank has a live event at or
+    /// before `t`, this rank keeps the turn — the clock moves forward
+    /// in place with no heap push, no `notify`, and no condvar wait, so a
+    /// pure-compute stretch costs zero engine events. Otherwise it falls
+    /// back to the classic queued event + full yield, preserving the
+    /// global `(time, seq)` dispatch order exactly.
+    fn advance_to(&self, st: &mut MutexGuard<'_, EngineState>, t: SimTime) {
+        debug_assert_eq!(st.current, Some(self.pid));
+        debug_assert!(t >= st.clock, "advance_to into the past");
+        // Stepped mode keeps the seed's exact execution strategy — every
+        // advance goes through the heap and a full turn handoff — so it
+        // doubles as the before-side cost baseline for `engine_events`.
+        if !st.stepped {
+            st.prune_stale_heads();
+            // Strict `>`: an existing event at exactly `t` carries a lower
+            // sequence number than the event we would push, so it must
+            // dispatch first.
+            if st.queue.peek().is_none_or(|ev| ev.time > t) {
+                st.clock = t;
+                st.bypasses += 1;
+                return;
+            }
+        }
+        st.procs[self.pid].status = Status::Scheduled;
+        st.push_event(t, self.pid);
+        self.yield_turn(st);
+    }
+
     /// Hands the turn to the next event's owner and waits until this rank
     /// is scheduled again. The caller must have arranged its own wake-up
     /// (queued event or blocked-recv registration) before calling.
     fn yield_turn(&self, st: &mut MutexGuard<'_, EngineState>) {
         st.dispatch_next();
+        if st.current == Some(self.pid) {
+            // The turn came straight back (our own event was earliest):
+            // keep running without waking the other threads.
+            debug_assert_eq!(st.procs[self.pid].status, Status::Running);
+            return;
+        }
         self.shared.cv.notify_all();
         loop {
             if let Some(msg) = st.panic_msg.clone() {

@@ -40,6 +40,7 @@ mod cluster;
 mod cpu;
 mod ctx;
 mod engine;
+mod mailbox;
 mod monitor;
 mod network;
 mod params;
@@ -50,7 +51,7 @@ mod time;
 mod timeline;
 
 pub use cluster::Cluster;
-pub use cpu::{CpuSched, Segment};
+pub use cpu::{CpuSched, Segment, Step};
 pub use ctx::SimCtx;
 pub use monitor::{dmpi_ps_reading, vmstat_reading, BlockHistory};
 pub use network::Network;

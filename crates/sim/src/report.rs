@@ -3,7 +3,7 @@
 use crate::time::{SimDur, SimTime};
 
 /// Per-rank statistics collected by the engine.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ProcReport {
     pub node: usize,
     /// Exact CPU time consumed.
@@ -19,16 +19,34 @@ pub struct ProcReport {
 }
 
 /// Whole-run statistics.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct SimReport {
     /// Virtual time when the last rank finished — the job's makespan.
     pub finish_time: SimTime,
     pub procs: Vec<ProcReport>,
     pub net_messages: u64,
     pub net_bytes: u64,
+    /// Events pushed onto the engine's heap over the run. An execution-cost
+    /// metric, not a virtual-time output: it differs between the stepped
+    /// and fast-forward CPU modes even though every timestamp agrees.
+    pub engine_events: u64,
+    /// Turn handoffs elided by the same-rank continuation bypass (also an
+    /// execution-cost metric).
+    pub turn_bypasses: u64,
 }
 
 impl SimReport {
+    /// This report with the execution-cost metrics zeroed, leaving only
+    /// virtual-time outputs — the form the stepped/fast-forward
+    /// equivalence suite compares bit for bit.
+    pub fn virtual_outputs(&self) -> SimReport {
+        SimReport {
+            engine_events: 0,
+            turn_bypasses: 0,
+            ..self.clone()
+        }
+    }
+
     /// Aggregate CPU time across ranks.
     pub fn total_cpu(&self) -> SimDur {
         let ns = self.procs.iter().map(|p| p.cpu_time.0).sum();
@@ -88,6 +106,8 @@ mod tests {
             ],
             net_messages: 1,
             net_bytes: 8,
+            engine_events: 0,
+            turn_bypasses: 0,
         };
         assert_eq!(r.total_cpu(), SimDur::from_secs(3));
         assert!((r.mean_utilization() - 0.75).abs() < 1e-12);
@@ -100,6 +120,8 @@ mod tests {
             procs: vec![],
             net_messages: 0,
             net_bytes: 0,
+            engine_events: 0,
+            turn_bypasses: 0,
         };
         assert_eq!(r.mean_utilization(), 0.0);
     }

@@ -10,7 +10,12 @@
 //!   counterexample, so failures are reproducible with `Rng::new(seed)`.
 //! * [`bench`] — a tiny wall-clock micro-benchmark loop used by the
 //!   `crates/bench/benches/*` binaries (which run with `harness = false`).
+//! * [`sweep`] — a scoped worker pool that runs independent, deterministic
+//!   simulation configurations concurrently and returns results in input
+//!   order, so figure harnesses parallelize without reordering output.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
 // ---------------------------------------------------------------------------
@@ -212,6 +217,65 @@ pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) -> BenchResult {
     res
 }
 
+// ---------------------------------------------------------------------------
+// Parallel sweep runner
+// ---------------------------------------------------------------------------
+
+/// The machine's available parallelism (1 if it cannot be determined) —
+/// the default for `--threads` in the figure harnesses.
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Runs `f(index, item)` for every item on a pool of `threads` scoped
+/// workers and returns the results **in input order**.
+///
+/// Each invocation must be independent and deterministic (the contract the
+/// simulator's `run_spmd` already gives): then the output is byte-for-byte
+/// identical at any thread count, which the fig-harness determinism test
+/// pins down. `threads <= 1` runs inline with no pool at all. A panicking
+/// item propagates out of the sweep.
+pub fn sweep<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<R>>> = Mutex::new((0..items.len()).map(|_| None).collect());
+    std::thread::scope(|s| {
+        let workers: Vec<_> = (0..threads.min(items.len()))
+            .map(|_| {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(item) = items.get(i) else { return };
+                    let r = f(i, item);
+                    // A sibling worker may have panicked while we computed:
+                    // tolerate the poisoned lock so our result still lands
+                    // and the scope can unwind with the original payload.
+                    slots.lock().unwrap_or_else(|e| e.into_inner())[i] = Some(r);
+                })
+            })
+            .collect();
+        for w in workers {
+            if let Err(e) = w.join() {
+                std::panic::resume_unwind(e);
+            }
+        }
+    });
+    slots
+        .into_inner()
+        .unwrap_or_else(|e| e.into_inner())
+        .into_iter()
+        .map(|r| r.expect("every sweep slot filled"))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -266,5 +330,57 @@ mod tests {
             let x = r.f64_unit();
             assert!((0.0..1.0).contains(&x));
         }
+    }
+
+    #[test]
+    fn sweep_returns_results_in_input_order() {
+        let items: Vec<u64> = (0..37).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for threads in [1, 2, 8, 64] {
+            let got = sweep(&items, threads, |i, &x| {
+                assert_eq!(items[i], x);
+                x * x
+            });
+            assert_eq!(got, expect, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn sweep_handles_empty_and_single() {
+        let empty: Vec<u32> = vec![];
+        assert!(sweep(&empty, 8, |_, &x| x).is_empty());
+        assert_eq!(sweep(&[5u32], 8, |_, &x| x + 1), vec![6]);
+    }
+
+    #[test]
+    fn sweep_runs_every_index_exactly_once() {
+        use std::sync::atomic::AtomicU32;
+        let counts: Vec<AtomicU32> = (0..100).map(|_| AtomicU32::new(0)).collect();
+        let items: Vec<usize> = (0..100).collect();
+        sweep(&items, 7, |i, _| {
+            counts[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn sweep_propagates_worker_panics() {
+        let items: Vec<u32> = (0..16).collect();
+        let err = std::panic::catch_unwind(|| {
+            sweep(&items, 4, |_, &x| {
+                if x == 9 {
+                    panic!("item nine exploded");
+                }
+                x
+            });
+        })
+        .unwrap_err();
+        let msg = err.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert!(msg.contains("item nine"), "{msg}");
+    }
+
+    #[test]
+    fn available_threads_is_positive() {
+        assert!(available_threads() >= 1);
     }
 }
