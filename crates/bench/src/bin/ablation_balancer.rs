@@ -5,10 +5,10 @@
 //! and reports the settled cycle time of each.
 
 use dynmpi::{BalancerKind, DropPolicy, DynMpiConfig};
-use dynmpi_apps::harness::{run_sim, AppSpec, Experiment};
+use dynmpi_apps::harness::{run_sim_with, AppSpec, Experiment};
 use dynmpi_apps::sor::SorParams;
 use dynmpi_bench::{fmt_s, print_table, write_rows, BenchArgs};
-use dynmpi_obs::Json;
+use dynmpi_obs::{Json, Recorder};
 use dynmpi_sim::{LoadScript, NodeSpec};
 
 struct Row {
@@ -44,18 +44,21 @@ fn main() {
         .into_iter()
         .flat_map(|nodes| [1u32, 2, 3].map(|cps| (nodes, cps)))
         .collect();
-    let rows: Vec<Row> = dynmpi_testkit::sweep(&items, args.threads, |_i, item| {
+    // --trace-out/--profile-out record the long successive-balancing run
+    // of the first configuration (8 nodes, 1 CP).
+    let recorder = args.wants_recorder().then(Recorder::new);
+    let rows: Vec<Row> = dynmpi_testkit::sweep(&items, args.threads, |i, item| {
         let (nodes, cps) = *item;
         let script = LoadScript::dedicated().at_cycle(nodes - 1, 10, cps);
-        let settled = |balancer: BalancerKind| {
-            let mk = |iters: usize| {
+        let settled = |balancer: BalancerKind, rec: Option<Recorder>| {
+            let mk = |iters: usize, rec: Option<Recorder>| {
                 let p = SorParams {
                     n,
                     iters,
                     omega: 1.5,
                     exercise_kernel: false,
                 };
-                run_sim(
+                run_sim_with(
                     &Experiment::new(AppSpec::Sor(p), nodes)
                         .with_node_spec(node)
                         .with_cfg(DynMpiConfig {
@@ -64,14 +67,18 @@ fn main() {
                             ..Default::default()
                         })
                         .with_script(script.clone()),
+                    rec,
                 )
             };
-            let short = mk(iters);
-            let long = mk(2 * iters);
+            let short = mk(iters, None);
+            let long = mk(2 * iters, rec);
             (long.makespan - short.makespan) / iters as f64
         };
-        let naive = settled(BalancerKind::RelativePower);
-        let sb = settled(BalancerKind::SuccessiveBalancing);
+        let naive = settled(BalancerKind::RelativePower, None);
+        let sb = settled(
+            BalancerKind::SuccessiveBalancing,
+            (i == 0).then(|| recorder.clone()).flatten(),
+        );
         let gain = (naive - sb) / naive * 100.0;
         Row {
             table: "ablation_balancer",
@@ -101,4 +108,5 @@ fn main() {
     );
     let json_rows: Vec<Json> = rows.iter().map(Row::to_json).collect();
     write_rows(&args.out_dir, "ablation_balancer", &json_rows);
+    args.write_outputs(&recorder);
 }

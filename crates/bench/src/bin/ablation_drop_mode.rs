@@ -7,10 +7,10 @@
 //! node.
 
 use dynmpi::{DropPolicy, DynMpiConfig};
-use dynmpi_apps::harness::{run_sim, AppSpec, Experiment};
+use dynmpi_apps::harness::{run_sim_with, AppSpec, Experiment};
 use dynmpi_apps::sor::SorParams;
 use dynmpi_bench::{fmt_s, print_table, write_rows, BenchArgs};
-use dynmpi_obs::Json;
+use dynmpi_obs::{Json, Recorder};
 use dynmpi_sim::{LoadScript, NodeSpec};
 
 struct Row {
@@ -43,19 +43,22 @@ fn main() {
         (1024, 150usize, NodeSpec::ultra5_360())
     };
     let items = [8usize, 16, 32];
-    let rows: Vec<Row> = dynmpi_testkit::sweep(&items, args.threads, |_i, nodes| {
+    // --trace-out/--profile-out record the long physical-drop run of the
+    // first configuration (8 nodes).
+    let recorder = args.wants_recorder().then(Recorder::new);
+    let rows: Vec<Row> = dynmpi_testkit::sweep(&items, args.threads, |i, nodes| {
         let nodes = *nodes;
         let cps = 3u32;
         let script = LoadScript::dedicated().at_cycle(nodes - 1, 10, cps);
-        let settled = |policy: DropPolicy| {
-            let mk = |iters: usize| {
+        let settled = |policy: DropPolicy, rec: Option<Recorder>| {
+            let mk = |iters: usize, rec: Option<Recorder>| {
                 let p = SorParams {
                     n,
                     iters,
                     omega: 1.5,
                     exercise_kernel: false,
                 };
-                run_sim(
+                run_sim_with(
                     &Experiment::new(AppSpec::Sor(p), nodes)
                         .with_node_spec(node)
                         .with_cfg(DynMpiConfig {
@@ -64,14 +67,18 @@ fn main() {
                             ..Default::default()
                         })
                         .with_script(script.clone()),
+                    rec,
                 )
             };
-            let short = mk(iters);
-            let long = mk(2 * iters);
+            let short = mk(iters, None);
+            let long = mk(2 * iters, rec);
             (long.makespan - short.makespan) / iters as f64
         };
-        let logical = settled(DropPolicy::Logical);
-        let physical = settled(DropPolicy::Always);
+        let logical = settled(DropPolicy::Logical, None);
+        let physical = settled(
+            DropPolicy::Always,
+            (i == 0).then(|| recorder.clone()).flatten(),
+        );
         let gain = (logical - physical) / logical * 100.0;
         Row {
             table: "ablation_drop_mode",
@@ -101,4 +108,5 @@ fn main() {
     );
     let json_rows: Vec<Json> = rows.iter().map(Row::to_json).collect();
     write_rows(&args.out_dir, "ablation_drop_mode", &json_rows);
+    args.write_outputs(&recorder);
 }

@@ -12,7 +12,7 @@ use dynmpi_apps::harness::{run_sim, run_sim_with, AppSpec, Experiment};
 use dynmpi_apps::jacobi::JacobiParams;
 use dynmpi_apps::particle::ParticleParams;
 use dynmpi_apps::sor::SorParams;
-use dynmpi_bench::{fmt_s, fmt_x, log_info, print_table, write_rows, write_trace, BenchArgs};
+use dynmpi_bench::{fmt_s, fmt_x, log_error, log_info, print_table, write_rows, BenchArgs};
 use dynmpi_obs::{Json, Recorder};
 use dynmpi_sim::{LoadScript, NodeSpec};
 
@@ -107,6 +107,9 @@ fn main() {
     // Pre-build every (app, nodes) configuration, then run them through the
     // parallel sweep: each item is three independent deterministic sims, so
     // results (and thus the JSONL) are identical at any --threads value.
+    // `--only app/nodes` (substring match, e.g. `--only jacobi/8`) trims
+    // the sweep to the configurations of interest — mainly for profiling
+    // one run without paying for the other eleven.
     let items: Vec<(&'static str, usize, AppSpec, NodeSpec)> = apps(args.quick)
         .into_iter()
         .flat_map(|(name, mk)| {
@@ -123,12 +126,17 @@ fn main() {
                 .map(move |nodes| (name, nodes, mk(nodes), node))
                 .collect::<Vec<_>>()
         })
+        .filter(|(name, nodes, _, _)| args.keeps(&format!("{name}/{nodes}")))
         .collect();
+    if items.is_empty() {
+        log_error!("--only matched no fig4 configuration");
+        std::process::exit(2);
+    }
 
-    // With --trace-out, the first Dyn-MPI run (the smallest adaptive
-    // configuration, pinned to sweep item 0) is recorded; later runs would
-    // overlay the same virtual-time axis in one trace file.
-    let recorder = args.trace_out.as_ref().map(|_| Recorder::new());
+    // With --trace-out/--profile-out, the first Dyn-MPI run (the smallest
+    // selected adaptive configuration, pinned to sweep item 0) is recorded;
+    // later runs would overlay the same virtual-time axis in one trace.
+    let recorder = args.wants_recorder().then(Recorder::new);
     let rows: Vec<Row> = dynmpi_testkit::sweep(&items, args.threads, |i, item| {
         let (name, nodes, spec, node) = item;
         let (name, nodes) = (*name, *nodes);
@@ -224,7 +232,5 @@ fn main() {
     );
     let json_rows: Vec<Json> = rows.iter().map(Row::to_json).collect();
     write_rows(&args.out_dir, "fig4_overall", &json_rows);
-    if let (Some(path), Some(rec)) = (&args.trace_out, &recorder) {
-        write_trace(rec, path);
-    }
+    args.write_outputs(&recorder);
 }

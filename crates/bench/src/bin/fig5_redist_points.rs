@@ -15,7 +15,7 @@
 use dynmpi::{DropPolicy, DynMpiConfig};
 use dynmpi_apps::harness::{run_sim_with, AppSpec, Experiment};
 use dynmpi_apps::jacobi::JacobiParams;
-use dynmpi_bench::{fmt_s, log_info, print_table, write_rows, write_trace, BenchArgs};
+use dynmpi_bench::{fmt_s, log_info, print_table, write_rows, BenchArgs};
 use dynmpi_obs::{Json, Recorder};
 use dynmpi_sim::{LoadScript, NodeSpec};
 
@@ -95,8 +95,8 @@ fn main() {
                 variants(period).map(|(variant, cfg, period)| (variant, cfg, period, execution))
             })
             .collect();
-    // --trace-out records the first adaptive arm: item 1 (short, redist-once).
-    let recorder = args.trace_out.as_ref().map(|_| Recorder::new());
+    // --trace-out/--profile-out record the first adaptive arm: item 1 (short, redist-once).
+    let recorder = args.wants_recorder().then(Recorder::new);
     let rows: Vec<Row> = dynmpi_testkit::sweep(&items, args.threads, |i, item| {
         let (variant, cfg, period, execution) = item;
         let (variant, period, execution) = (*variant, *period, *execution);
@@ -186,7 +186,5 @@ fn main() {
     }
     let json_rows: Vec<Json> = rows.iter().map(Row::to_json).collect();
     write_rows(&args.out_dir, "fig5_redist_points", &json_rows);
-    if let (Some(path), Some(rec)) = (&args.trace_out, &recorder) {
-        write_trace(rec, path);
-    }
+    args.write_outputs(&recorder);
 }

@@ -11,7 +11,7 @@
 use dynmpi::{DropPolicy, DynMpiConfig};
 use dynmpi_apps::harness::{run_sim_with, AppSpec, Experiment};
 use dynmpi_apps::sor::SorParams;
-use dynmpi_bench::{fmt_s, log_info, print_table, write_rows, write_trace, BenchArgs};
+use dynmpi_bench::{fmt_s, log_info, print_table, write_rows, BenchArgs};
 use dynmpi_obs::{Json, Recorder};
 use dynmpi_sim::{LoadScript, NodeSpec};
 
@@ -58,9 +58,9 @@ fn main() {
         .into_iter()
         .flat_map(|nodes| [1u32, 2, 3].map(|cps| (nodes, cps)))
         .collect();
-    // --trace-out records the first drop-enabled short run (8 nodes, 1 CP,
+    // --trace-out/--profile-out record the first drop-enabled short run (8 nodes, 1 CP,
     // sweep item 0). Each item runs four sims (keep/drop × short/long).
-    let recorder = args.trace_out.as_ref().map(|_| Recorder::new());
+    let recorder = args.wants_recorder().then(Recorder::new);
     let rows: Vec<Row> = dynmpi_testkit::sweep(&items, args.threads, |i, item| {
         let (nodes, cps) = *item;
         let script = LoadScript::dedicated().at_cycle(nodes - 1, 10, cps);
@@ -129,7 +129,5 @@ fn main() {
     );
     let json_rows: Vec<Json> = rows.iter().map(Row::to_json).collect();
     write_rows(&args.out_dir, "fig6_node_removal", &json_rows);
-    if let (Some(path), Some(rec)) = (&args.trace_out, &recorder) {
-        write_trace(rec, path);
-    }
+    args.write_outputs(&recorder);
 }

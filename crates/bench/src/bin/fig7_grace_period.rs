@@ -9,10 +9,10 @@
 //! and 16 % (Part = 50) better post-redistribution execution with GP = 5.
 
 use dynmpi::{DropPolicy, DynMpiConfig};
-use dynmpi_apps::harness::{run_sim, AppSpec, Experiment};
+use dynmpi_apps::harness::{run_sim_with, AppSpec, Experiment};
 use dynmpi_apps::particle::ParticleParams;
 use dynmpi_bench::{fmt_s, log_info, print_table, write_rows, BenchArgs};
-use dynmpi_obs::Json;
+use dynmpi_obs::{Json, Recorder};
 use dynmpi_sim::LoadScript;
 
 struct Row {
@@ -41,7 +41,10 @@ fn main() {
         .into_iter()
         .flat_map(|part| [1u32, 5].map(|gp| (part, gp)))
         .collect();
-    let rows: Vec<Row> = dynmpi_testkit::sweep(&items, args.threads, |_i, item| {
+    // --trace-out/--profile-out record the long run of the first arm
+    // (Part = 10, GP = 1, sweep item 0).
+    let recorder = args.wants_recorder().then(Recorder::new);
+    let rows: Vec<Row> = dynmpi_testkit::sweep(&items, args.threads, |i, item| {
         let (part, gp) = *item;
         // Per §5.4 the competing process lands on P0 — the node that
         // also holds the imbalanced hot rows, so mismeasuring them
@@ -52,17 +55,18 @@ fn main() {
             drop_policy: DropPolicy::Never,
             ..Default::default()
         };
-        let mk = |iters: usize| {
+        let mk = |iters: usize, rec: Option<Recorder>| {
             let mut p = ParticleParams::fig7(part);
             p.iters = iters;
-            run_sim(
+            run_sim_with(
                 &Experiment::new(AppSpec::Particle(p), 8)
                     .with_cfg(cfg.clone())
                     .with_script(script.clone()),
+                rec,
             )
         };
-        let short = mk(iters);
-        let long = mk(iters + extra);
+        let short = mk(iters, None);
+        let long = mk(iters + extra, (i == 0).then(|| recorder.clone()).flatten());
         let settled = (long.makespan - short.makespan) / extra as f64;
         log_info!("fig7 part={part} gp={gp}: settled {settled:.4}s/cycle");
         Row {
@@ -103,4 +107,5 @@ fn main() {
     }
     let json_rows: Vec<Json> = rows.iter().map(Row::to_json).collect();
     write_rows(&args.out_dir, "fig7_grace_period", &json_rows);
+    args.write_outputs(&recorder);
 }

@@ -123,15 +123,20 @@ macro_rules! log_trace {
 }
 
 /// Common CLI handling: `--quick`, an optional `--out DIR`, an optional
-/// `--trace-out PATH` (Chrome trace of the instrumented runs), and
-/// `--threads N` (worker count for the parallel configuration sweep;
-/// defaults to the machine's available parallelism). Every simulated
-/// configuration is an independent deterministic run, so output is
-/// byte-identical at any thread count.
+/// `--trace-out PATH` (Chrome trace of the instrumented runs), an optional
+/// `--profile-out PATH` (critical-path & wait-state attribution report of
+/// the instrumented run, JSON; the text rendering prints to stdout), an
+/// optional `--only KEY` (restrict the sweep to matching configurations,
+/// where supported), and `--threads N` (worker count for the parallel
+/// configuration sweep; defaults to the machine's available parallelism).
+/// Every simulated configuration is an independent deterministic run, so
+/// output is byte-identical at any thread count.
 pub struct BenchArgs {
     pub quick: bool,
     pub out_dir: String,
     pub trace_out: Option<String>,
+    pub profile_out: Option<String>,
+    pub only: Option<String>,
     pub threads: usize,
 }
 
@@ -140,6 +145,8 @@ impl BenchArgs {
         let mut quick = false;
         let mut out_dir = "results".to_string();
         let mut trace_out = None;
+        let mut profile_out = None;
+        let mut only = None;
         let mut threads = dynmpi_testkit::available_threads();
         let mut args = std::env::args().skip(1);
         let value = |flag: &str, args: &mut dyn Iterator<Item = String>| {
@@ -153,6 +160,8 @@ impl BenchArgs {
                 "--quick" => quick = true,
                 "--out" => out_dir = value("--out", &mut args),
                 "--trace-out" => trace_out = Some(value("--trace-out", &mut args)),
+                "--profile-out" => profile_out = Some(value("--profile-out", &mut args)),
+                "--only" => only = Some(value("--only", &mut args)),
                 "--threads" => {
                     let v = value("--threads", &mut args);
                     threads = v.parse().unwrap_or_else(|_| {
@@ -165,7 +174,10 @@ impl BenchArgs {
                     }
                 }
                 "--help" | "-h" => {
-                    eprintln!("usage: [--quick] [--out DIR] [--trace-out PATH] [--threads N]");
+                    eprintln!(
+                        "usage: [--quick] [--out DIR] [--trace-out PATH] \
+                         [--profile-out PATH] [--only KEY] [--threads N]"
+                    );
                     std::process::exit(0);
                 }
                 other => {
@@ -178,7 +190,32 @@ impl BenchArgs {
             quick,
             out_dir,
             trace_out,
+            profile_out,
+            only,
             threads,
+        }
+    }
+
+    /// Does any flag ask for an instrumented run?
+    pub fn wants_recorder(&self) -> bool {
+        self.trace_out.is_some() || self.profile_out.is_some()
+    }
+
+    /// Keeps a sweep configuration when `--only` is unset or matches
+    /// `key` as a substring.
+    pub fn keeps(&self, key: &str) -> bool {
+        self.only.as_deref().is_none_or(|pat| key.contains(pat))
+    }
+
+    /// Writes whatever outputs `--trace-out`/`--profile-out` asked for
+    /// from the instrumented run's recorder.
+    pub fn write_outputs(&self, recorder: &Option<dynmpi_obs::Recorder>) {
+        let Some(rec) = recorder else { return };
+        if let Some(path) = &self.trace_out {
+            write_trace(rec, path);
+        }
+        if let Some(path) = &self.profile_out {
+            write_profile(rec, path);
         }
     }
 }
@@ -215,6 +252,22 @@ pub fn write_trace(recorder: &dynmpi_obs::Recorder, trace_path: &str) {
         .write_metrics(&metrics_path)
         .expect("write metrics file");
     log_info!("wrote {trace_path} and {metrics_path}");
+}
+
+/// Runs the trace analyzer over `recorder`'s events, writes the JSON
+/// [`ProfileReport`](dynmpi_obs::ProfileReport) to `profile_path`, and
+/// prints the text rendering (attribution table, top critical-path
+/// segments, redistribution audits) to stdout.
+pub fn write_profile(recorder: &dynmpi_obs::Recorder, profile_path: &str) {
+    if let Some(parent) = Path::new(profile_path).parent() {
+        if !parent.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+    }
+    let report = recorder.profile();
+    std::fs::write(profile_path, report.to_json().to_string()).expect("write profile file");
+    print!("{}", report.render_text());
+    log_info!("wrote {profile_path}");
 }
 
 /// Renders an aligned text table.

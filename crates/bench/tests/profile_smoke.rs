@@ -1,0 +1,104 @@
+//! Smoke test behind the CI `profile-smoke` job: run the quick fig4
+//! `jacobi/8` configuration end to end with `--trace-out`/`--profile-out`
+//! and assert the emitted profile report is parseable, complete, and
+//! internally consistent. Artifacts land in `target/profile-smoke/` so CI
+//! can upload them when this fails.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use dynmpi_obs::Json;
+
+fn u64_field(obj: &Json, key: &str) -> u64 {
+    obj.get(key)
+        .and_then(Json::as_u64)
+        .unwrap_or_else(|| panic!("missing u64 `{key}` in {obj}"))
+}
+
+#[test]
+fn fig4_quick_profile_is_complete() {
+    let out_dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/profile-smoke");
+    std::fs::create_dir_all(&out_dir).unwrap();
+    let trace_path = out_dir.join("trace.json");
+    let profile_path = out_dir.join("profile.json");
+
+    let output = Command::new(env!("CARGO_BIN_EXE_fig4_overall"))
+        .arg("--quick")
+        .arg("--only")
+        .arg("jacobi/8")
+        .arg("--out")
+        .arg(&out_dir)
+        .arg("--trace-out")
+        .arg(&trace_path)
+        .arg("--profile-out")
+        .arg(&profile_path)
+        .output()
+        .expect("failed to launch fig4_overall");
+    assert!(
+        output.status.success(),
+        "fig4_overall failed:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+
+    // The trace the profile was computed from is on disk too.
+    let trace = std::fs::read_to_string(&trace_path).unwrap();
+    assert!(!trace.trim().is_empty(), "trace output is empty");
+
+    let report = Json::parse(&std::fs::read_to_string(&profile_path).unwrap())
+        .expect("profile report must be valid JSON");
+
+    // Coverage bar from the acceptance criteria: >= 95 % of every rank's
+    // makespan attributed (exact attribution gives 100).
+    let coverage = report
+        .get("min_coverage_pct")
+        .and_then(Json::as_f64)
+        .expect("missing min_coverage_pct");
+    assert!(coverage >= 95.0, "coverage {coverage:.2}% below 95%");
+
+    // Attribution sums exactly per rank, for all 8 ranks.
+    let ranks = report.get("ranks").and_then(Json::as_arr).unwrap();
+    assert_eq!(ranks.len(), 8, "expected 8 attributed ranks");
+    for rank in ranks {
+        let makespan = u64_field(rank, "makespan_ns");
+        let buckets = rank.get("buckets").expect("rank without buckets");
+        let total: u64 = [
+            "compute_ns",
+            "interference_ns",
+            "late_wait_ns",
+            "network_ns",
+            "redist_ns",
+            "runtime_ns",
+            "other_ns",
+        ]
+        .iter()
+        .map(|k| u64_field(buckets, k))
+        .sum();
+        assert_eq!(
+            total,
+            makespan,
+            "rank {} buckets do not sum to its makespan",
+            u64_field(rank, "rank")
+        );
+    }
+
+    // A complete cross-rank critical path: non-empty, tiles the makespan.
+    let path = report.get("critical_path").and_then(Json::as_arr).unwrap();
+    assert!(!path.is_empty(), "critical path is empty");
+    assert_eq!(
+        u64_field(&report, "critical_path_ns"),
+        u64_field(&report, "makespan_ns"),
+        "critical path does not cover the makespan"
+    );
+    assert!(
+        path.iter().any(|seg| {
+            seg.get("kind").and_then(Json::as_str) == Some("transfer")
+                && seg.get("src").and_then(Json::as_u64) != seg.get("dst").and_then(Json::as_u64)
+        }),
+        "no cross-rank transfer on the critical path"
+    );
+
+    // The adaptive run redistributed at least once and was audited.
+    let cycles = report.get("cycles").and_then(Json::as_arr).unwrap();
+    assert!(!cycles.is_empty(), "no redistribution audits");
+    assert!(cycles.iter().all(|c| u64_field(c, "rows_moved") > 0));
+}

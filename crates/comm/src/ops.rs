@@ -126,15 +126,29 @@ fn block_bounds(elems: usize, n: usize, i: usize) -> (usize, usize) {
 
 /// Wraps one collective call in a `cat = "comm"` trace span stamped with
 /// the transport's (virtual) clock. Composite collectives nest naturally:
-/// an `allreduce` span contains its `reduce` and `bcast` children.
-fn traced<R>(t: &(impl Transport + ?Sized), name: &'static str, body: impl FnOnce() -> R) -> R {
+/// an `allreduce` span contains its `reduce` and `bcast` children. The
+/// span closes with `ranks` (participating group size) and `bytes` (this
+/// rank's local payload contribution) attributes for trace analysis.
+fn traced<R>(
+    t: &(impl Transport + ?Sized),
+    name: &'static str,
+    ranks: usize,
+    bytes: usize,
+    body: impl FnOnce() -> R,
+) -> R {
     if !obs::enabled() {
         return body();
     }
     obs::span_begin("comm", name, t.now_ns());
     obs::count(&format!("comm.coll.{name}"), 1);
     let out = body();
-    obs::span_end(t.now_ns());
+    obs::span_end_args(
+        t.now_ns(),
+        vec![
+            ("ranks".to_string(), obs::Json::UInt(ranks as u64)),
+            ("bytes".to_string(), obs::Json::UInt(bytes as u64)),
+        ],
+    );
     out
 }
 
@@ -356,7 +370,7 @@ pub trait CommOps: Transport {
         src: usize,
         recv_tag: u64,
     ) -> Vec<P> {
-        traced(self, "sendrecv", || {
+        traced(self, "sendrecv", 2, std::mem::size_of_val(data), || {
             self.send_slice(dst, send_tag, data);
             self.recv_vec(src, recv_tag)
         })
@@ -364,7 +378,7 @@ pub trait CommOps: Transport {
 
     /// Dissemination barrier over `g`. O(log n) rounds.
     fn barrier(&self, g: &Group) {
-        traced(self, "barrier", || {
+        traced(self, "barrier", g.size(), 0, || {
             let n = g.size();
             let rel = g.rel_unchecked();
             let mut k = 1usize;
@@ -387,59 +401,72 @@ pub trait CommOps: Transport {
     /// ones the binomial tree. Non-roots follow the root's choice via the
     /// frame header, so only the root needs to know the size.
     fn bcast<P: Pod>(&self, g: &Group, root: usize, data: Option<&[P]>) -> Vec<P> {
-        traced(self, "bcast", || {
-            let n = g.size();
-            let rel = g.rel_unchecked();
-            assert!(root < n, "bcast root {root} out of group of {n}");
-            let vr = (rel + n - root) % n;
-            if n == 1 {
-                return counted_to_vec(data.expect("bcast root must supply data"));
-            }
-            if vr == 0 {
-                let data = data.expect("bcast root must supply data");
-                if std::mem::size_of_val(data) >= COLL_LARGE_THRESHOLD && n >= LARGE_ALGO_MIN_RANKS
-                {
-                    obs::count("comm.coll.bcast_large", 1);
-                    bcast_vdg_root(self, g, root, data)
-                } else {
-                    bcast_binomial_root(self, g, root, data)
+        traced(
+            self,
+            "bcast",
+            g.size(),
+            data.map(std::mem::size_of_val).unwrap_or(0),
+            || {
+                let n = g.size();
+                let rel = g.rel_unchecked();
+                assert!(root < n, "bcast root {root} out of group of {n}");
+                let vr = (rel + n - root) % n;
+                if n == 1 {
+                    return counted_to_vec(data.expect("bcast root must supply data"));
                 }
-            } else {
-                let first = bcast_recv_first(self, g, root, vr);
-                if frame_header(&first) & FRAME_VDG != 0 {
-                    obs::count("comm.coll.bcast_large", 1);
-                    bcast_vdg_nonroot(self, g, root, vr, first)
+                if vr == 0 {
+                    let data = data.expect("bcast root must supply data");
+                    if std::mem::size_of_val(data) >= COLL_LARGE_THRESHOLD
+                        && n >= LARGE_ALGO_MIN_RANKS
+                    {
+                        obs::count("comm.coll.bcast_large", 1);
+                        bcast_vdg_root(self, g, root, data)
+                    } else {
+                        bcast_binomial_root(self, g, root, data)
+                    }
                 } else {
-                    bcast_binomial_nonroot(self, g, root, vr, first)
+                    let first = bcast_recv_first(self, g, root, vr);
+                    if frame_header(&first) & FRAME_VDG != 0 {
+                        obs::count("comm.coll.bcast_large", 1);
+                        bcast_vdg_nonroot(self, g, root, vr, first)
+                    } else {
+                        bcast_binomial_nonroot(self, g, root, vr, first)
+                    }
                 }
-            }
-        })
+            },
+        )
     }
 
     /// Broadcast forced onto the binomial tree regardless of size — the
     /// small-message algorithm. Exposed for the equivalence suite and the
     /// micro-bench; production code should call [`CommOps::bcast`].
     fn bcast_binomial<P: Pod>(&self, g: &Group, root: usize, data: Option<&[P]>) -> Vec<P> {
-        traced(self, "bcast", || {
-            let n = g.size();
-            let rel = g.rel_unchecked();
-            assert!(root < n, "bcast root {root} out of group of {n}");
-            let vr = (rel + n - root) % n;
-            if n == 1 {
-                return counted_to_vec(data.expect("bcast root must supply data"));
-            }
-            if vr == 0 {
-                bcast_binomial_root(self, g, root, data.expect("bcast root must supply data"))
-            } else {
-                let first = bcast_recv_first(self, g, root, vr);
-                assert_eq!(
-                    frame_header(&first) & FRAME_VDG,
-                    0,
-                    "bcast algorithm mismatch: root chose scatter-allgather"
-                );
-                bcast_binomial_nonroot(self, g, root, vr, first)
-            }
-        })
+        traced(
+            self,
+            "bcast",
+            g.size(),
+            data.map(std::mem::size_of_val).unwrap_or(0),
+            || {
+                let n = g.size();
+                let rel = g.rel_unchecked();
+                assert!(root < n, "bcast root {root} out of group of {n}");
+                let vr = (rel + n - root) % n;
+                if n == 1 {
+                    return counted_to_vec(data.expect("bcast root must supply data"));
+                }
+                if vr == 0 {
+                    bcast_binomial_root(self, g, root, data.expect("bcast root must supply data"))
+                } else {
+                    let first = bcast_recv_first(self, g, root, vr);
+                    assert_eq!(
+                        frame_header(&first) & FRAME_VDG,
+                        0,
+                        "bcast algorithm mismatch: root chose scatter-allgather"
+                    );
+                    bcast_binomial_nonroot(self, g, root, vr, first)
+                }
+            },
+        )
     }
 
     /// Broadcast forced onto the van de Geijn scatter + ring-allgather
@@ -451,27 +478,33 @@ pub trait CommOps: Transport {
         root: usize,
         data: Option<&[P]>,
     ) -> Vec<P> {
-        traced(self, "bcast", || {
-            let n = g.size();
-            let rel = g.rel_unchecked();
-            assert!(root < n, "bcast root {root} out of group of {n}");
-            let vr = (rel + n - root) % n;
-            if vr == 0 {
-                let data = data.expect("bcast root must supply data");
-                if n == 1 {
-                    return counted_to_vec(data);
+        traced(
+            self,
+            "bcast",
+            g.size(),
+            data.map(std::mem::size_of_val).unwrap_or(0),
+            || {
+                let n = g.size();
+                let rel = g.rel_unchecked();
+                assert!(root < n, "bcast root {root} out of group of {n}");
+                let vr = (rel + n - root) % n;
+                if vr == 0 {
+                    let data = data.expect("bcast root must supply data");
+                    if n == 1 {
+                        return counted_to_vec(data);
+                    }
+                    bcast_vdg_root(self, g, root, data)
+                } else {
+                    let first = bcast_recv_first(self, g, root, vr);
+                    assert_ne!(
+                        frame_header(&first) & FRAME_VDG,
+                        0,
+                        "bcast algorithm mismatch: root chose the binomial tree"
+                    );
+                    bcast_vdg_nonroot(self, g, root, vr, first)
                 }
-                bcast_vdg_root(self, g, root, data)
-            } else {
-                let first = bcast_recv_first(self, g, root, vr);
-                assert_ne!(
-                    frame_header(&first) & FRAME_VDG,
-                    0,
-                    "bcast algorithm mismatch: root chose the binomial tree"
-                );
-                bcast_vdg_nonroot(self, g, root, vr, first)
-            }
-        })
+            },
+        )
     }
 
     /// Binomial-tree reduction to relative rank `root` with a commutative,
@@ -485,33 +518,39 @@ pub trait CommOps: Transport {
         data: &[P],
         f: impl Fn(&mut [P], &[P]),
     ) -> Option<Vec<P>> {
-        traced(self, "reduce", || {
-            let n = g.size();
-            let rel = g.rel_unchecked();
-            assert!(root < n, "reduce root {root} out of group of {n}");
-            let vr = (rel + n - root) % n;
-            let mut acc = counted_to_vec(data);
-            let mut incoming: Vec<P> = Vec::new();
-            let mut mask = 1usize;
-            while mask < n {
-                if vr & mask == 0 {
-                    let peer_vr = vr | mask;
-                    if peer_vr < n {
-                        let src = g.world_rank((peer_vr + root) % n);
-                        from_bytes_into(&self.recv_bytes(src, TAG_REDUCE), &mut incoming);
-                        assert_eq!(incoming.len(), acc.len(), "reduce length mismatch");
-                        f(&mut acc, &incoming);
+        traced(
+            self,
+            "reduce",
+            g.size(),
+            std::mem::size_of_val(data),
+            || {
+                let n = g.size();
+                let rel = g.rel_unchecked();
+                assert!(root < n, "reduce root {root} out of group of {n}");
+                let vr = (rel + n - root) % n;
+                let mut acc = counted_to_vec(data);
+                let mut incoming: Vec<P> = Vec::new();
+                let mut mask = 1usize;
+                while mask < n {
+                    if vr & mask == 0 {
+                        let peer_vr = vr | mask;
+                        if peer_vr < n {
+                            let src = g.world_rank((peer_vr + root) % n);
+                            from_bytes_into(&self.recv_bytes(src, TAG_REDUCE), &mut incoming);
+                            assert_eq!(incoming.len(), acc.len(), "reduce length mismatch");
+                            f(&mut acc, &incoming);
+                        }
+                    } else {
+                        let peer_vr = vr & !mask;
+                        let dst = g.world_rank((peer_vr + root) % n);
+                        self.send_bytes(dst, TAG_REDUCE, to_bytes(&acc));
+                        return None;
                     }
-                } else {
-                    let peer_vr = vr & !mask;
-                    let dst = g.world_rank((peer_vr + root) % n);
-                    self.send_bytes(dst, TAG_REDUCE, to_bytes(&acc));
-                    return None;
+                    mask <<= 1;
                 }
-                mask <<= 1;
-            }
-            Some(acc)
-        })
+                Some(acc)
+            },
+        )
     }
 
     /// Size-adaptive allreduce: everyone gets the combined value. Small
@@ -521,17 +560,23 @@ pub trait CommOps: Transport {
     /// instead. `f` must be commutative and associative; note the two
     /// paths may associate floating-point reductions differently.
     fn allreduce<P: Pod>(&self, g: &Group, data: &[P], f: impl Fn(&mut [P], &[P])) -> Vec<P> {
-        traced(self, "allreduce", || {
-            if std::mem::size_of_val(data) >= COLL_LARGE_THRESHOLD
-                && g.size() >= LARGE_ALGO_MIN_RANKS
-            {
-                obs::count("comm.coll.allreduce_large", 1);
-                self.allreduce_ring(g, data, f)
-            } else {
-                let reduced = self.reduce(g, 0, data, f);
-                self.bcast(g, 0, reduced.as_deref())
-            }
-        })
+        traced(
+            self,
+            "allreduce",
+            g.size(),
+            std::mem::size_of_val(data),
+            || {
+                if std::mem::size_of_val(data) >= COLL_LARGE_THRESHOLD
+                    && g.size() >= LARGE_ALGO_MIN_RANKS
+                {
+                    obs::count("comm.coll.allreduce_large", 1);
+                    self.allreduce_ring(g, data, f)
+                } else {
+                    let reduced = self.reduce(g, 0, data, f);
+                    self.bcast(g, 0, reduced.as_deref())
+                }
+            },
+        )
     }
 
     /// Ring reduce-scatter + ring allgather allreduce — the large-message
@@ -539,47 +584,53 @@ pub trait CommOps: Transport {
     /// micro-bench. Each rank sends and receives `2·(n−1)/n` of the
     /// payload; forwarded allgather blocks move without re-serialization.
     fn allreduce_ring<P: Pod>(&self, g: &Group, data: &[P], f: impl Fn(&mut [P], &[P])) -> Vec<P> {
-        traced(self, "allreduce_ring", || {
-            let n = g.size();
-            let rel = g.rel_unchecked();
-            let mut acc = counted_to_vec(data);
-            if n == 1 {
-                return acc;
-            }
-            let elems = data.len();
-            let next = g.world_rank((rel + 1) % n);
-            let prev = g.world_rank((rel + n - 1) % n);
-            // Reduce-scatter: after round k every rank has folded k+1
-            // contributions into block (rel − k); after n−1 rounds rank
-            // `rel` owns the fully reduced block (rel + 1) mod n.
-            let mut incoming: Vec<P> = Vec::new();
-            for k in 0..n - 1 {
-                let sb = (rel + n - k) % n;
-                let (slo, shi) = block_bounds(elems, n, sb);
-                self.send_bytes(next, TAG_ALLREDUCE_RS, to_bytes(&acc[slo..shi]));
-                let rb = (rel + n - k - 1) % n;
-                let (rlo, rhi) = block_bounds(elems, n, rb);
-                from_bytes_into(&self.recv_bytes(prev, TAG_ALLREDUCE_RS), &mut incoming);
-                assert_eq!(incoming.len(), rhi - rlo, "allreduce block length mismatch");
-                f(&mut acc[rlo..rhi], &incoming);
-            }
-            // Allgather: circulate the reduced blocks; each received
-            // buffer is written into `acc` and forwarded by move.
-            let mut carry: Option<Vec<u8>> = None;
-            for k in 0..n - 1 {
-                let msg = carry.take().unwrap_or_else(|| {
-                    let (lo, hi) = block_bounds(elems, n, (rel + 1) % n);
-                    to_bytes(&acc[lo..hi])
-                });
-                self.send_bytes(next, TAG_ALLREDUCE_AG, msg);
-                let rb = (rel + n - k) % n;
-                let (rlo, _) = block_bounds(elems, n, rb);
-                let rx = self.recv_bytes(prev, TAG_ALLREDUCE_AG);
-                write_bytes_at(&mut acc, rlo, &rx);
-                carry = Some(rx);
-            }
-            acc
-        })
+        traced(
+            self,
+            "allreduce_ring",
+            g.size(),
+            std::mem::size_of_val(data),
+            || {
+                let n = g.size();
+                let rel = g.rel_unchecked();
+                let mut acc = counted_to_vec(data);
+                if n == 1 {
+                    return acc;
+                }
+                let elems = data.len();
+                let next = g.world_rank((rel + 1) % n);
+                let prev = g.world_rank((rel + n - 1) % n);
+                // Reduce-scatter: after round k every rank has folded k+1
+                // contributions into block (rel − k); after n−1 rounds rank
+                // `rel` owns the fully reduced block (rel + 1) mod n.
+                let mut incoming: Vec<P> = Vec::new();
+                for k in 0..n - 1 {
+                    let sb = (rel + n - k) % n;
+                    let (slo, shi) = block_bounds(elems, n, sb);
+                    self.send_bytes(next, TAG_ALLREDUCE_RS, to_bytes(&acc[slo..shi]));
+                    let rb = (rel + n - k - 1) % n;
+                    let (rlo, rhi) = block_bounds(elems, n, rb);
+                    from_bytes_into(&self.recv_bytes(prev, TAG_ALLREDUCE_RS), &mut incoming);
+                    assert_eq!(incoming.len(), rhi - rlo, "allreduce block length mismatch");
+                    f(&mut acc[rlo..rhi], &incoming);
+                }
+                // Allgather: circulate the reduced blocks; each received
+                // buffer is written into `acc` and forwarded by move.
+                let mut carry: Option<Vec<u8>> = None;
+                for k in 0..n - 1 {
+                    let msg = carry.take().unwrap_or_else(|| {
+                        let (lo, hi) = block_bounds(elems, n, (rel + 1) % n);
+                        to_bytes(&acc[lo..hi])
+                    });
+                    self.send_bytes(next, TAG_ALLREDUCE_AG, msg);
+                    let rb = (rel + n - k) % n;
+                    let (rlo, _) = block_bounds(elems, n, rb);
+                    let rx = self.recv_bytes(prev, TAG_ALLREDUCE_AG);
+                    write_bytes_at(&mut acc, rlo, &rx);
+                    carry = Some(rx);
+                }
+                acc
+            },
+        )
     }
 
     /// Sum-allreduce for f64 slices.
@@ -613,47 +664,61 @@ pub trait CommOps: Transport {
     /// Returns `Some(per-member vectors, indexed by relative rank)` on the
     /// root.
     fn gatherv<P: Pod>(&self, g: &Group, root: usize, data: &[P]) -> Option<Vec<Vec<P>>> {
-        traced(self, "gatherv", || {
-            let n = g.size();
-            let rel = g.rel_unchecked();
-            assert!(root < n);
-            if rel != root {
-                self.send_bytes(g.world_rank(root), TAG_GATHER, to_bytes(data));
-                return None;
-            }
-            let mut out: Vec<Vec<P>> = Vec::with_capacity(n);
-            for r in 0..n {
-                if r == root {
-                    out.push(counted_to_vec(data));
-                } else {
-                    out.push(from_bytes(&self.recv_bytes(g.world_rank(r), TAG_GATHER)));
+        traced(
+            self,
+            "gatherv",
+            g.size(),
+            std::mem::size_of_val(data),
+            || {
+                let n = g.size();
+                let rel = g.rel_unchecked();
+                assert!(root < n);
+                if rel != root {
+                    self.send_bytes(g.world_rank(root), TAG_GATHER, to_bytes(data));
+                    return None;
                 }
-            }
-            Some(out)
-        })
+                let mut out: Vec<Vec<P>> = Vec::with_capacity(n);
+                for r in 0..n {
+                    if r == root {
+                        out.push(counted_to_vec(data));
+                    } else {
+                        out.push(from_bytes(&self.recv_bytes(g.world_rank(r), TAG_GATHER)));
+                    }
+                }
+                Some(out)
+            },
+        )
     }
 
     /// Scatters per-member vectors from relative rank `root`; each member
     /// receives its slice. The root passes `Some(parts)` with
     /// `parts.len() == g.size()`.
     fn scatterv<P: Pod>(&self, g: &Group, root: usize, parts: Option<&[Vec<P>]>) -> Vec<P> {
-        traced(self, "scatterv", || {
-            let n = g.size();
-            let rel = g.rel_unchecked();
-            assert!(root < n);
-            if rel == root {
-                let parts = parts.expect("scatterv root must supply parts");
-                assert_eq!(parts.len(), n, "scatterv parts must match group size");
-                for (r, part) in parts.iter().enumerate() {
-                    if r != root {
-                        self.send_bytes(g.world_rank(r), TAG_SCATTER, to_bytes(part));
+        traced(
+            self,
+            "scatterv",
+            g.size(),
+            parts
+                .map(|ps| ps.iter().map(|p| std::mem::size_of_val(p.as_slice())).sum())
+                .unwrap_or(0),
+            || {
+                let n = g.size();
+                let rel = g.rel_unchecked();
+                assert!(root < n);
+                if rel == root {
+                    let parts = parts.expect("scatterv root must supply parts");
+                    assert_eq!(parts.len(), n, "scatterv parts must match group size");
+                    for (r, part) in parts.iter().enumerate() {
+                        if r != root {
+                            self.send_bytes(g.world_rank(r), TAG_SCATTER, to_bytes(part));
+                        }
                     }
+                    counted_to_vec(&parts[root])
+                } else {
+                    from_bytes(&self.recv_bytes(g.world_rank(root), TAG_SCATTER))
                 }
-                counted_to_vec(&parts[root])
-            } else {
-                from_bytes(&self.recv_bytes(g.world_rank(root), TAG_SCATTER))
-            }
-        })
+            },
+        )
     }
 
     /// Ring allgather of variable-length contributions: returns all
@@ -661,49 +726,64 @@ pub trait CommOps: Transport {
     /// serialized once and every received buffer is decoded into the
     /// result, then forwarded by move — one copy per block per hop.
     fn allgatherv<P: Pod>(&self, g: &Group, data: &[P]) -> Vec<Vec<P>> {
-        traced(self, "allgatherv", || {
-            let n = g.size();
-            let rel = g.rel_unchecked();
-            let mut out: Vec<Vec<P>> = (0..n).map(|_| Vec::new()).collect();
-            out[rel] = counted_to_vec(data);
-            if n == 1 {
-                return out;
-            }
-            let next = g.world_rank((rel + 1) % n);
-            let prev = g.world_rank((rel + n - 1) % n);
-            let mut carry: Option<Vec<u8>> = None;
-            for k in 0..n - 1 {
-                let msg = carry.take().unwrap_or_else(|| to_bytes(data));
-                self.send_bytes(next, TAG_ALLGATHER, msg);
-                let recv_idx = (rel + n - k - 1) % n;
-                let rx = self.recv_bytes(prev, TAG_ALLGATHER);
-                out[recv_idx] = from_bytes(&rx);
-                carry = Some(rx);
-            }
-            out
-        })
+        traced(
+            self,
+            "allgatherv",
+            g.size(),
+            std::mem::size_of_val(data),
+            || {
+                let n = g.size();
+                let rel = g.rel_unchecked();
+                let mut out: Vec<Vec<P>> = (0..n).map(|_| Vec::new()).collect();
+                out[rel] = counted_to_vec(data);
+                if n == 1 {
+                    return out;
+                }
+                let next = g.world_rank((rel + 1) % n);
+                let prev = g.world_rank((rel + n - 1) % n);
+                let mut carry: Option<Vec<u8>> = None;
+                for k in 0..n - 1 {
+                    let msg = carry.take().unwrap_or_else(|| to_bytes(data));
+                    self.send_bytes(next, TAG_ALLGATHER, msg);
+                    let recv_idx = (rel + n - k - 1) % n;
+                    let rx = self.recv_bytes(prev, TAG_ALLGATHER);
+                    out[recv_idx] = from_bytes(&rx);
+                    carry = Some(rx);
+                }
+                out
+            },
+        )
     }
 
     /// Personalized all-to-all: member `i` sends `parts[j]` to member `j`;
     /// returns what everyone sent to me, indexed by relative rank. Linear
     /// buffered exchange, staggered to spread NIC load.
     fn alltoallv<P: Pod>(&self, g: &Group, parts: &[Vec<P>]) -> Vec<Vec<P>> {
-        traced(self, "alltoallv", || {
-            let n = g.size();
-            let rel = g.rel_unchecked();
-            assert_eq!(parts.len(), n, "alltoallv parts must match group size");
-            for k in 1..n {
-                let dst = (rel + k) % n;
-                self.send_bytes(g.world_rank(dst), TAG_ALLTOALL, to_bytes(&parts[dst]));
-            }
-            let mut out: Vec<Vec<P>> = (0..n).map(|_| Vec::new()).collect();
-            out[rel] = counted_to_vec(&parts[rel]);
-            for k in 1..n {
-                let src = (rel + n - k) % n;
-                out[src] = from_bytes(&self.recv_bytes(g.world_rank(src), TAG_ALLTOALL));
-            }
-            out
-        })
+        traced(
+            self,
+            "alltoallv",
+            g.size(),
+            parts
+                .iter()
+                .map(|p| std::mem::size_of_val(p.as_slice()))
+                .sum(),
+            || {
+                let n = g.size();
+                let rel = g.rel_unchecked();
+                assert_eq!(parts.len(), n, "alltoallv parts must match group size");
+                for k in 1..n {
+                    let dst = (rel + k) % n;
+                    self.send_bytes(g.world_rank(dst), TAG_ALLTOALL, to_bytes(&parts[dst]));
+                }
+                let mut out: Vec<Vec<P>> = (0..n).map(|_| Vec::new()).collect();
+                out[rel] = counted_to_vec(&parts[rel]);
+                for k in 1..n {
+                    let src = (rel + n - k) % n;
+                    out[src] = from_bytes(&self.recv_bytes(g.world_rank(src), TAG_ALLTOALL));
+                }
+                out
+            },
+        )
     }
 }
 

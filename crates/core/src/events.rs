@@ -5,6 +5,8 @@
 //! detected, how long redistribution took, which nodes were dropped and
 //! why.
 
+use dynmpi_obs::Json;
+
 use crate::timing::TimingMode;
 
 /// One adaptation event, stamped with the phase cycle it occurred in.
@@ -52,6 +54,62 @@ impl RuntimeEvent {
         }
     }
 
+    /// Trace-instant attributes for this event: the cycle plus the
+    /// decision-specific quantities analyzers need (redistribution cost
+    /// and volume, drop predictions, load vectors). Keys are stable —
+    /// they are part of the exported trace schema (DESIGN.md §10).
+    pub fn trace_args(&self) -> Vec<(String, Json)> {
+        let mut args = vec![("cycle".to_string(), Json::UInt(self.cycle()))];
+        let mut push = |k: &str, v: Json| args.push((k.to_string(), v));
+        match self {
+            RuntimeEvent::LoadChangeDetected { loads, .. } => {
+                push(
+                    "loads",
+                    Json::Arr(loads.iter().map(|&l| Json::UInt(l as u64)).collect()),
+                );
+            }
+            RuntimeEvent::GraceComplete { mode, .. } => {
+                push("mode", Json::str(format!("{mode:?}")));
+            }
+            RuntimeEvent::Redistributed {
+                seconds,
+                rows_moved,
+                counts,
+                ..
+            } => {
+                push("seconds", Json::Num(*seconds));
+                push("rows_moved", Json::UInt(*rows_moved as u64));
+                push(
+                    "counts",
+                    Json::Arr(counts.iter().map(|&c| Json::UInt(c as u64)).collect()),
+                );
+            }
+            RuntimeEvent::RedistributionSkipped { moved_fraction, .. } => {
+                push("moved_fraction", Json::Num(*moved_fraction));
+            }
+            RuntimeEvent::DropEvaluated {
+                predicted_unloaded,
+                measured_max,
+                dropped,
+                ..
+            } => {
+                push("predicted_unloaded", Json::Num(*predicted_unloaded));
+                push("measured_max", Json::Num(*measured_max));
+                push("dropped", Json::Bool(*dropped));
+            }
+            RuntimeEvent::NodesDropped { nodes, .. } => {
+                push(
+                    "nodes",
+                    Json::Arr(nodes.iter().map(|&n| Json::UInt(n as u64)).collect()),
+                );
+            }
+            RuntimeEvent::NodeRejoined { node, .. } => {
+                push("node", Json::UInt(*node as u64));
+            }
+        }
+        args
+    }
+
     /// Short tag for summaries.
     pub fn kind(&self) -> &'static str {
         match self {
@@ -88,5 +146,33 @@ mod tests {
         };
         assert_eq!(d.cycle(), 30);
         assert_eq!(d.kind(), "drop-evaluated");
+    }
+
+    #[test]
+    fn trace_args_carry_decision_payload() {
+        let e = RuntimeEvent::Redistributed {
+            cycle: 12,
+            seconds: 0.5,
+            rows_moved: 100,
+            counts: vec![50, 50],
+        };
+        let args = e.trace_args();
+        assert_eq!(args[0], ("cycle".to_string(), Json::UInt(12)));
+        assert!(args
+            .iter()
+            .any(|(k, v)| k == "seconds" && v.as_f64() == Some(0.5)));
+        assert!(args
+            .iter()
+            .any(|(k, v)| k == "rows_moved" && v.as_u64() == Some(100)));
+        let d = RuntimeEvent::DropEvaluated {
+            cycle: 30,
+            predicted_unloaded: 1.0,
+            measured_max: 2.0,
+            dropped: true,
+        };
+        assert!(d
+            .trace_args()
+            .iter()
+            .any(|(k, v)| k == "dropped" && *v == Json::Bool(true)));
     }
 }

@@ -430,6 +430,18 @@ impl<'a, T: HostMeters> DynMpi<'a, T> {
     /// Marks the start of a phase cycle.
     pub fn begin_cycle(&mut self) {
         self.cycle_wall_start = self.t.wtime();
+        if obs::enabled() {
+            // Paired with the `end_cycle` span's `cycle` attribute (the
+            // counter increments inside `end_cycle_inner`, so the cycle
+            // now starting is `self.cycle + 1`): together they bound each
+            // adaptation cycle's wall time per rank for the profiler.
+            obs::instant(
+                "runtime",
+                "begin_cycle",
+                self.t.now_ns(),
+                vec![("cycle".to_string(), Json::UInt(self.cycle + 1))],
+            );
+        }
     }
 
     /// Performs this rank's compute for `phase`, charging `work(row)`
@@ -489,12 +501,7 @@ impl<'a, T: HostMeters> DynMpi<'a, T> {
     /// tracing is active, mirrored as an instant trace event.
     fn note(&mut self, ev: RuntimeEvent) {
         if obs::enabled() {
-            obs::instant(
-                "runtime",
-                ev.kind(),
-                self.t.now_ns(),
-                vec![("cycle".to_string(), Json::UInt(ev.cycle()))],
-            );
+            obs::instant("runtime", ev.kind(), self.t.now_ns(), ev.trace_args());
         }
         self.events.push(ev);
     }
@@ -729,7 +736,19 @@ impl<'a, T: HostMeters> DynMpi<'a, T> {
         let new_dist = self.balance(loads);
         let moved = self.moved_fraction(&new_dist);
         if traced {
-            obs::span_end(self.t.now_ns());
+            // The prediction the audit report checks against reality: the
+            // balancer's own model of post-balance imbalance.
+            obs::span_end_args(
+                self.t.now_ns(),
+                vec![
+                    ("cycle".to_string(), Json::UInt(self.cycle)),
+                    ("moved_fraction".to_string(), Json::Num(moved)),
+                    (
+                        "predicted_imbalance".to_string(),
+                        Json::Num(self.predicted_imbalance(&new_dist, loads)),
+                    ),
+                ],
+            );
         }
         if moved > self.cfg.rebalance_threshold {
             let oc = self.redistribute_in_place(&new_dist, arrays);
@@ -991,6 +1010,31 @@ impl<'a, T: HostMeters> DynMpi<'a, T> {
                 min_rows,
                 self.cfg.balance_floor,
             ),
+        }
+    }
+
+    /// Predicted max/mean cycle-time imbalance of a candidate distribution
+    /// under the balancer's own model: each active node's time is its
+    /// assigned effective weight scaled by `ncp + 1` (the same
+    /// [`NodeLoad`] availability the balancer optimized, at unit speed).
+    fn predicted_imbalance(&self, dist: &Distribution, loads: &[u32]) -> f64 {
+        let weights = self.effective_weights();
+        let per: Vec<f64> = self
+            .active
+            .members()
+            .iter()
+            .enumerate()
+            .map(|(rel, &m)| {
+                let mine: f64 = dist.rows_of(rel).iter().map(|r| weights[r]).sum();
+                mine * f64::from(loads[m] + 1)
+            })
+            .collect();
+        let max = per.iter().cloned().fold(0.0, f64::max);
+        let mean = per.iter().sum::<f64>() / per.len().max(1) as f64;
+        if mean > 0.0 {
+            max / mean
+        } else {
+            1.0
         }
     }
 

@@ -7,7 +7,7 @@
 //! simulated job); `tid` is the rank, so each rank gets its own track.
 
 use crate::json::{Json, JsonError};
-use crate::trace::TraceEvent;
+use crate::trace::{intern_cat, TraceEvent};
 
 fn args_json(args: &[(String, Json)]) -> Json {
     Json::Obj(args.to_vec())
@@ -124,6 +124,8 @@ pub struct ParsedEvent {
     pub tid: u64,
     pub ts_ns: u64,
     pub dur_ns: u64,
+    /// Span/instant attributes, in emission order.
+    pub args: Vec<(String, Json)>,
 }
 
 /// Parse a Chrome `trace_event` document produced by [`chrome_trace`] back
@@ -161,6 +163,10 @@ pub fn parse_chrome_trace(text: &str) -> Result<Vec<ParsedEvent>, JsonError> {
             }
         };
         let ph = field_str("ph")?;
+        let args = match ev.get("args") {
+            Some(Json::Obj(pairs)) => pairs.clone(),
+            _ => Vec::new(),
+        };
         out.push(ParsedEvent {
             phase: ph.chars().next().ok_or_else(|| bad("empty ph"))?,
             cat: field_str("cat")?,
@@ -169,7 +175,62 @@ pub fn parse_chrome_trace(text: &str) -> Result<Vec<ParsedEvent>, JsonError> {
             tid: field_u64("tid")?,
             ts_ns: field_ns("ts", true)?,
             dur_ns: field_ns("dur", ph == "X")?,
+            args,
         });
+    }
+    Ok(out)
+}
+
+/// Parse a JSONL stream produced by [`jsonl`] back into [`TraceEvent`]s,
+/// preserving exact nanosecond timestamps, attribute order, and the event
+/// order of the stream. Blank lines are skipped. Together with
+/// [`analysis::analyze`](crate::analysis::analyze) this makes offline
+/// profiling of dumped traces possible without the original `Recorder`.
+pub fn parse_jsonl(text: &str) -> Result<Vec<TraceEvent>, JsonError> {
+    let bad = |msg: String| JsonError { pos: 0, msg };
+    let mut out = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let j = Json::parse(line)?;
+        let field_str = |k: &str| {
+            j.get(k)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| bad(format!("line {}: missing string `{k}`", lineno + 1)))
+        };
+        let field_u64 = |k: &str| {
+            j.get(k)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| bad(format!("line {}: missing integer `{k}`", lineno + 1)))
+        };
+        let args = match j.get("args") {
+            Some(Json::Obj(pairs)) => pairs.clone(),
+            _ => Vec::new(),
+        };
+        let cat = intern_cat(&field_str("cat")?);
+        let name = field_str("name")?;
+        let rank = field_u64("rank")? as usize;
+        let ts_ns = field_u64("ts_ns")?;
+        match field_str("kind")?.as_str() {
+            "span" => out.push(TraceEvent::Complete {
+                cat,
+                name,
+                rank,
+                ts_ns,
+                dur_ns: field_u64("dur_ns")?,
+                args,
+            }),
+            "instant" => out.push(TraceEvent::Instant {
+                cat,
+                name,
+                rank,
+                ts_ns,
+                args,
+            }),
+            other => return Err(bad(format!("line {}: unknown kind `{other}`", lineno + 1))),
+        }
     }
     Ok(out)
 }
@@ -186,7 +247,7 @@ mod tests {
                 rank: 0,
                 ts_ns: 1_500,
                 dur_ns: 10_000,
-                args: vec![("work".to_string(), Json::Num(5.0))],
+                args: vec![("work".to_string(), Json::Num(5.5))],
             },
             TraceEvent::Instant {
                 cat: "runtime",
@@ -228,5 +289,43 @@ mod tests {
     fn parse_rejects_non_trace_documents() {
         assert!(parse_chrome_trace("[1,2,3]").is_err());
         assert!(parse_chrome_trace("{\"traceEvents\": [{}]}").is_err());
+    }
+
+    #[test]
+    fn jsonl_round_trips_events_exactly() {
+        let events = sample();
+        let parsed = parse_jsonl(&jsonl(&events)).unwrap();
+        assert_eq!(parsed, events);
+    }
+
+    #[test]
+    fn chrome_parse_preserves_args_in_order() {
+        let ev = TraceEvent::Instant {
+            cat: "comm",
+            name: "send".to_string(),
+            rank: 1,
+            ts_ns: 42,
+            args: vec![
+                ("peer".to_string(), Json::UInt(3)),
+                ("seq".to_string(), Json::UInt(7)),
+                ("bytes".to_string(), Json::UInt(1024)),
+            ],
+        };
+        let parsed = parse_chrome_trace(&chrome_trace(std::slice::from_ref(&ev))).unwrap();
+        assert_eq!(parsed[0].args.len(), 3);
+        assert_eq!(parsed[0].args[0].0, "peer");
+        assert_eq!(parsed[0].args[1], ("seq".to_string(), Json::UInt(7)));
+        assert_eq!(parsed[0].args[2].1.as_u64(), Some(1024));
+    }
+
+    #[test]
+    fn parse_jsonl_rejects_malformed_lines() {
+        assert!(parse_jsonl(
+            "{\"kind\":\"mystery\",\"cat\":\"x\",\"name\":\"n\",\"rank\":0,\"ts_ns\":0}"
+        )
+        .is_err());
+        assert!(parse_jsonl("{\"kind\":\"span\"}").is_err());
+        assert!(parse_jsonl("not json").is_err());
+        assert_eq!(parse_jsonl("\n\n").unwrap().len(), 0);
     }
 }

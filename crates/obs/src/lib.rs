@@ -21,6 +21,7 @@
 //! simulator in the crate graph) and never reads the wallclock: callers pass
 //! explicit timestamps, which is what keeps traces deterministic.
 
+pub mod analysis;
 pub mod export;
 pub mod json;
 pub mod metrics;
@@ -30,9 +31,12 @@ use std::io;
 use std::path::Path;
 use std::sync::{Arc, Mutex, MutexGuard};
 
-use trace::TraceEvent;
+pub use trace::TraceEvent;
 
-pub use export::{parse_chrome_trace, ParsedEvent};
+pub use analysis::{
+    analyze, Buckets, CritSegment, CycleAudit, ProfileReport, RankAttribution, SegKind,
+};
+pub use export::{parse_chrome_trace, parse_jsonl, ParsedEvent};
 pub use json::Json;
 pub use metrics::{Counter, Gauge, HistSnapshot, Histogram, Registry, Snapshot, BYTE_BUCKETS};
 pub use trace::{
@@ -42,8 +46,11 @@ pub use trace::{
 
 #[derive(Default)]
 struct RecorderInner {
-    /// Flushed rank buffers, in flush order; sorted on read.
-    events: Vec<TraceEvent>,
+    /// Flushed rank buffers tagged with a global absorb-order sequence
+    /// number; sorted on read (see [`Recorder::events`]).
+    events: Vec<(u64, TraceEvent)>,
+    /// Next absorb-order sequence number.
+    next_seq: u64,
     /// One metrics snapshot per rank (last flush wins per rank).
     snapshots: Vec<(usize, Snapshot)>,
 }
@@ -100,16 +107,32 @@ impl Recorder {
 
     pub(crate) fn absorb(&self, rank: usize, events: Vec<TraceEvent>, snapshot: Snapshot) {
         let mut inner = self.locked();
-        inner.events.extend(events);
+        for ev in events {
+            let seq = inner.next_seq;
+            inner.next_seq += 1;
+            inner.events.push((seq, ev));
+        }
         inner.snapshots.retain(|(r, _)| *r != rank);
         inner.snapshots.push((rank, snapshot));
     }
 
-    /// All flushed events, sorted by (virtual time, rank).
+    /// All flushed events, in the canonical trace order.
+    ///
+    /// **Ordering contract:** events are sorted by
+    /// `(ts_ns, rank, emission seq)` — virtual timestamp first, rank as the
+    /// cross-rank tie-break, and each rank's own emission order as the final
+    /// stable tie-break (a span is "emitted" when it *closes*, so at equal
+    /// timestamps an instant fired before a zero-length span's close
+    /// precedes it). The order is total and deterministic: rank buffers
+    /// preserve emission order and the sort never reorders equal keys, so
+    /// two runs of the same program produce the same sequence regardless of
+    /// thread flush interleaving. Exporters ([`chrome_trace`](export::chrome_trace),
+    /// [`jsonl`](export::jsonl)) and the [`analysis`] module consume this
+    /// order as-is and never re-sort.
     pub fn events(&self) -> Vec<TraceEvent> {
         let mut events = self.locked().events.clone();
-        events.sort_by_key(|e| (e.ts_ns(), e.rank()));
-        events
+        events.sort_by_key(|(seq, e)| (e.ts_ns(), e.rank(), *seq));
+        events.into_iter().map(|(_, e)| e).collect()
     }
 
     /// Per-rank metric snapshots, sorted by rank.
@@ -136,6 +159,11 @@ impl Recorder {
     /// JSONL stream of everything recorded so far.
     pub fn jsonl(&self) -> String {
         export::jsonl(&self.events())
+    }
+
+    /// Run the [`analysis`] pass over everything recorded so far.
+    pub fn profile(&self) -> analysis::ProfileReport {
+        analysis::analyze(&self.events())
     }
 
     /// Write the Chrome trace to `path`.
@@ -192,6 +220,25 @@ mod tests {
         assert!(events.windows(2).all(|w| w[0].ts_ns() <= w[1].ts_ns()));
         assert_eq!(rec.merged_metrics().counter("sim.msgs_sent"), 6); // 0+1+2+3
         assert_eq!(rec.snapshots().len(), 4);
+    }
+
+    #[test]
+    fn events_order_is_ts_rank_then_emission_seq() {
+        let rec = Recorder::new();
+        {
+            let _g = rec.install(1);
+            // Two events at the same timestamp: emission order must hold.
+            instant("comm", "first", 100, vec![]);
+            instant("comm", "second", 100, vec![]);
+        }
+        {
+            let _g = rec.install(0);
+            instant("comm", "third", 100, vec![]);
+        }
+        let names: Vec<String> = rec.events().iter().map(|e| e.name().to_string()).collect();
+        // Rank 0 sorts before rank 1 at equal ts, even though it flushed
+        // later; within rank 1 the emission order is preserved.
+        assert_eq!(names, vec!["third", "first", "second"]);
     }
 
     #[test]

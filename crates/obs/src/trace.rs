@@ -64,6 +64,33 @@ impl TraceEvent {
     }
 }
 
+/// The span categories the instrumentation layers emit. Parsers use this
+/// list to map category strings back to the `&'static str` the in-memory
+/// [`TraceEvent`] carries.
+pub const KNOWN_CATS: &[&str] = &["sched", "comm", "runtime", "redist", "net", "app"];
+
+/// Map a category string to a `&'static str`, reusing the [`KNOWN_CATS`]
+/// entries and leaking (deduplicated) storage for anything else. Needed when
+/// parsing serialized traces back into [`TraceEvent`]s; the leak is bounded
+/// by the number of *distinct* unknown categories ever seen.
+pub fn intern_cat(cat: &str) -> &'static str {
+    use std::sync::{Mutex, OnceLock};
+    if let Some(k) = KNOWN_CATS.iter().find(|k| **k == cat) {
+        return k;
+    }
+    static EXTRA: OnceLock<Mutex<Vec<&'static str>>> = OnceLock::new();
+    let mut extra = EXTRA
+        .get_or_init(|| Mutex::new(Vec::new()))
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    if let Some(k) = extra.iter().find(|k| **k == cat) {
+        return k;
+    }
+    let leaked: &'static str = Box::leak(cat.to_string().into_boxed_str());
+    extra.push(leaked);
+    leaked
+}
+
 struct OpenSpan {
     cat: &'static str,
     name: String,
@@ -272,6 +299,14 @@ mod tests {
         };
         assert_eq!((name.as_str(), *ts_ns, *dur_ns), ("inner", 150, 30));
         assert_eq!(rec.merged_metrics().counter("events"), 2);
+    }
+
+    #[test]
+    fn intern_cat_reuses_known_and_dedups_unknown() {
+        assert_eq!(intern_cat("sched"), "sched");
+        let a = intern_cat("custom-cat");
+        let b = intern_cat("custom-cat");
+        assert!(std::ptr::eq(a, b), "unknown cats must dedup to one leak");
     }
 
     #[test]

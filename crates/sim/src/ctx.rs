@@ -124,9 +124,18 @@ impl SimCtx {
                     // Scheduler span: this rank ran and/or sat out
                     // competitors' slices from `now` to `step.end` (a
                     // fast-forwarded stretch aggregates many slices into
-                    // one span; `slices` preserves the quantum count).
+                    // one span). The `cpu`/`slices` attributes carry the
+                    // exact CPU consumed and quantum count, so analyzers
+                    // can re-expand aggregated spans: summed attribution
+                    // is bit-identical between stepped and fast modes.
                     obs::span_begin("sched", step.kind(now), now.0);
-                    obs::span_end(step.end.0);
+                    obs::span_end_args(
+                        step.end.0,
+                        vec![
+                            ("cpu".to_string(), obs::Json::UInt(step.cpu.0)),
+                            ("slices".to_string(), obs::Json::UInt(step.slices)),
+                        ],
+                    );
                     if step.slices > 0 {
                         obs::count("sim.sched.quanta", step.slices);
                     }
@@ -168,6 +177,28 @@ impl SimCtx {
         let dst_node = st.procs[dst].node;
         let arrival = st.net.deliver_at(src_node, dst_node, len, now);
         let seq = st.next_seq();
+        if obs::enabled() {
+            // Message-matching attributes: `seq` is the engine-unique id
+            // the matching `comm/recv` instant echoes, letting analyzers
+            // link sends to receives across ranks; `queued_ns` is the NIC
+            // contention share of this message's flight time.
+            obs::instant(
+                "comm",
+                "send",
+                now.0,
+                vec![
+                    ("peer".to_string(), obs::Json::UInt(dst as u64)),
+                    ("tag".to_string(), obs::Json::UInt(tag)),
+                    ("seq".to_string(), obs::Json::UInt(seq)),
+                    ("bytes".to_string(), obs::Json::UInt(len as u64)),
+                    ("arrival_ns".to_string(), obs::Json::UInt(arrival.0)),
+                    (
+                        "queued_ns".to_string(),
+                        obs::Json::UInt(st.net.last_queued().0),
+                    ),
+                ],
+            );
+        }
         let env = Envelope {
             src: self.pid,
             tag,
@@ -220,6 +251,23 @@ impl SimCtx {
                 st.procs[self.pid].bytes_recvd += len as u64;
                 obs::count("sim.msgs_recvd", 1);
                 obs::count("sim.bytes_recvd", len as u64);
+                if obs::enabled() {
+                    // Mirror of the sender's `comm/send` instant; a pop at
+                    // the exact end of a `sched/blocked` span identifies
+                    // the message that resolved that wait.
+                    obs::instant(
+                        "comm",
+                        "recv",
+                        now.0,
+                        vec![
+                            ("peer".to_string(), obs::Json::UInt(env.src as u64)),
+                            ("tag".to_string(), obs::Json::UInt(env.tag)),
+                            ("seq".to_string(), obs::Json::UInt(env.seq)),
+                            ("bytes".to_string(), obs::Json::UInt(len as u64)),
+                            ("arrival_ns".to_string(), obs::Json::UInt(env.arrival.0)),
+                        ],
+                    );
+                }
                 let p = st.net.params();
                 let cpu = p.recv_cpu_base + p.recv_cpu_per_byte * len as f64;
                 drop(st);

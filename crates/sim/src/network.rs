@@ -23,6 +23,10 @@ pub struct Network {
     /// Accumulated time frames spent queued behind a busy NIC, per node.
     tx_wait: Vec<SimDur>,
     rx_wait: Vec<SimDur>,
+    /// NIC queueing paid by the most recent [`Network::deliver_at`] call
+    /// (TX + RX for cross-node frames, copy queueing for self-sends), for
+    /// per-message trace attribution.
+    last_queued: SimDur,
     messages: u64,
     bytes: u64,
 }
@@ -37,6 +41,7 @@ impl Network {
             self_free: vec![SimTime::ZERO; nodes],
             tx_wait: vec![SimDur::ZERO; nodes],
             rx_wait: vec![SimDur::ZERO; nodes],
+            last_queued: SimDur::ZERO,
             messages: 0,
             bytes: 0,
         }
@@ -61,8 +66,10 @@ impl Network {
         self.bytes += bytes as u64;
         if src == dst {
             let copy = SimDur::from_secs_f64(bytes as f64 / self.params.self_bandwidth);
-            let arrival = t.max(self.self_free[src]) + copy;
+            let start = t.max(self.self_free[src]);
+            let arrival = start + copy;
             self.self_free[src] = arrival;
+            self.last_queued = start - t;
             return arrival;
         }
         let ser = SimDur::from_secs_f64(bytes as f64 / self.params.bandwidth);
@@ -81,6 +88,7 @@ impl Network {
         let rx_queued = rx_start - rx_ready;
         self.tx_wait[src] += tx_queued;
         self.rx_wait[dst] += rx_queued;
+        self.last_queued = tx_queued + rx_queued;
         if tx_queued > SimDur::ZERO {
             obs::count("net.tx_wait_ns", tx_queued.0);
         }
@@ -88,6 +96,13 @@ impl Network {
             obs::count("net.rx_wait_ns", rx_queued.0);
         }
         arrival
+    }
+
+    /// NIC queueing paid by the most recent `deliver_at` call — the
+    /// contention (as opposed to serialization/latency) component of that
+    /// message's delivery time.
+    pub fn last_queued(&self) -> SimDur {
+        self.last_queued
     }
 
     /// Total messages injected so far.
@@ -169,6 +184,21 @@ mod tests {
         n.deliver_at(0, 2, 125_000, SimTime::ZERO);
         assert_eq!(n.tx_wait_total(), SimDur::from_micros(10_000));
         assert_eq!(n.rx_wait_total(), SimDur::ZERO);
+    }
+
+    #[test]
+    fn last_queued_tracks_per_message_contention() {
+        let mut n = net(3);
+        n.deliver_at(0, 2, 125_000, SimTime::ZERO);
+        assert_eq!(n.last_queued(), SimDur::ZERO);
+        // Fan-in: the second frame queues 10 ms on the RX NIC.
+        n.deliver_at(1, 2, 125_000, SimTime::ZERO);
+        assert_eq!(n.last_queued(), SimDur::from_micros(10_000));
+        // Self-sends queue behind earlier copies on the same node.
+        n.deliver_at(0, 0, 4_000_000, SimTime::ZERO);
+        assert_eq!(n.last_queued(), SimDur::ZERO);
+        n.deliver_at(0, 0, 4_000_000, SimTime::ZERO);
+        assert_eq!(n.last_queued(), SimDur::from_millis(10));
     }
 
     #[test]
