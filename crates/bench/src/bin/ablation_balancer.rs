@@ -46,7 +46,7 @@ fn main() {
         .collect();
     // --trace-out/--profile-out record the long successive-balancing run
     // of the first configuration (8 nodes, 1 CP).
-    let recorder = args.wants_recorder().then(Recorder::new);
+    let inst = args.instrumentation();
     let rows: Vec<Row> = dynmpi_testkit::sweep(&items, args.threads, |i, item| {
         let (nodes, cps) = *item;
         let script = LoadScript::dedicated().at_cycle(nodes - 1, 10, cps);
@@ -75,10 +75,7 @@ fn main() {
             (long.makespan - short.makespan) / iters as f64
         };
         let naive = settled(BalancerKind::RelativePower, None);
-        let sb = settled(
-            BalancerKind::SuccessiveBalancing,
-            (i == 0).then(|| recorder.clone()).flatten(),
-        );
+        let sb = settled(BalancerKind::SuccessiveBalancing, inst.recorder_for(i == 0));
         let gain = (naive - sb) / naive * 100.0;
         Row {
             table: "ablation_balancer",
@@ -108,5 +105,5 @@ fn main() {
     );
     let json_rows: Vec<Json> = rows.iter().map(Row::to_json).collect();
     write_rows(&args.out_dir, "ablation_balancer", &json_rows);
-    args.write_outputs(&recorder);
+    inst.finish();
 }

@@ -45,7 +45,7 @@ fn main() {
     let items = [8usize, 16, 32];
     // --trace-out/--profile-out record the long physical-drop run of the
     // first configuration (8 nodes).
-    let recorder = args.wants_recorder().then(Recorder::new);
+    let inst = args.instrumentation();
     let rows: Vec<Row> = dynmpi_testkit::sweep(&items, args.threads, |i, nodes| {
         let nodes = *nodes;
         let cps = 3u32;
@@ -75,10 +75,7 @@ fn main() {
             (long.makespan - short.makespan) / iters as f64
         };
         let logical = settled(DropPolicy::Logical, None);
-        let physical = settled(
-            DropPolicy::Always,
-            (i == 0).then(|| recorder.clone()).flatten(),
-        );
+        let physical = settled(DropPolicy::Always, inst.recorder_for(i == 0));
         let gain = (logical - physical) / logical * 100.0;
         Row {
             table: "ablation_drop_mode",
@@ -108,5 +105,5 @@ fn main() {
     );
     let json_rows: Vec<Json> = rows.iter().map(Row::to_json).collect();
     write_rows(&args.out_dir, "ablation_drop_mode", &json_rows);
-    args.write_outputs(&recorder);
+    inst.finish();
 }

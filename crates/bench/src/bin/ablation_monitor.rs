@@ -7,7 +7,7 @@
 //! monitors report against the truth, per sampled second.
 
 use dynmpi_bench::{print_table, write_rows, BenchArgs};
-use dynmpi_obs::{Json, Recorder};
+use dynmpi_obs::Json;
 use dynmpi_sim::{Cluster, LoadScript, NodeSpec, SimTime};
 
 struct Row {
@@ -35,12 +35,12 @@ fn main() {
     let seconds = if args.quick { 20 } else { 60 };
     let items = [1u32, 2, 3];
     // --trace-out/--profile-out record the first configuration (1 CP).
-    let recorder = args.wants_recorder().then(Recorder::new);
+    let inst = args.instrumentation();
     let rows: Vec<Row> = dynmpi_testkit::sweep(&items, args.threads, |i, ncp| {
         let ncp = *ncp;
         let script = LoadScript::dedicated().at_time(0, SimTime::ZERO, ncp);
         let mut c = Cluster::homogeneous(2, NodeSpec::with_speed(1e7)).with_script(script);
-        if let Some(rec) = (i == 0).then(|| recorder.clone()).flatten() {
+        if let Some(rec) = inst.recorder_for(i == 0) {
             c = c.with_recorder(rec);
         }
         let out = c.run_spmd(move |ctx| {
@@ -111,5 +111,5 @@ fn main() {
     );
     let json_rows: Vec<Json> = rows.iter().map(Row::to_json).collect();
     write_rows(&args.out_dir, "ablation_monitor", &json_rows);
-    args.write_outputs(&recorder);
+    inst.finish();
 }

@@ -16,6 +16,10 @@
 //! * **sweep wall-clock** — a fig4-shaped block of independent Jacobi
 //!   runs through `dynmpi_testkit::sweep` at `--threads 1` vs the
 //!   machine's parallelism, asserting identical makespans.
+//! * **monitor overhead** — an adaptive Jacobi run with the recorder and
+//!   the streaming health monitor subscribed vs the same run bare: the
+//!   virtual outputs must be bit-identical and the wall-clock overhead
+//!   of online monitoring stays pinned below its acceptance bar.
 //!
 //! Prints the before/after table and writes `results/BENCH_sim.json`.
 //! `--check` runs a scaled-down configuration and only asserts the
@@ -23,13 +27,14 @@
 
 use std::collections::BTreeMap;
 use std::collections::VecDeque;
+use std::sync::Arc;
 use std::time::Instant;
 
 use dynmpi::DynMpiConfig;
-use dynmpi_apps::harness::{run_sim, AppSpec, Experiment};
+use dynmpi_apps::harness::{run_sim, run_sim_with, AppSpec, Experiment};
 use dynmpi_apps::jacobi::JacobiParams;
 use dynmpi_bench::{log_info, print_table};
-use dynmpi_obs::Json;
+use dynmpi_obs::{HealthMonitor, Json, Recorder, DEFAULT_WINDOW_NS};
 use dynmpi_sim::{Cluster, LoadScript, NodeSpec, SimReport, SimTime};
 
 /// One rank computing `work` units on a speed-1e6 node that hosts three
@@ -161,6 +166,23 @@ fn mini_sweep(threads: usize, iters: usize) -> (Vec<f64>, f64) {
     (makespans, start.elapsed().as_secs_f64())
 }
 
+/// The adaptive competing-process Jacobi run used to price the online
+/// health monitor: same shape as the `health_monitor` integration tests.
+fn health_experiment(iters: usize) -> Experiment {
+    Experiment::new(
+        AppSpec::Jacobi(JacobiParams {
+            n: 256,
+            iters,
+            exercise_kernel: false,
+            rebalance_at: None,
+        }),
+        4,
+    )
+    .with_node_spec(NodeSpec::with_speed(5e6))
+    .with_cfg(DynMpiConfig::default())
+    .with_script(LoadScript::dedicated().at_cycle(3, 10, 1))
+}
+
 fn main() {
     let mut check = false;
     let mut out_dir = "results".to_string();
@@ -190,6 +212,7 @@ fn main() {
     let work = if check { 2.5e6 } else { 25e6 };
     let (senders, per_sender) = if check { (16, 16) } else { (64, 64) };
     let sweep_iters = if check { 10 } else { 40 };
+    let monitor_iters = if check { 30 } else { 120 };
 
     log_info!("engine events: {work} work units under ncp=3, stepped vs fast");
     let stepped = loaded_compute(true, work);
@@ -221,6 +244,32 @@ fn main() {
     let (serial_ms, serial_s) = mini_sweep(1, sweep_iters);
     let (par_ms, par_s) = mini_sweep(threads, sweep_iters);
     assert_eq!(serial_ms, par_ms, "sweep results changed with thread count");
+
+    log_info!("monitor overhead: adaptive Jacobi x{monitor_iters} iters, bare vs recorder+health");
+    let exp = health_experiment(monitor_iters);
+    let with_monitor = || {
+        let rec = Recorder::new();
+        let monitor = Arc::new(HealthMonitor::new(DEFAULT_WINDOW_NS));
+        rec.subscribe(monitor.clone());
+        let run = run_sim_with(&exp, Some(rec));
+        (run, monitor)
+    };
+    let bare = run_sim_with(&exp, None);
+    let (monitored, monitor) = with_monitor();
+    assert_eq!(
+        bare.makespan.to_bits(),
+        monitored.makespan.to_bits(),
+        "health monitor perturbed the simulated makespan"
+    );
+    let report = monitor.report();
+    assert!(
+        !report.windows.is_empty() && report.nodes == 4,
+        "health monitor produced no windows on the monitored run"
+    );
+    let bare_ns =
+        dynmpi_testkit::bench("health monitor: off", || run_sim_with(&exp, None).makespan).mean_ns;
+    let mon_ns = dynmpi_testkit::bench("health monitor: on", || with_monitor().0.makespan).mean_ns;
+    let monitor_overhead = mon_ns / bare_ns;
 
     print_table(
         "sim fast path: before/after",
@@ -259,6 +308,12 @@ fn main() {
                 format!("{par_s:.2}"),
                 format!("{:.2}x", serial_s / par_s),
             ],
+            vec![
+                format!("monitored run (ms), jacobi x{monitor_iters} iters"),
+                format!("{:.2}", bare_ns / 1e6),
+                format!("{:.2}", mon_ns / 1e6),
+                format!("{monitor_overhead:.2}x"),
+            ],
         ],
     );
 
@@ -279,6 +334,13 @@ fn main() {
         "indexed mailbox regressed: {} examined vs {} probes",
         lin.examined,
         idx.probed
+    );
+    // The online health monitor must stay cheap enough to leave on: the
+    // bar is generous against CI wall-clock noise, but catches the
+    // monitor accidentally becoming superlinear in the event stream.
+    assert!(
+        monitor_overhead < 5.0,
+        "health monitor overhead {monitor_overhead:.2}x exceeds the 5x acceptance bar"
     );
 
     if check {
@@ -318,6 +380,16 @@ fn main() {
                 ("serial_s", Json::Num(serial_s)),
                 ("parallel_s", Json::Num(par_s)),
                 ("speedup", Json::Num(serial_s / par_s)),
+            ]),
+        ),
+        (
+            "monitor_overhead",
+            Json::obj([
+                ("iters", Json::UInt(monitor_iters as u64)),
+                ("bare_ns", Json::Num(bare_ns)),
+                ("monitored_ns", Json::Num(mon_ns)),
+                ("overhead", Json::Num(monitor_overhead)),
+                ("health_windows", Json::UInt(report.windows.len() as u64)),
             ]),
         ),
     ]);

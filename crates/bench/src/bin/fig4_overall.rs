@@ -13,7 +13,7 @@ use dynmpi_apps::jacobi::JacobiParams;
 use dynmpi_apps::particle::ParticleParams;
 use dynmpi_apps::sor::SorParams;
 use dynmpi_bench::{fmt_s, fmt_x, log_error, log_info, print_table, write_rows, BenchArgs};
-use dynmpi_obs::{Json, Recorder};
+use dynmpi_obs::Json;
 use dynmpi_sim::{LoadScript, NodeSpec};
 
 struct Row {
@@ -133,10 +133,11 @@ fn main() {
         std::process::exit(2);
     }
 
-    // With --trace-out/--profile-out, the first Dyn-MPI run (the smallest
-    // selected adaptive configuration, pinned to sweep item 0) is recorded;
-    // later runs would overlay the same virtual-time axis in one trace.
-    let recorder = args.wants_recorder().then(Recorder::new);
+    // With --trace-out/--profile-out/--health-out/--watch, the first
+    // Dyn-MPI run (the smallest selected adaptive configuration, pinned to
+    // sweep item 0) is instrumented; later runs would overlay the same
+    // virtual-time axis in one trace.
+    let inst = args.instrumentation();
     let rows: Vec<Row> = dynmpi_testkit::sweep(&items, args.threads, |i, item| {
         let (name, nodes, spec, node) = item;
         let (name, nodes) = (*name, *nodes);
@@ -162,7 +163,7 @@ fn main() {
                 .with_node_spec(*node)
                 .with_cfg(DynMpiConfig::default())
                 .with_script(loaded_script.clone()),
-            (i == 0).then(|| recorder.clone()).flatten(),
+            inst.recorder_for(i == 0),
         );
         log_info!(
             "fig4 {name} n={nodes}: ded {:.2}s noadapt {:.2}s dynmpi {:.2}s",
@@ -232,5 +233,5 @@ fn main() {
     );
     let json_rows: Vec<Json> = rows.iter().map(Row::to_json).collect();
     write_rows(&args.out_dir, "fig4_overall", &json_rows);
-    args.write_outputs(&recorder);
+    inst.finish();
 }

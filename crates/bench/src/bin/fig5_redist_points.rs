@@ -16,7 +16,7 @@ use dynmpi::{DropPolicy, DynMpiConfig};
 use dynmpi_apps::harness::{run_sim_with, AppSpec, Experiment};
 use dynmpi_apps::jacobi::JacobiParams;
 use dynmpi_bench::{fmt_s, log_info, print_table, write_rows, BenchArgs};
-use dynmpi_obs::{Json, Recorder};
+use dynmpi_obs::Json;
 use dynmpi_sim::{LoadScript, NodeSpec};
 
 struct Row {
@@ -96,7 +96,7 @@ fn main() {
             })
             .collect();
     // --trace-out/--profile-out record the first adaptive arm: item 1 (short, redist-once).
-    let recorder = args.wants_recorder().then(Recorder::new);
+    let inst = args.instrumentation();
     let rows: Vec<Row> = dynmpi_testkit::sweep(&items, args.threads, |i, item| {
         let (variant, cfg, period, execution) = item;
         let (variant, period, execution) = (*variant, *period, *execution);
@@ -115,7 +115,7 @@ fn main() {
                 .with_node_spec(node)
                 .with_cfg(cfg.clone())
                 .with_script(script),
-            (i == 1).then(|| recorder.clone()).flatten(),
+            inst.recorder_for(i == 1),
         );
         let row = Row {
             figure: "fig5",
@@ -186,5 +186,5 @@ fn main() {
     }
     let json_rows: Vec<Json> = rows.iter().map(Row::to_json).collect();
     write_rows(&args.out_dir, "fig5_redist_points", &json_rows);
-    args.write_outputs(&recorder);
+    inst.finish();
 }

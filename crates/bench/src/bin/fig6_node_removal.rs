@@ -60,7 +60,7 @@ fn main() {
         .collect();
     // --trace-out/--profile-out record the first drop-enabled short run (8 nodes, 1 CP,
     // sweep item 0). Each item runs four sims (keep/drop × short/long).
-    let recorder = args.wants_recorder().then(Recorder::new);
+    let inst = args.instrumentation();
     let rows: Vec<Row> = dynmpi_testkit::sweep(&items, args.threads, |i, item| {
         let (nodes, cps) = *item;
         let script = LoadScript::dedicated().at_cycle(nodes - 1, 10, cps);
@@ -88,10 +88,7 @@ fn main() {
             settled_cycle(short.makespan, long.makespan, extra)
         };
         let kc = run_pair(DropPolicy::Never, None);
-        let dc = run_pair(
-            DropPolicy::Always,
-            (i == 0).then(|| recorder.clone()).flatten(),
-        );
+        let dc = run_pair(DropPolicy::Always, inst.recorder_for(i == 0));
         let row = Row {
             figure: "fig6",
             nodes,
@@ -129,5 +126,5 @@ fn main() {
     );
     let json_rows: Vec<Json> = rows.iter().map(Row::to_json).collect();
     write_rows(&args.out_dir, "fig6_node_removal", &json_rows);
-    args.write_outputs(&recorder);
+    inst.finish();
 }

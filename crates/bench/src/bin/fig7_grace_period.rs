@@ -43,7 +43,7 @@ fn main() {
         .collect();
     // --trace-out/--profile-out record the long run of the first arm
     // (Part = 10, GP = 1, sweep item 0).
-    let recorder = args.wants_recorder().then(Recorder::new);
+    let inst = args.instrumentation();
     let rows: Vec<Row> = dynmpi_testkit::sweep(&items, args.threads, |i, item| {
         let (part, gp) = *item;
         // Per §5.4 the competing process lands on P0 — the node that
@@ -66,7 +66,7 @@ fn main() {
             )
         };
         let short = mk(iters, None);
-        let long = mk(iters + extra, (i == 0).then(|| recorder.clone()).flatten());
+        let long = mk(iters + extra, inst.recorder_for(i == 0));
         let settled = (long.makespan - short.makespan) / extra as f64;
         log_info!("fig7 part={part} gp={gp}: settled {settled:.4}s/cycle");
         Row {
@@ -107,5 +107,5 @@ fn main() {
     }
     let json_rows: Vec<Json> = rows.iter().map(Row::to_json).collect();
     write_rows(&args.out_dir, "fig7_grace_period", &json_rows);
-    args.write_outputs(&recorder);
+    inst.finish();
 }

@@ -21,7 +21,10 @@
 //! `results/*.jsonl` for EXPERIMENTS.md. Pass `--quick` for scaled-down
 //! inputs (same shapes, minutes → seconds). Pass `--trace-out PATH` on
 //! the figure binaries to capture a Chrome/Perfetto trace of the run
-//! (virtual timestamps; `PATH.metrics.json` gets the metrics snapshots).
+//! (virtual timestamps; `PATH.metrics.json` gets the metrics snapshots),
+//! and `--health-out PATH`/`--watch`/`--prom-out PATH` for the online
+//! health monitor's snapshot JSONL, live dashboard, and
+//! Prometheus-format metrics (DESIGN.md §11).
 //! Pass `--threads N` to size the configuration-sweep worker pool
 //! (default: available parallelism; output is byte-identical at any
 //! value — `fig3_alloc` ignores it and stays serial because it measures
@@ -33,9 +36,10 @@
 
 use std::io::Write;
 use std::path::Path;
-use std::sync::OnceLock;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
 
-use dynmpi_obs::Json;
+use dynmpi_obs::{HealthMonitor, Json, Recorder};
 
 /// Verbosity of the bench logger, in increasing order.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
@@ -126,16 +130,25 @@ macro_rules! log_trace {
 /// `--trace-out PATH` (Chrome trace of the instrumented runs), an optional
 /// `--profile-out PATH` (critical-path & wait-state attribution report of
 /// the instrumented run, JSON; the text rendering prints to stdout), an
-/// optional `--only KEY` (restrict the sweep to matching configurations,
-/// where supported), and `--threads N` (worker count for the parallel
-/// configuration sweep; defaults to the machine's available parallelism).
-/// Every simulated configuration is an independent deterministic run, so
-/// output is byte-identical at any thread count.
+/// optional `--health-out PATH` (online health monitor snapshots, JSONL),
+/// `--watch` (live health dashboard on stderr while the instrumented run
+/// executes), `--health-window MS` (monitor window width), an optional
+/// `--prom-out PATH` (metrics registry in Prometheus text exposition
+/// format), an optional `--only KEY` (restrict the sweep to matching
+/// configurations, where supported), and `--threads N` (worker count for
+/// the parallel configuration sweep; defaults to the machine's available
+/// parallelism). Every simulated configuration is an independent
+/// deterministic run, so output is byte-identical at any thread count.
 pub struct BenchArgs {
     pub quick: bool,
     pub out_dir: String,
     pub trace_out: Option<String>,
     pub profile_out: Option<String>,
+    pub health_out: Option<String>,
+    pub watch: bool,
+    /// Health-monitor window width in virtual milliseconds.
+    pub health_window_ms: u64,
+    pub prom_out: Option<String>,
     pub only: Option<String>,
     pub threads: usize,
 }
@@ -146,6 +159,10 @@ impl BenchArgs {
         let mut out_dir = "results".to_string();
         let mut trace_out = None;
         let mut profile_out = None;
+        let mut health_out = None;
+        let mut watch = false;
+        let mut health_window_ms = dynmpi_obs::health::DEFAULT_WINDOW_NS / 1_000_000;
+        let mut prom_out = None;
         let mut only = None;
         let mut threads = dynmpi_testkit::available_threads();
         let mut args = std::env::args().skip(1);
@@ -161,6 +178,16 @@ impl BenchArgs {
                 "--out" => out_dir = value("--out", &mut args),
                 "--trace-out" => trace_out = Some(value("--trace-out", &mut args)),
                 "--profile-out" => profile_out = Some(value("--profile-out", &mut args)),
+                "--health-out" => health_out = Some(value("--health-out", &mut args)),
+                "--watch" => watch = true,
+                "--health-window" => {
+                    let v = value("--health-window", &mut args);
+                    health_window_ms = v.parse().ok().filter(|&ms| ms > 0).unwrap_or_else(|| {
+                        eprintln!("--health-window needs a positive integer (ms), got {v}");
+                        std::process::exit(2);
+                    });
+                }
+                "--prom-out" => prom_out = Some(value("--prom-out", &mut args)),
                 "--only" => only = Some(value("--only", &mut args)),
                 "--threads" => {
                     let v = value("--threads", &mut args);
@@ -176,7 +203,9 @@ impl BenchArgs {
                 "--help" | "-h" => {
                     eprintln!(
                         "usage: [--quick] [--out DIR] [--trace-out PATH] \
-                         [--profile-out PATH] [--only KEY] [--threads N]"
+                         [--profile-out PATH] [--health-out PATH] [--watch] \
+                         [--health-window MS] [--prom-out PATH] [--only KEY] \
+                         [--threads N]"
                     );
                     std::process::exit(0);
                 }
@@ -191,6 +220,10 @@ impl BenchArgs {
             out_dir,
             trace_out,
             profile_out,
+            health_out,
+            watch,
+            health_window_ms,
+            prom_out,
             only,
             threads,
         }
@@ -198,7 +231,18 @@ impl BenchArgs {
 
     /// Does any flag ask for an instrumented run?
     pub fn wants_recorder(&self) -> bool {
-        self.trace_out.is_some() || self.profile_out.is_some()
+        self.trace_out.is_some()
+            || self.profile_out.is_some()
+            || self.health_out.is_some()
+            || self.prom_out.is_some()
+            || self.watch
+    }
+
+    /// Builds the [`Instrumentation`] bundle these flags ask for: the
+    /// shared recorder, the streaming health monitor subscribed to it, and
+    /// (with `--watch`) the live dashboard thread.
+    pub fn instrumentation(&self) -> Instrumentation {
+        Instrumentation::new(self)
     }
 
     /// Keeps a sweep configuration when `--only` is unset or matches
@@ -208,7 +252,9 @@ impl BenchArgs {
     }
 
     /// Writes whatever outputs `--trace-out`/`--profile-out` asked for
-    /// from the instrumented run's recorder.
+    /// from the instrumented run's recorder. (The figure binaries use
+    /// [`Instrumentation::finish`], which also handles the health and
+    /// Prometheus outputs; this remains for callers that only record.)
     pub fn write_outputs(&self, recorder: &Option<dynmpi_obs::Recorder>) {
         let Some(rec) = recorder else { return };
         if let Some(path) = &self.trace_out {
@@ -216,6 +262,136 @@ impl BenchArgs {
         }
         if let Some(path) = &self.profile_out {
             write_profile(rec, path);
+        }
+    }
+}
+
+/// Everything the instrumentation flags set up for one bench run: the
+/// shared [`Recorder`], the streaming [`HealthMonitor`] subscribed to it
+/// (for `--health-out`/`--watch`/`--prom-out`), and the live dashboard
+/// thread. Create it **before** the sweep with
+/// [`BenchArgs::instrumentation`], hand the recorder to exactly one sweep
+/// item via [`recorder_for`](Instrumentation::recorder_for), and call
+/// [`finish`](Instrumentation::finish) after the sweep to stop the watch
+/// thread and write every requested output.
+pub struct Instrumentation {
+    recorder: Option<Recorder>,
+    monitor: Option<Arc<HealthMonitor>>,
+    watch_stop: Option<Arc<AtomicBool>>,
+    watch_thread: Option<std::thread::JoinHandle<()>>,
+    trace_out: Option<String>,
+    profile_out: Option<String>,
+    health_out: Option<String>,
+    prom_out: Option<String>,
+    watch: bool,
+}
+
+impl Instrumentation {
+    fn new(args: &BenchArgs) -> Self {
+        let recorder = args.wants_recorder().then(Recorder::new);
+        let wants_monitor = args.health_out.is_some() || args.watch;
+        let monitor = match (&recorder, wants_monitor) {
+            (Some(rec), true) => {
+                let mon = Arc::new(HealthMonitor::new(args.health_window_ms * 1_000_000));
+                // Subscribe before any rank scope is installed: scopes
+                // capture the sink list at install time.
+                rec.subscribe(mon.clone());
+                Some(mon)
+            }
+            _ => None,
+        };
+        let (watch_stop, watch_thread) = if args.watch {
+            let stop = Arc::new(AtomicBool::new(false));
+            let mon = monitor.clone().expect("watch implies monitor");
+            let stop2 = stop.clone();
+            let handle = std::thread::spawn(move || {
+                while !stop2.load(Ordering::Relaxed) {
+                    let frame = mon.report().render_dashboard();
+                    let (hi, lo) = mon.progress();
+                    // Clear + home, then the frame: cheap in-place redraw.
+                    eprintln!(
+                        "\x1b[2J\x1b[H{frame}streamed: fastest rank {:.3}s, slowest {:.3}s",
+                        hi as f64 / 1e9,
+                        lo as f64 / 1e9
+                    );
+                    let _ = std::io::stderr().flush();
+                    std::thread::sleep(std::time::Duration::from_millis(250));
+                }
+            });
+            (Some(stop), Some(handle))
+        } else {
+            (None, None)
+        };
+        Instrumentation {
+            recorder,
+            monitor,
+            watch_stop,
+            watch_thread,
+            trace_out: args.trace_out.clone(),
+            profile_out: args.profile_out.clone(),
+            health_out: args.health_out.clone(),
+            prom_out: args.prom_out.clone(),
+            watch: args.watch,
+        }
+    }
+
+    /// The shared recorder, if any instrumentation flag was given.
+    pub fn recorder(&self) -> Option<Recorder> {
+        self.recorder.clone()
+    }
+
+    /// The recorder for the sweep item elected to be instrumented
+    /// (`selected` true on exactly one item), `None` for the rest.
+    pub fn recorder_for(&self, selected: bool) -> Option<Recorder> {
+        selected.then(|| self.recorder.clone()).flatten()
+    }
+
+    /// The health monitor, when `--health-out` or `--watch` asked for one.
+    pub fn monitor(&self) -> Option<&Arc<HealthMonitor>> {
+        self.monitor.as_ref()
+    }
+
+    /// Stops the watch thread and writes every requested output: trace,
+    /// profile, health JSONL, and Prometheus metrics text.
+    pub fn finish(mut self) {
+        if let Some(stop) = self.watch_stop.take() {
+            stop.store(true, Ordering::Relaxed);
+        }
+        if let Some(handle) = self.watch_thread.take() {
+            let _ = handle.join();
+        }
+        let Some(rec) = &self.recorder else { return };
+        if let Some(path) = &self.trace_out {
+            write_trace(rec, path);
+        }
+        if let Some(path) = &self.profile_out {
+            write_profile(rec, path);
+        }
+        if let Some(mon) = &self.monitor {
+            let report = mon.report();
+            if self.watch {
+                // Leave the final state on screen after in-place redraws.
+                eprint!("{}", report.render_dashboard());
+            }
+            if let Some(path) = &self.health_out {
+                if let Some(parent) = Path::new(path).parent() {
+                    if !parent.as_os_str().is_empty() {
+                        let _ = std::fs::create_dir_all(parent);
+                    }
+                }
+                std::fs::write(path, report.to_jsonl()).expect("write health file");
+                log_info!("wrote {path}");
+            }
+        }
+        if let Some(path) = &self.prom_out {
+            if let Some(parent) = Path::new(path).parent() {
+                if !parent.as_os_str().is_empty() {
+                    let _ = std::fs::create_dir_all(parent);
+                }
+            }
+            let text = dynmpi_obs::prometheus_text(&rec.merged_metrics());
+            std::fs::write(path, text).expect("write prometheus file");
+            log_info!("wrote {path}");
         }
     }
 }

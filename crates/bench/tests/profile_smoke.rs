@@ -1,8 +1,8 @@
-//! Smoke test behind the CI `profile-smoke` job: run the quick fig4
+//! Smoke tests behind the CI `profile-smoke` job: run the quick fig4
 //! `jacobi/8` configuration end to end with `--trace-out`/`--profile-out`
-//! and assert the emitted profile report is parseable, complete, and
-//! internally consistent. Artifacts land in `target/profile-smoke/` so CI
-//! can upload them when this fails.
+//! (and, separately, `--health-out`) and assert the emitted reports are
+//! parseable, complete, and internally consistent. Artifacts land in
+//! `target/profile-smoke/` so CI can upload them when this fails.
 
 use std::path::PathBuf;
 use std::process::Command;
@@ -101,4 +101,74 @@ fn fig4_quick_profile_is_complete() {
     let cycles = report.get("cycles").and_then(Json::as_arr).unwrap();
     assert!(!cycles.is_empty(), "no redistribution audits");
     assert!(cycles.iter().all(|c| u64_field(c, "rows_moved") > 0));
+}
+
+/// Runs quick fig4 `jacobi/8` with `--health-out` under the given thread
+/// count and engine mode, returning the snapshot JSONL.
+fn health_run(out_dir: &std::path::Path, tag: &str, threads: &str, stepped: bool) -> String {
+    let path = out_dir.join(format!("health-{tag}.jsonl"));
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_fig4_overall"));
+    cmd.arg("--quick")
+        .arg("--only")
+        .arg("jacobi/8")
+        .arg("--out")
+        .arg(out_dir)
+        .arg("--threads")
+        .arg(threads)
+        .arg("--health-out")
+        .arg(&path);
+    if stepped {
+        cmd.env("DYNMPI_SIM_STEPPED", "1");
+    }
+    let output = cmd.output().expect("failed to launch fig4_overall");
+    assert!(
+        output.status.success(),
+        "fig4_overall ({tag}) failed:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    std::fs::read_to_string(&path).unwrap()
+}
+
+/// The `--health-out` arm of the smoke job: the competing-process
+/// scenario must classify the loaded node (node 7 of jacobi/8) as a
+/// `Straggler` before the runtime's redistribution on the same timeline,
+/// and the snapshot stream must be byte-identical across `--threads 1`
+/// vs `8` and across fast vs. stepped engine modes.
+#[test]
+fn fig4_quick_health_flags_straggler_deterministically() {
+    let out_dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/profile-smoke");
+    std::fs::create_dir_all(&out_dir).unwrap();
+
+    let t1 = health_run(&out_dir, "t1", "1", false);
+    let t8 = health_run(&out_dir, "t8", "8", false);
+    let stepped = health_run(&out_dir, "stepped", "4", true);
+    assert_eq!(t1, t8, "health snapshots differ between --threads 1 and 8");
+    assert_eq!(t1, stepped, "health snapshots differ between engine modes");
+
+    let mut straggler_ts: Option<u64> = None;
+    let mut redist_ts: Option<u64> = None;
+    for (lineno, line) in t1.lines().enumerate() {
+        let w = Json::parse(line)
+            .unwrap_or_else(|e| panic!("health line {} is not JSON: {e}", lineno + 1));
+        for a in w.get("alerts").and_then(Json::as_arr).unwrap() {
+            if a.get("state").and_then(Json::as_str) == Some("straggler")
+                && a.get("node").and_then(Json::as_u64) == Some(7)
+            {
+                let ts = u64_field(a, "ts_ns");
+                straggler_ts = Some(straggler_ts.map_or(ts, |t| t.min(ts)));
+            }
+        }
+        for d in w.get("decisions").and_then(Json::as_arr).unwrap() {
+            if d.get("kind").and_then(Json::as_str) == Some("redistributed") {
+                let ts = u64_field(d, "ts_ns");
+                redist_ts = Some(redist_ts.map_or(ts, |t| t.min(ts)));
+            }
+        }
+    }
+    let straggler_ts = straggler_ts.expect("no Straggler alert on the loaded node (7)");
+    let redist_ts = redist_ts.expect("no redistribution decision on the health timeline");
+    assert!(
+        straggler_ts < redist_ts,
+        "straggler alert ({straggler_ts} ns) did not precede redistribution ({redist_ts} ns)"
+    );
 }

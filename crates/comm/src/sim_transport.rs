@@ -95,6 +95,13 @@ impl HostMeters for SimTransport<'_> {
     fn proc_tick_seconds(&self) -> f64 {
         0.010
     }
+
+    fn proc_cpu_ns(&self) -> u64 {
+        // Exact (un-quantized) CPU nanoseconds: identical between the
+        // fast-forward and stepped engines, which is what keeps health
+        // snapshots byte-identical across modes.
+        self.ctx.cpu_time_exact().0
+    }
 }
 
 #[cfg(test)]

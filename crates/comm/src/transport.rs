@@ -65,6 +65,17 @@ pub trait HostMeters: Transport {
 
     /// The `/proc` accounting tick in seconds (0 ⇒ exact readings).
     fn proc_tick_seconds(&self) -> f64;
+
+    /// CPU time consumed by this rank in exact nanoseconds, for
+    /// observability-grade accounting (the health monitor's interference
+    /// share). Unlike [`proc_cpu_seconds`](HostMeters::proc_cpu_seconds)
+    /// this must not be quantized to the accounting tick — quantization
+    /// shows up as phantom interference on short cycles. The default
+    /// converts the quantized reading; transports with an exact clock
+    /// override it.
+    fn proc_cpu_ns(&self) -> u64 {
+        (self.proc_cpu_seconds() * 1e9).round() as u64
+    }
 }
 
 #[cfg(test)]

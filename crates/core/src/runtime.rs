@@ -452,6 +452,7 @@ impl<'a, T: HostMeters> DynMpi<'a, T> {
         let rows = self.my_rows(phase);
         let grace = matches!(self.mode, Mode::Grace { .. }) && self.timer.is_some();
         let traced = obs::enabled();
+        let cpu0 = if traced { self.t.proc_cpu_ns() } else { 0 };
         if traced {
             // Per-row grace measurement is a distinct span: it is the
             // instrumented (and slightly slower) variant of the same work.
@@ -462,21 +463,38 @@ impl<'a, T: HostMeters> DynMpi<'a, T> {
             };
             obs::span_begin("runtime", name, self.t.now_ns());
         }
+        let mut total = 0.0f64;
         if let (true, Some(timer)) = (grace, self.timer.as_mut()) {
             for i in rows.iter() {
                 let w0 = self.t.wtime();
                 let p0 = self.t.proc_cpu_seconds();
-                self.t.compute(work(i));
+                let w = work(i);
+                total += w;
+                self.t.compute(w);
                 timer.record(i, self.t.wtime() - w0, self.t.proc_cpu_seconds() - p0);
             }
         } else {
-            let total: f64 = rows.iter().map(&work).sum();
+            total = rows.iter().map(&work).sum();
             self.t.compute(total);
         }
         if traced {
+            // `cpu_ns` is the exact (un-quantized) CPU consumed by the
+            // span and `work_uflop` the charged work in integer
+            // micro-flops — both mode-invariant integers the health
+            // monitor splits exactly across its windows.
             obs::span_end_args(
                 self.t.now_ns(),
-                vec![("rows".to_string(), Json::UInt(rows.len() as u64))],
+                vec![
+                    ("rows".to_string(), Json::UInt(rows.len() as u64)),
+                    (
+                        "cpu_ns".to_string(),
+                        Json::UInt(self.t.proc_cpu_ns().saturating_sub(cpu0)),
+                    ),
+                    (
+                        "work_uflop".to_string(),
+                        Json::UInt((total * 1e6).round() as u64),
+                    ),
+                ],
             );
         }
     }

@@ -142,23 +142,28 @@ pub fn parse_chrome_trace(text: &str) -> Result<Vec<ParsedEvent>, JsonError> {
         .and_then(Json::as_arr)
         .ok_or_else(|| bad("missing traceEvents array"))?;
     let mut out = Vec::with_capacity(events.len());
-    for ev in events {
+    for (idx, ev) in events.iter().enumerate() {
+        let bad = |msg: &str| JsonError {
+            pos: 0,
+            msg: format!("traceEvents[{idx}]: {msg}"),
+        };
         let field_str = |k: &str| {
             ev.get(k)
                 .and_then(Json::as_str)
                 .map(str::to_string)
-                .ok_or_else(|| bad(&format!("event missing string field `{k}`")))
+                .ok_or_else(|| bad(&format!("missing string field `{k}`")))
         };
         let field_u64 = |k: &str| {
             ev.get(k)
                 .and_then(Json::as_u64)
-                .ok_or_else(|| bad(&format!("event missing integer field `{k}`")))
+                .ok_or_else(|| bad(&format!("missing integer field `{k}`")))
         };
         // ts/dur may be fractional µs; decode to ns with rounding.
         let field_ns = |k: &str, required: bool| -> Result<u64, JsonError> {
             match ev.get(k).and_then(Json::as_f64) {
-                Some(v) => Ok((v * 1_000.0).round() as u64),
-                None if required => Err(bad(&format!("event missing time field `{k}`"))),
+                Some(v) if v >= 0.0 => Ok((v * 1_000.0).round() as u64),
+                Some(_) => Err(bad(&format!("negative time field `{k}`"))),
+                None if required => Err(bad(&format!("missing time field `{k}`"))),
                 None => Ok(0),
             }
         };
@@ -193,7 +198,13 @@ pub fn parse_jsonl(text: &str) -> Result<Vec<TraceEvent>, JsonError> {
         if line.trim().is_empty() {
             continue;
         }
-        let j = Json::parse(line)?;
+        // Attach the 1-based line number to any JSON-level error so a bad
+        // line in a long dump is findable (the inner `pos` is the byte
+        // offset *within* the line).
+        let j = Json::parse(line).map_err(|e| JsonError {
+            pos: e.pos,
+            msg: format!("line {}: {}", lineno + 1, e.msg),
+        })?;
         let field_str = |k: &str| {
             j.get(k)
                 .and_then(Json::as_str)
@@ -316,6 +327,53 @@ mod tests {
         assert_eq!(parsed[0].args[0].0, "peer");
         assert_eq!(parsed[0].args[1], ("seq".to_string(), Json::UInt(7)));
         assert_eq!(parsed[0].args[2].1.as_u64(), Some(1024));
+    }
+
+    #[test]
+    fn parse_jsonl_reports_line_numbers_for_bad_json() {
+        // Two good lines, then a truncated third: the error must name
+        // line 3, not panic or point at byte 0 of the whole stream.
+        let mut text = jsonl(&sample());
+        text.push_str("{\"kind\":\"span\",\"cat\":\"sched\"");
+        let err = parse_jsonl(&text).unwrap_err();
+        assert!(err.msg.contains("line 3"), "{err}");
+
+        let err = parse_jsonl("{\"kind\":\"span\"}\ngarbage here\n").unwrap_err();
+        assert!(err.msg.contains("line 1"), "{err}");
+        let err = parse_jsonl("\n\ngarbage here\n").unwrap_err();
+        assert!(err.msg.contains("line 3"), "{err}");
+    }
+
+    #[test]
+    fn parse_jsonl_survives_truncated_and_binary_garbage() {
+        // Truncation mid-escape, mid-number, mid-object — all errors with
+        // a line number, never a panic.
+        for frag in [
+            "{\"kind\":\"span\",\"name\":\"a\\",
+            "{\"kind\":\"span\",\"ts_ns\":12",
+            "{",
+            "\u{0}\u{1}\u{2}",
+            "{\"kind\":\"instant\",\"cat\":\"x\",\"name\":\"n\",\"rank\":-1,\"ts_ns\":0}",
+        ] {
+            let err = parse_jsonl(frag).unwrap_err();
+            assert!(err.msg.contains("line 1"), "{frag:?} -> {err}");
+        }
+    }
+
+    #[test]
+    fn chrome_parse_errors_name_the_offending_event() {
+        let doc = r#"{"traceEvents":[
+            {"ph":"i","cat":"a","name":"n","pid":0,"tid":0,"ts":1,"args":{}},
+            {"ph":"X","cat":"a","name":"n","pid":0,"tid":0,"args":{}}
+        ]}"#;
+        let err = parse_chrome_trace(doc).unwrap_err();
+        assert!(err.msg.contains("traceEvents[1]"), "{err}");
+        assert!(err.msg.contains("`ts`"), "{err}");
+
+        let neg = r#"{"traceEvents":[{"ph":"i","cat":"a","name":"n","pid":0,"tid":0,"ts":-5}]}"#;
+        let err = parse_chrome_trace(neg).unwrap_err();
+        assert!(err.msg.contains("traceEvents[0]"), "{err}");
+        assert!(err.msg.contains("negative"), "{err}");
     }
 
     #[test]

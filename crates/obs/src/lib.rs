@@ -23,6 +23,7 @@
 
 pub mod analysis;
 pub mod export;
+pub mod health;
 pub mod json;
 pub mod metrics;
 pub mod trace;
@@ -37,11 +38,17 @@ pub use analysis::{
     analyze, Buckets, CritSegment, CycleAudit, ProfileReport, RankAttribution, SegKind,
 };
 pub use export::{parse_chrome_trace, parse_jsonl, ParsedEvent};
+pub use health::{
+    default_rules, Alert, AlertRule, HealthMonitor, HealthReport, HealthState, NodeHealth,
+    RuleMetric, RuleOp, DEFAULT_WINDOW_NS,
+};
 pub use json::Json;
-pub use metrics::{Counter, Gauge, HistSnapshot, Histogram, Registry, Snapshot, BYTE_BUCKETS};
+pub use metrics::{
+    prometheus_text, Counter, Gauge, HistSnapshot, Histogram, Registry, Snapshot, BYTE_BUCKETS,
+};
 pub use trace::{
     count, counter_handle, enabled, gauge_handle, gauge_set, histogram_handle, instant, observe,
-    span_begin, span_end, span_end_args, ScopeGuard,
+    span_begin, span_end, span_end_args, EventSink, ScopeGuard,
 };
 
 #[derive(Default)]
@@ -53,6 +60,8 @@ struct RecorderInner {
     next_seq: u64,
     /// One metrics snapshot per rank (last flush wins per rank).
     snapshots: Vec<(usize, Snapshot)>,
+    /// Streaming subscribers; cloned into each rank scope at install.
+    sinks: Vec<Arc<dyn EventSink>>,
 }
 
 /// Collects trace events and metric snapshots from every rank of one run.
@@ -103,6 +112,20 @@ impl Recorder {
     /// Panics if the thread already has a scope installed.
     pub fn install(&self, rank: usize) -> ScopeGuard {
         trace::install_scope(self.clone(), rank)
+    }
+
+    /// Register a streaming [`EventSink`]: it is called at emission time,
+    /// on the emitting rank's thread, for every span close and instant.
+    /// Subscribe **before** installing rank scopes — scopes capture the
+    /// sink list when installed, so later subscriptions only affect ranks
+    /// installed afterwards.
+    pub fn subscribe(&self, sink: Arc<dyn EventSink>) {
+        self.locked().sinks.push(sink);
+    }
+
+    /// Snapshot of the current sink list (captured per rank at install).
+    pub(crate) fn sinks(&self) -> Arc<[Arc<dyn EventSink>]> {
+        self.locked().sinks.clone().into()
     }
 
     pub(crate) fn absorb(&self, rank: usize, events: Vec<TraceEvent>, snapshot: Snapshot) {

@@ -317,6 +317,60 @@ impl Snapshot {
     }
 }
 
+/// Sanitize a metric name for Prometheus text exposition: `[a-zA-Z0-9_:]`
+/// pass through, everything else (the registry's `.` separators, `-`)
+/// becomes `_`.
+fn prom_name(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Render a [`Snapshot`] in the Prometheus text exposition format
+/// (version 0.0.4): `# TYPE` lines, counters and gauges as plain samples,
+/// histograms as **cumulative** `_bucket{le="..."}` series plus the
+/// `+Inf` bucket, `_sum`, and `_count`. Deterministic: snapshot maps are
+/// `BTreeMap`s, so output order is the sorted metric name order.
+pub fn prometheus_text(snap: &Snapshot) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for (name, v) in &snap.counters {
+        let n = prom_name(name);
+        let _ = writeln!(out, "# TYPE {n} counter");
+        let _ = writeln!(out, "{n} {v}");
+    }
+    for (name, v) in &snap.gauges {
+        let n = prom_name(name);
+        let _ = writeln!(out, "# TYPE {n} gauge");
+        let _ = writeln!(out, "{n} {v}");
+    }
+    for (name, h) in &snap.hists {
+        let n = prom_name(name);
+        let _ = writeln!(out, "# TYPE {n} histogram");
+        let mut cum = 0u64;
+        for (i, &c) in h.counts.iter().enumerate() {
+            cum = cum.wrapping_add(c);
+            match h.bounds.get(i) {
+                Some(&b) => {
+                    let _ = writeln!(out, "{n}_bucket{{le=\"{b}\"}} {cum}");
+                }
+                None => {
+                    let _ = writeln!(out, "{n}_bucket{{le=\"+Inf\"}} {cum}");
+                }
+            }
+        }
+        let _ = writeln!(out, "{n}_sum {}", h.sum);
+        let _ = writeln!(out, "{n}_count {}", h.count);
+    }
+    out
+}
+
 /// Power-of-two byte-size bucket bounds `1 KiB .. 16 MiB` — shared by the
 /// transport message-size histograms so every rank's snapshot merges.
 pub const BYTE_BUCKETS: [u64; 15] = [
@@ -412,6 +466,26 @@ mod tests {
         assert_eq!(fwd.counter("c"), 108);
         assert_eq!(fwd.gauges["g"], 9.0);
         assert_eq!(fwd.hists["h"].count, 3);
+    }
+
+    #[test]
+    fn prometheus_text_renders_all_kinds() {
+        let r = Registry::new();
+        r.counter("sim.msgs_sent").add(42);
+        r.gauge("queue-depth").set(3.5);
+        let h = r.histogram("lat.ns", &[10, 100]);
+        h.record(5);
+        h.record(50);
+        h.record(5000);
+        let text = prometheus_text(&r.snapshot());
+        assert!(text.contains("# TYPE sim_msgs_sent counter\nsim_msgs_sent 42\n"));
+        assert!(text.contains("# TYPE queue_depth gauge\nqueue_depth 3.5\n"));
+        // Buckets are cumulative, ending in +Inf == count.
+        assert!(text.contains("lat_ns_bucket{le=\"10\"} 1\n"));
+        assert!(text.contains("lat_ns_bucket{le=\"100\"} 2\n"));
+        assert!(text.contains("lat_ns_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("lat_ns_sum 5055\n"));
+        assert!(text.contains("lat_ns_count 3\n"));
     }
 
     #[test]

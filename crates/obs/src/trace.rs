@@ -10,10 +10,39 @@
 //! nothing outside traced runs.
 
 use std::cell::RefCell;
+use std::sync::Arc;
 
 use crate::json::Json;
 use crate::metrics::{Counter, Gauge, Histogram, Registry};
 use crate::Recorder;
+
+/// A streaming consumer of trace events, notified *at emission time* on the
+/// emitting rank's thread — before anything reaches the [`Recorder`]'s
+/// buffers. This is the hook the online health monitor
+/// ([`health`](crate::health)) hangs off: it sees every span close and
+/// instant as the simulated run produces them, rather than parsing the
+/// trace after the run ends.
+///
+/// Implementations must be `Send + Sync`: ranks run on separate threads and
+/// call into the same sink concurrently. A sink that wants deterministic
+/// *output* must therefore fold events with commutative operations keyed by
+/// virtual timestamp (the monitor's sliding windows do exactly this), since
+/// cross-rank arrival order at the sink is scheduling-dependent.
+///
+/// Subscribe with [`Recorder::subscribe`] **before** installing rank
+/// scopes; scopes capture the sink list at install time.
+pub trait EventSink: Send + Sync {
+    /// An event was emitted: a span closed or an instant fired.
+    fn on_event(&self, ev: &TraceEvent);
+
+    /// A span opened on `rank` at `ts_ns`. Default: ignored. (Useful for
+    /// low-watermark tracking; the matching close arrives via
+    /// [`on_event`](EventSink::on_event).)
+    fn on_span_open(&self, _rank: usize, _cat: &'static str, _name: &str, _ts_ns: u64) {}
+
+    /// `rank`'s tracing scope flushed (its thread finished or unwound).
+    fn on_rank_flush(&self, _rank: usize) {}
+}
 
 /// One trace event, timestamps in virtual nanoseconds.
 #[derive(Clone, Debug, PartialEq)]
@@ -103,6 +132,20 @@ struct RankScope {
     registry: Registry,
     events: Vec<TraceEvent>,
     stack: Vec<OpenSpan>,
+    /// Streaming sinks captured from the recorder at install time. Empty
+    /// for un-subscribed recorders, in which case emission cost is
+    /// unchanged from before sinks existed.
+    sinks: Arc<[Arc<dyn EventSink>]>,
+}
+
+impl RankScope {
+    /// Buffer `ev` for the recorder and stream it to every sink.
+    fn emit(&mut self, ev: TraceEvent) {
+        for sink in self.sinks.iter() {
+            sink.on_event(&ev);
+        }
+        self.events.push(ev);
+    }
 }
 
 thread_local! {
@@ -124,14 +167,18 @@ impl Drop for ScopeGuard {
                 // them zero duration at their start time so the trace stays
                 // well-formed.
                 while let Some(open) = scope.stack.pop() {
-                    scope.events.push(TraceEvent::Complete {
+                    let ev = TraceEvent::Complete {
                         cat: open.cat,
                         name: open.name,
                         rank: scope.rank,
                         ts_ns: open.ts_ns,
                         dur_ns: 0,
                         args: vec![("truncated".to_string(), Json::Bool(true))],
-                    });
+                    };
+                    scope.emit(ev);
+                }
+                for sink in scope.sinks.iter() {
+                    sink.on_rank_flush(scope.rank);
                 }
                 scope
                     .recorder
@@ -142,6 +189,7 @@ impl Drop for ScopeGuard {
 }
 
 pub(crate) fn install_scope(recorder: Recorder, rank: usize) -> ScopeGuard {
+    let sinks = recorder.sinks();
     SCOPE.with(|s| {
         let prev = s.borrow_mut().replace(RankScope {
             recorder,
@@ -149,6 +197,7 @@ pub(crate) fn install_scope(recorder: Recorder, rank: usize) -> ScopeGuard {
             registry: Registry::new(),
             events: Vec::new(),
             stack: Vec::new(),
+            sinks,
         });
         assert!(prev.is_none(), "tracing scope already installed on thread");
     });
@@ -168,6 +217,9 @@ fn with_scope<T>(f: impl FnOnce(&mut RankScope) -> T) -> Option<T> {
 /// rank must close in LIFO order (they nest).
 pub fn span_begin(cat: &'static str, name: &str, ts_ns: u64) {
     with_scope(|scope| {
+        for sink in scope.sinks.iter() {
+            sink.on_span_open(scope.rank, cat, name, ts_ns);
+        }
         scope.stack.push(OpenSpan {
             cat,
             name: name.to_string(),
@@ -189,7 +241,7 @@ pub fn span_end_args(ts_ns: u64, args: Vec<(String, Json)>) {
             return;
         };
         let rank = scope.rank;
-        scope.events.push(TraceEvent::Complete {
+        scope.emit(TraceEvent::Complete {
             cat: open.cat,
             name: open.name,
             rank,
@@ -204,7 +256,7 @@ pub fn span_end_args(ts_ns: u64, args: Vec<(String, Json)>) {
 pub fn instant(cat: &'static str, name: &str, ts_ns: u64, args: Vec<(String, Json)>) {
     with_scope(|scope| {
         let rank = scope.rank;
-        scope.events.push(TraceEvent::Instant {
+        scope.emit(TraceEvent::Instant {
             cat,
             name: name.to_string(),
             rank,

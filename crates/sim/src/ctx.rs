@@ -202,6 +202,7 @@ impl SimCtx {
         let env = Envelope {
             src: self.pid,
             tag,
+            sent: now,
             arrival,
             seq,
             payload,
@@ -243,6 +244,9 @@ impl SimCtx {
     fn recv_matching(&self, src: Option<usize>, tag: u64) -> (usize, Vec<u8>) {
         let wait = RecvWait { src, tag };
         let mut st = self.shared.state.lock();
+        // Virtual time this call first blocked, if it did: lets the pop
+        // split the wait into late-sender vs. network shares locally.
+        let mut wait_start: Option<u64> = None;
         loop {
             let now = st.clock;
             if let Some(env) = st.procs[self.pid].mailbox.pop_ready(wait, now) {
@@ -254,7 +258,21 @@ impl SimCtx {
                 if obs::enabled() {
                     // Mirror of the sender's `comm/send` instant; a pop at
                     // the exact end of a `sched/blocked` span identifies
-                    // the message that resolved that wait.
+                    // the message that resolved that wait. `late_ns` is the
+                    // share of this call's blocked time spent before the
+                    // sender even posted the message (the classic
+                    // late-sender pattern); `net_ns` is the remainder
+                    // (network flight + NIC queueing). Both are computed
+                    // receiver-locally from the envelope's `sent` stamp, so
+                    // they are independent of cross-rank event order.
+                    let (late_ns, net_ns) = match wait_start {
+                        Some(ws) => {
+                            let total = now.0 - ws;
+                            let late = env.sent.0.clamp(ws, now.0) - ws;
+                            (late, total - late)
+                        }
+                        None => (0, 0),
+                    };
                     obs::instant(
                         "comm",
                         "recv",
@@ -265,6 +283,8 @@ impl SimCtx {
                             ("seq".to_string(), obs::Json::UInt(env.seq)),
                             ("bytes".to_string(), obs::Json::UInt(len as u64)),
                             ("arrival_ns".to_string(), obs::Json::UInt(env.arrival.0)),
+                            ("late_ns".to_string(), obs::Json::UInt(late_ns)),
+                            ("net_ns".to_string(), obs::Json::UInt(net_ns)),
                         ],
                     );
                 }
@@ -275,6 +295,7 @@ impl SimCtx {
                 return (env.src, env.payload);
             }
             // Not deliverable yet: block (this is what `vmstat` misses).
+            wait_start.get_or_insert(now.0);
             obs::span_begin("sched", "blocked", now.0);
             let node = st.procs[self.pid].node;
             st.nodes[node].blocks.block(now);

@@ -44,6 +44,9 @@ impl PartialOrd for Event {
 pub(crate) struct Envelope {
     pub src: usize,
     pub tag: u64,
+    /// Virtual time the sender posted the message (lets the receiver split
+    /// its wait into late-sender vs. network time locally).
+    pub sent: SimTime,
     pub arrival: SimTime,
     pub seq: u64,
     pub payload: Vec<u8>,
@@ -362,6 +365,7 @@ mod tests {
         let env = Envelope {
             src: 3,
             tag: 7,
+            sent: SimTime::ZERO,
             arrival: SimTime::ZERO,
             seq: 0,
             payload: vec![],
@@ -392,6 +396,7 @@ mod tests {
         let mk = |seq, arrival_ms| Envelope {
             src: 1,
             tag: 0,
+            sent: SimTime::ZERO,
             arrival: SimTime::from_millis(arrival_ms),
             seq,
             payload: vec![seq as u8],

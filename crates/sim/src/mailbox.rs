@@ -113,6 +113,7 @@ mod tests {
         Envelope {
             src,
             tag,
+            sent: SimTime::ZERO,
             arrival: SimTime::from_millis(arrival_ms),
             seq,
             payload: vec![seq as u8],
@@ -249,6 +250,7 @@ mod oracle {
                     let e = Envelope {
                         src: rng.range_usize(0, nsrc),
                         tag: rng.range_u64(0, ntag),
+                        sent: SimTime::ZERO,
                         // Coarse arrivals so (arrival, seq) ties happen.
                         arrival: SimTime::from_millis(rng.range_u64(0, 8)),
                         seq,
