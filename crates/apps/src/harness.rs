@@ -42,6 +42,10 @@ pub struct Experiment {
     pub net: NetParams,
     pub script: LoadScript,
     pub cfg: DynMpiConfig,
+    /// Force the simulator engine mode: `Some(true)` = stepped,
+    /// `Some(false)` = fast-forward, `None` = cluster default (the
+    /// `DYNMPI_SIM_STEPPED` environment switch).
+    pub stepped: Option<bool>,
 }
 
 impl Experiment {
@@ -55,6 +59,7 @@ impl Experiment {
             net: NetParams::ethernet_100mbps(),
             script: LoadScript::dedicated(),
             cfg: DynMpiConfig::default(),
+            stepped: None,
         }
     }
 
@@ -70,6 +75,11 @@ impl Experiment {
 
     pub fn with_node_spec(mut self, spec: NodeSpec) -> Self {
         self.node_spec = spec;
+        self
+    }
+
+    pub fn with_stepped(mut self, stepped: bool) -> Self {
+        self.stepped = Some(stepped);
         self
     }
 }
@@ -167,8 +177,24 @@ pub fn run_sim_with(exp: &Experiment, recorder: Option<Recorder>) -> SimRunResul
     if let Some(r) = recorder {
         cluster = cluster.with_recorder(r);
     }
+    if let Some(stepped) = exp.stepped {
+        cluster = cluster.with_stepped(stepped);
+    }
     let app = exp.app.clone();
-    let cfg = exp.cfg.clone();
+    let mut cfg = exp.cfg.clone();
+    // Scripted arrivals: the extra ranks start outside the computation
+    // (seed world = the scripted cluster) and their relative speeds feed
+    // the heterogeneous balancer.
+    if !exp.script.arrivals().is_empty() {
+        cfg.seed_world = Some(exp.nodes);
+        if cfg.node_speeds.is_empty() {
+            let mut speeds = vec![1.0; exp.nodes];
+            for a in exp.script.arrivals() {
+                speeds.push(a.spec.speed / exp.node_spec.speed);
+            }
+            cfg.node_speeds = speeds;
+        }
+    }
     let out = cluster.run_spmd(move |ctx| {
         let t = SimTransport::new(ctx);
         match &app {

@@ -3,7 +3,7 @@
 use dynmpi::RuntimeEvent;
 
 /// What one rank reports after running an application.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct AppResult {
     /// Application-level checksum (identical across ranks; used to prove
     /// adaptation never changes answers). `None` when the numerical

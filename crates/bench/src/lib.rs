@@ -10,6 +10,7 @@
 //! | `fig5_redist_points` | Fig. 5 — Jacobi with 0/1/2 redistribution points |
 //! | `fig6_node_removal` | Fig. 6 — SOR keep-vs-drop on 8/16/32 nodes |
 //! | `fig7_grace_period` | Fig. 7 — particle sim, grace period 1 vs 5 |
+//! | `fig8_node_arrival` | extension — growing the job: node arrival absorption on 2/4/8 seed nodes + recovery from removal by re-adding |
 //! | `tab_microbench` | §4.3 — two-node comp/comm micro-benchmarks |
 //! | `ablation_balancer` | successive balancing vs relative power |
 //! | `ablation_drop_mode` | physical vs logical node dropping (§2.2) |

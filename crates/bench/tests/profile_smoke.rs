@@ -103,6 +103,96 @@ fn fig4_quick_profile_is_complete() {
     assert!(cycles.iter().all(|c| u64_field(c, "rows_moved") > 0));
 }
 
+/// Runs quick fig8 (node arrival) with `--health-out` under the given
+/// thread count and engine mode, returning `(rows_jsonl, health_jsonl)`.
+fn fig8_run(
+    out_dir: &std::path::Path,
+    tag: &str,
+    threads: &str,
+    stepped: bool,
+) -> (String, String) {
+    let dir = out_dir.join(format!("fig8-{tag}"));
+    std::fs::create_dir_all(&dir).unwrap();
+    let health = dir.join("health.jsonl");
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_fig8_node_arrival"));
+    cmd.arg("--quick")
+        .arg("--out")
+        .arg(&dir)
+        .arg("--threads")
+        .arg(threads)
+        .arg("--health-out")
+        .arg(&health);
+    if stepped {
+        cmd.env("DYNMPI_SIM_STEPPED", "1");
+    }
+    let output = cmd.output().expect("failed to launch fig8_node_arrival");
+    assert!(
+        output.status.success(),
+        "fig8_node_arrival ({tag}) failed:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    (
+        std::fs::read_to_string(dir.join("fig8_node_arrival.jsonl")).unwrap(),
+        std::fs::read_to_string(&health).unwrap(),
+    )
+}
+
+/// The fig8 arm of the smoke job: every scenario's arrival must be
+/// absorbed (admitted, with rows transferred to the newcomer), and both
+/// the result rows and the health snapshot stream must be byte-identical
+/// across `--threads 1` vs `8` and across fast vs. stepped engine modes.
+#[test]
+fn fig8_quick_arrival_absorbed_deterministically() {
+    let out_dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/profile-smoke");
+    std::fs::create_dir_all(&out_dir).unwrap();
+
+    let (rows_t1, health_t1) = fig8_run(&out_dir, "t1", "1", false);
+    let (rows_t8, health_t8) = fig8_run(&out_dir, "t8", "8", false);
+    let (rows_st, health_st) = fig8_run(&out_dir, "stepped", "4", true);
+    assert_eq!(
+        rows_t1, rows_t8,
+        "fig8 rows differ between --threads 1 and 8"
+    );
+    assert_eq!(rows_t1, rows_st, "fig8 rows differ between engine modes");
+    assert_eq!(
+        health_t1, health_t8,
+        "fig8 health snapshots differ between --threads 1 and 8"
+    );
+    assert_eq!(
+        health_t1, health_st,
+        "fig8 health snapshots differ between engine modes"
+    );
+
+    let mut scenarios = Vec::new();
+    for (lineno, line) in rows_t1.lines().enumerate() {
+        let row = Json::parse(line)
+            .unwrap_or_else(|e| panic!("fig8 row {} is not JSON: {e}", lineno + 1));
+        assert_eq!(
+            row.get("admitted").and_then(Json::as_bool),
+            Some(true),
+            "arrival not admitted: {row}"
+        );
+        assert!(
+            u64_field(&row, "new_rows") > 0,
+            "admitted node received no rows: {row}"
+        );
+        assert!(
+            u64_field(&row, "admitted_cycle") >= u64_field(&row, "arrived_cycle"),
+            "admission precedes evaluation: {row}"
+        );
+        scenarios.push(format!(
+            "{}/{}",
+            row.get("scenario").and_then(Json::as_str).unwrap(),
+            u64_field(&row, "nodes")
+        ));
+    }
+    assert_eq!(
+        scenarios,
+        ["grow/2", "grow/4", "grow/8", "readd/4"],
+        "unexpected fig8 scenario sweep"
+    );
+}
+
 /// Runs quick fig4 `jacobi/8` with `--health-out` under the given thread
 /// count and engine mode, returning the snapshot JSONL.
 fn health_run(out_dir: &std::path::Path, tag: &str, threads: &str, stepped: bool) -> String {

@@ -68,6 +68,17 @@ impl Group {
     pub fn rel_of(&self, world: usize) -> Option<usize> {
         self.members.binary_search(&world).ok()
     }
+
+    /// A new group with `world` added as a member (growth: node rejoin or
+    /// a fresh arrival beyond the seed world), as seen from world rank
+    /// `me`. No-op clone when `world` is already a member.
+    pub fn with_member(&self, world: usize, me: usize) -> Group {
+        let mut members = self.members.clone();
+        if let Err(pos) = members.binary_search(&world) {
+            members.insert(pos, world);
+        }
+        Group::new(members, me)
+    }
 }
 
 #[cfg(test)]
@@ -100,6 +111,21 @@ mod tests {
         let g = Group::new(vec![0, 1, 3], 2);
         assert_eq!(g.rel(), None);
         assert!(std::panic::catch_unwind(|| g.rel_unchecked()).is_err());
+    }
+
+    #[test]
+    fn with_member_grows_beyond_original_world() {
+        // A 3-node world grows with arrival rank 4 (beyond the seed size),
+        // then readmits previously removed rank 2.
+        let g = Group::new(vec![0, 1, 3], 0);
+        let grown = g.with_member(4, 0);
+        assert_eq!(grown.members(), &[0, 1, 3, 4]);
+        assert_eq!(grown.rel_of(4), Some(3));
+        let full = grown.with_member(2, 4);
+        assert_eq!(full.members(), &[0, 1, 2, 3, 4]);
+        assert_eq!(full.rel(), Some(4));
+        // Adding an existing member is a no-op clone.
+        assert_eq!(full.with_member(2, 4), full);
     }
 
     #[test]

@@ -88,6 +88,10 @@ impl HostMeters for SimTransport<'_> {
         self.ctx.dmpi_ps(r)
     }
 
+    fn node_online(&self, r: usize) -> bool {
+        self.ctx.node_online(r)
+    }
+
     fn proc_cpu_seconds(&self) -> f64 {
         self.ctx.cpu_time_reading().as_secs_f64()
     }

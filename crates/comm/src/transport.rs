@@ -66,6 +66,14 @@ pub trait HostMeters: Transport {
     /// The `/proc` accounting tick in seconds (0 ⇒ exact readings).
     fn proc_tick_seconds(&self) -> f64;
 
+    /// Whether the node hosting rank `r` is online (booted, daemon
+    /// running). Seed nodes are always online; ranks reserved for
+    /// scripted arrivals read offline until their cold start completes.
+    /// Transports without an arrival notion report everything online.
+    fn node_online(&self, _r: usize) -> bool {
+        true
+    }
+
     /// CPU time consumed by this rank in exact nanoseconds, for
     /// observability-grade accounting (the health monitor's interference
     /// share). Unlike [`proc_cpu_seconds`](HostMeters::proc_cpu_seconds)

@@ -208,8 +208,17 @@ pub fn successive_balance(
 
 /// Smallest `T` with `Σ avail_i · max(0, T − pen_i) = W` (water-filling).
 fn solve_makespan(avail: &[f64], pen: &[f64], w: f64) -> f64 {
+    // A NaN penalty (degenerate availability on a fully loaded node) acts
+    // like an infinite one: the node never activates, the water level
+    // settles on the healthy nodes. Sanitizing keeps the level-vs-next
+    // comparison meaningful; total_cmp keeps the sort panic-free even for
+    // unsanitized exotic values.
+    let pen: Vec<f64> = pen
+        .iter()
+        .map(|&p| if p.is_nan() { f64::INFINITY } else { p })
+        .collect();
     let mut idx: Vec<usize> = (0..avail.len()).collect();
-    idx.sort_by(|&a, &b| pen[a].partial_cmp(&pen[b]).unwrap());
+    idx.sort_by(|&a, &b| pen[a].total_cmp(&pen[b]));
     let mut a_sum = 0.0;
     let mut ap_sum = 0.0;
     let mut t = f64::INFINITY;
@@ -394,6 +403,53 @@ mod tests {
         let loads = [NodeLoad::unloaded(1.0); 2];
         let t = predict_cycle_time(1.0, &loads, &CommModel::zero(), 0.25);
         assert!((t - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn makespan_tolerates_nan_penalty() {
+        // A degenerate node feeding a NaN penalty must not panic the sort
+        // (the old partial_cmp().unwrap()) and must not receive water:
+        // the level settles as if the node had infinite penalty.
+        let avail = [1.0, 1.0, 1.0];
+        let pen = [0.0, 0.0, f64::NAN];
+        let t = solve_makespan(&avail, &pen, 4.0);
+        assert_eq!(t, 2.0);
+    }
+
+    #[test]
+    fn makespan_degenerate_penalty_property() {
+        // Property: any mix of normal / NaN / ∞ penalties yields a
+        // non-NaN level, finite whenever at least one node is healthy.
+        let cases: &[&[f64]] = &[
+            &[0.0, f64::NAN],
+            &[f64::NAN, f64::NAN],
+            &[0.1, f64::INFINITY, f64::NAN],
+            &[f64::NAN, 0.0, 0.2],
+            &[f64::INFINITY, f64::INFINITY],
+        ];
+        for pen in cases {
+            let avail = vec![1.0; pen.len()];
+            let t = solve_makespan(&avail, pen, 8.0);
+            assert!(!t.is_nan(), "pen {pen:?} → NaN level");
+            if pen.iter().any(|p| p.is_finite()) {
+                assert!(t.is_finite(), "pen {pen:?} → {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn predict_cycle_time_survives_degenerate_comm_model() {
+        // An unbounded wait factor makes the zero-ncp penalty NaN
+        // (∞ × 0); prediction must degrade to "no finite improvement"
+        // rather than panic.
+        let comm = CommModel {
+            blocking_recvs_per_cycle: 1.0,
+            quantum: 0.01,
+            wait_factor: f64::INFINITY,
+        };
+        let loads = [NodeLoad::unloaded(1.0), NodeLoad { ncp: 2, speed: 1.0 }];
+        let t = predict_cycle_time(1.0, &loads, &comm, 0.1);
+        assert!(!t.is_nan());
     }
 
     #[test]

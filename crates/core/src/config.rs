@@ -74,6 +74,29 @@ pub struct DynMpiConfig {
     /// not idle a node; *removal* (§4.4) is the separate facility for
     /// that.
     pub balance_floor: f64,
+    /// World ranks `0..seed_world` start in the computation; ranks at or
+    /// beyond it are reserved for *arrivals* — brand-new nodes that come
+    /// online mid-run and must be admitted through the expansion decision
+    /// before receiving rows. `None` = the whole world is seeded (no
+    /// malleability, the paper's model).
+    pub seed_world: Option<usize>,
+    /// Relative speed of each world rank's node (flops relative to a
+    /// reference node), for heterogeneous balancing. Empty = all 1.0.
+    pub node_speeds: Vec<f64>,
+    /// Admit an arriving node only if the predicted cycle time with it is
+    /// at least this much faster than the measured one (1.0 = any
+    /// improvement) — the expansion counterpart of `drop_margin`.
+    pub expand_margin: f64,
+    /// Cycles over which an admission must amortize its redistribution
+    /// cost: admit only when `(measured − predicted) × horizon ≥ cost`.
+    pub expand_horizon_cycles: u32,
+    /// Estimated redistribution cost in seconds per row moved, for the
+    /// admission amortization test. 0.0 = treat redistribution as free.
+    pub redist_seconds_per_row: f64,
+    /// Evaluate pending arrivals every this many cycles (a deterministic
+    /// retry gate, so a rejected newcomer is reconsidered as conditions
+    /// change without re-measuring every cycle).
+    pub arrival_retry_cycles: u32,
 }
 
 impl Default for DynMpiConfig {
@@ -93,6 +116,12 @@ impl Default for DynMpiConfig {
             drop_margin: 1.0,
             max_redistributions: None,
             balance_floor: 0.8,
+            seed_world: None,
+            node_speeds: Vec::new(),
+            expand_margin: 1.0,
+            expand_horizon_cycles: 50,
+            redist_seconds_per_row: 0.0,
+            arrival_retry_cycles: 8,
         }
     }
 }
@@ -126,6 +155,28 @@ impl DynMpiConfig {
             (0.0..=1.0).contains(&self.balance_floor),
             "balance floor is a fraction"
         );
+        if let Some(seed) = self.seed_world {
+            assert!(seed >= 1, "seed world must have at least one rank");
+        }
+        assert!(
+            self.node_speeds.iter().all(|&s| s > 0.0),
+            "node speeds must be positive"
+        );
+        assert!(self.expand_margin > 0.0);
+        assert!(
+            self.expand_horizon_cycles >= 1,
+            "expansion horizon must be ≥ 1 cycle"
+        );
+        assert!(self.redist_seconds_per_row >= 0.0);
+        assert!(
+            self.arrival_retry_cycles >= 1,
+            "arrival retry gate must be ≥ 1 cycle"
+        );
+    }
+
+    /// Relative speed of world rank `r`'s node (1.0 when unspecified).
+    pub fn speed_of(&self, r: usize) -> f64 {
+        self.node_speeds.get(r).copied().unwrap_or(1.0)
     }
 }
 
@@ -148,6 +199,37 @@ mod tests {
     fn no_adapt_preset() {
         let c = DynMpiConfig::no_adapt();
         assert!(!c.adapt);
+        c.validate();
+    }
+
+    #[test]
+    fn speed_of_defaults_to_unity_beyond_vector() {
+        let c = DynMpiConfig {
+            node_speeds: vec![1.0, 2.0],
+            ..Default::default()
+        };
+        assert_eq!(c.speed_of(1), 2.0);
+        assert_eq!(c.speed_of(5), 1.0);
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn non_positive_node_speed_rejected() {
+        let c = DynMpiConfig {
+            node_speeds: vec![1.0, 0.0],
+            ..Default::default()
+        };
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "retry gate")]
+    fn zero_arrival_retry_rejected() {
+        let c = DynMpiConfig {
+            arrival_retry_cycles: 0,
+            ..Default::default()
+        };
         c.validate();
     }
 

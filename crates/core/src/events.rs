@@ -38,6 +38,23 @@ pub enum RuntimeEvent {
     NodesDropped { cycle: u64, nodes: Vec<usize> },
     /// A previously removed node was re-admitted (extension feature).
     NodeRejoined { cycle: u64, node: usize },
+    /// A brand-new node (beyond the seed world) came online and entered
+    /// the arrival grace period (malleability extension).
+    NodeArrived { cycle: u64, node: usize },
+    /// The expansion decision was evaluated for an arriving node: admit
+    /// only if the predicted cycle time with the newcomer beats the
+    /// measured one by the margin and amortizes the redistribution cost.
+    ExpandEvaluated {
+        cycle: u64,
+        node: usize,
+        predicted_with: f64,
+        measured_max: f64,
+        redist_cost: f64,
+        admitted: bool,
+    },
+    /// An arriving node was admitted into the computation and will
+    /// receive rows in the accompanying redistribution.
+    NodeAdmitted { cycle: u64, node: usize },
 }
 
 impl RuntimeEvent {
@@ -50,7 +67,10 @@ impl RuntimeEvent {
             | RuntimeEvent::RedistributionSkipped { cycle, .. }
             | RuntimeEvent::DropEvaluated { cycle, .. }
             | RuntimeEvent::NodesDropped { cycle, .. }
-            | RuntimeEvent::NodeRejoined { cycle, .. } => *cycle,
+            | RuntimeEvent::NodeRejoined { cycle, .. }
+            | RuntimeEvent::NodeArrived { cycle, .. }
+            | RuntimeEvent::ExpandEvaluated { cycle, .. }
+            | RuntimeEvent::NodeAdmitted { cycle, .. } => *cycle,
         }
     }
 
@@ -103,7 +123,24 @@ impl RuntimeEvent {
                     Json::Arr(nodes.iter().map(|&n| Json::UInt(n as u64)).collect()),
                 );
             }
-            RuntimeEvent::NodeRejoined { node, .. } => {
+            RuntimeEvent::NodeRejoined { node, .. } | RuntimeEvent::NodeArrived { node, .. } => {
+                push("node", Json::UInt(*node as u64));
+            }
+            RuntimeEvent::ExpandEvaluated {
+                node,
+                predicted_with,
+                measured_max,
+                redist_cost,
+                admitted,
+                ..
+            } => {
+                push("node", Json::UInt(*node as u64));
+                push("predicted_with", Json::Num(*predicted_with));
+                push("measured_max", Json::Num(*measured_max));
+                push("redist_cost", Json::Num(*redist_cost));
+                push("admitted", Json::Bool(*admitted));
+            }
+            RuntimeEvent::NodeAdmitted { node, .. } => {
                 push("node", Json::UInt(*node as u64));
             }
         }
@@ -120,6 +157,9 @@ impl RuntimeEvent {
             RuntimeEvent::DropEvaluated { .. } => "drop-evaluated",
             RuntimeEvent::NodesDropped { .. } => "nodes-dropped",
             RuntimeEvent::NodeRejoined { .. } => "node-rejoined",
+            RuntimeEvent::NodeArrived { .. } => "node-arrived",
+            RuntimeEvent::ExpandEvaluated { .. } => "expand-evaluated",
+            RuntimeEvent::NodeAdmitted { .. } => "node-admitted",
         }
     }
 }
@@ -174,5 +214,38 @@ mod tests {
             .trace_args()
             .iter()
             .any(|(k, v)| k == "dropped" && *v == Json::Bool(true)));
+    }
+
+    #[test]
+    fn arrival_events_carry_decision_payload() {
+        let a = RuntimeEvent::NodeArrived { cycle: 7, node: 4 };
+        assert_eq!(a.kind(), "node-arrived");
+        assert_eq!(a.cycle(), 7);
+        assert!(a
+            .trace_args()
+            .iter()
+            .any(|(k, v)| k == "node" && v.as_u64() == Some(4)));
+        let e = RuntimeEvent::ExpandEvaluated {
+            cycle: 12,
+            node: 4,
+            predicted_with: 0.8,
+            measured_max: 1.0,
+            redist_cost: 0.1,
+            admitted: true,
+        };
+        assert_eq!(e.kind(), "expand-evaluated");
+        let args = e.trace_args();
+        assert!(args
+            .iter()
+            .any(|(k, v)| k == "predicted_with" && v.as_f64() == Some(0.8)));
+        assert!(args
+            .iter()
+            .any(|(k, v)| k == "redist_cost" && v.as_f64() == Some(0.1)));
+        assert!(args
+            .iter()
+            .any(|(k, v)| k == "admitted" && *v == Json::Bool(true)));
+        let n = RuntimeEvent::NodeAdmitted { cycle: 12, node: 4 };
+        assert_eq!(n.kind(), "node-admitted");
+        assert_eq!(n.cycle(), 12);
     }
 }

@@ -102,13 +102,26 @@ pub struct CycleReport {
     pub redistributed: bool,
     pub dropped: Vec<usize>,
     pub rejoined: Option<usize>,
+    /// A brand-new node (beyond the seed world) admitted this cycle.
+    pub admitted: Option<usize>,
 }
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum Mode {
     Stable,
-    Grace { left: u32 },
-    PostRedist { left: u32 },
+    Grace {
+        left: u32,
+    },
+    PostRedist {
+        left: u32,
+    },
+    /// Re-measurement window for an arriving node (malleability): rows
+    /// are timed and cycle times accumulated before the expansion
+    /// decision for `node`.
+    ArrivalGrace {
+        node: usize,
+        left: u32,
+    },
 }
 
 /// The per-rank Dyn-MPI runtime.
@@ -118,6 +131,10 @@ pub struct DynMpi<'a, T: HostMeters> {
     nrows: usize,
     wsize: usize,
     wrank: usize,
+    /// Ranks `0..seed` start in the computation; ranks `seed..wsize` are
+    /// reserved for scripted arrivals and enter only through the
+    /// expansion decision (= `wsize` when the whole world is seeded).
+    seed: usize,
 
     active: Group,
     dist: Distribution,
@@ -178,17 +195,23 @@ impl<'a, T: HostMeters> DynMpi<'a, T> {
         let wsize = t.size();
         let wrank = t.rank();
         assert!(nrows >= wsize, "fewer rows ({nrows}) than ranks ({wsize})");
+        let seed = cfg.seed_world.unwrap_or(wsize);
+        assert!(
+            (1..=wsize).contains(&seed),
+            "seed world {seed} out of range 1..={wsize}"
+        );
         DynMpi {
             t,
             cfg,
             nrows,
             wsize,
             wrank,
-            active: Group::world(wrank, wsize),
-            dist: Distribution::block_even(nrows, wsize),
-            is_removed: false,
-            known_members: (0..wsize).collect(),
-            known_counts: Distribution::block_even(nrows, wsize).counts(),
+            seed,
+            active: Group::new((0..seed).collect(), wrank),
+            dist: Distribution::block_even(nrows, seed),
+            is_removed: wrank >= seed,
+            known_members: (0..seed).collect(),
+            known_counts: Distribution::block_even(nrows, seed).counts(),
             arrays: Vec::new(),
             phases: Vec::new(),
             accesses: Vec::new(),
@@ -450,7 +473,8 @@ impl<'a, T: HostMeters> DynMpi<'a, T> {
     /// (§4.2).
     pub fn charge_rows(&mut self, phase: PhaseId, work: impl Fn(usize) -> f64) {
         let rows = self.my_rows(phase);
-        let grace = matches!(self.mode, Mode::Grace { .. }) && self.timer.is_some();
+        let grace = matches!(self.mode, Mode::Grace { .. } | Mode::ArrivalGrace { .. })
+            && self.timer.is_some();
         let traced = obs::enabled();
         let cpu0 = if traced { self.t.proc_cpu_ns() } else { 0 };
         if traced {
@@ -584,6 +608,12 @@ impl<'a, T: HostMeters> DynMpi<'a, T> {
             for node in 0..self.wsize {
                 b.push(f64::from(self.t.dmpi_ps(node).saturating_sub(1)));
             }
+            // Arrival extension: online flags for the non-seed ranks.
+            // Absent entirely when the world is fully seeded, so classic
+            // runs keep a byte-identical control plane.
+            for node in self.seed..self.wsize {
+                b.push(if self.t.node_online(node) { 1.0 } else { 0.0 });
+            }
             let bytes = to_bytes(&b);
             for r in 1..self.active.size() {
                 self.t
@@ -593,12 +623,14 @@ impl<'a, T: HostMeters> DynMpi<'a, T> {
         } else {
             from_bytes(&self.t.recv_bytes(root, down))
         };
-        let times: Vec<f64> = blob[..self.active.size()].to_vec();
-        let loads: Vec<u32> = blob[self.active.size()..]
+        let na = self.active.size();
+        let times: Vec<f64> = blob[..na].to_vec();
+        let loads: Vec<u32> = blob[na..na + self.wsize]
             .iter()
             .map(|&x| x as u32)
             .collect();
-        debug_assert_eq!(loads.len(), self.wsize);
+        let online: Vec<bool> = blob[na + self.wsize..].iter().map(|&x| x == 1.0).collect();
+        debug_assert_eq!(online.len(), self.wsize - self.seed);
 
         // Track load-free streaks of removed nodes (for rejoin).
         for (n, &load) in loads.iter().enumerate() {
@@ -611,13 +643,14 @@ impl<'a, T: HostMeters> DynMpi<'a, T> {
 
         // 2. Replicated state machine.
         let pre_removed = self.removed_nodes();
-        self.step(&times, &loads, arrays, &mut report);
+        self.step(&times, &loads, &online, arrays, &mut report);
 
         // 3. Status send-out to ranks that were already removed at cycle
-        //    start. Drop and rejoin transitions send their own statuses
-        //    inside step() (the pre-transition root owes them), so the
-        //    generic send is suppressed on those cycles.
-        let transition = !report.dropped.is_empty() || report.rejoined.is_some();
+        //    start. Drop, rejoin, and admission transitions send their
+        //    own statuses inside step() (the pre-transition root owes
+        //    them), so the generic send is suppressed on those cycles.
+        let transition =
+            !report.dropped.is_empty() || report.rejoined.is_some() || report.admitted.is_some();
         if !transition && !self.is_removed && self.active.rel() == Some(0) {
             self.send_statuses(&pre_removed, &loads);
         }
@@ -637,6 +670,7 @@ impl<'a, T: HostMeters> DynMpi<'a, T> {
         &mut self,
         times: &[f64],
         loads: &[u32],
+        online: &[bool],
         arrays: &mut [&mut dyn RedistArray],
         report: &mut CycleReport,
     ) {
@@ -671,8 +705,13 @@ impl<'a, T: HostMeters> DynMpi<'a, T> {
                     self.mode = Mode::Grace {
                         left: self.cfg.grace_period,
                     };
-                } else if self.cfg.allow_rejoin {
-                    self.maybe_rejoin(loads, arrays, report);
+                } else {
+                    if self.cfg.allow_rejoin {
+                        self.maybe_rejoin(loads, arrays, report);
+                    }
+                    if report.rejoined.is_none() && self.seed < self.wsize {
+                        self.maybe_begin_arrival(online);
+                    }
                 }
             }
             Mode::Grace { left } => {
@@ -711,6 +750,41 @@ impl<'a, T: HostMeters> DynMpi<'a, T> {
                         obs::span_begin("runtime", "drop_eval", self.t.now_ns());
                     }
                     self.finish_post_redist(loads, arrays, report);
+                    if traced {
+                        obs::span_end(self.t.now_ns());
+                    }
+                    self.post_accum.iter_mut().for_each(|x| *x = 0.0);
+                    self.post_count = 0;
+                }
+            }
+            Mode::ArrivalGrace { node, left } => {
+                if let Some(t) = self.timer.as_mut() {
+                    t.end_cycle();
+                }
+                if !online[node - self.seed] {
+                    // The newcomer vanished mid-window: abandon the
+                    // evaluation (a fresh window starts if it returns).
+                    self.timer = None;
+                    self.post_accum.iter_mut().for_each(|x| *x = 0.0);
+                    self.post_count = 0;
+                    self.mode = Mode::Stable;
+                    return;
+                }
+                for (i, &t) in times.iter().enumerate() {
+                    self.post_accum[i] += t;
+                }
+                self.post_count += 1;
+                if left > 1 {
+                    self.mode = Mode::ArrivalGrace {
+                        node,
+                        left: left - 1,
+                    };
+                } else {
+                    let traced = obs::enabled();
+                    if traced {
+                        obs::span_begin("runtime", "arrival_eval", self.t.now_ns());
+                    }
+                    self.finish_arrival_eval(node, loads, arrays, report);
                     if traced {
                         obs::span_end(self.t.now_ns());
                     }
@@ -832,7 +906,10 @@ impl<'a, T: HostMeters> DynMpi<'a, T> {
         let comm_baseline = self.comm_baseline(&avg, loads, weights);
         let pred = predict_cycle_time(
             total_work,
-            &vec![NodeLoad::unloaded(1.0); unloaded.len()],
+            &unloaded
+                .iter()
+                .map(|&m| NodeLoad::unloaded(self.cfg.speed_of(m)))
+                .collect::<Vec<_>>(),
             &self.comm_model(),
             comm_baseline,
         );
@@ -859,7 +936,10 @@ impl<'a, T: HostMeters> DynMpi<'a, T> {
         let old_group = self.active.clone();
         let old_dist = self.dist.clone();
         let new_group = Group::new(unloaded.clone(), self.wrank);
-        let node_loads: Vec<NodeLoad> = vec![NodeLoad::unloaded(1.0); unloaded.len()];
+        let node_loads: Vec<NodeLoad> = unloaded
+            .iter()
+            .map(|&m| NodeLoad::unloaded(self.cfg.speed_of(m)))
+            .collect();
         let w = self.effective_weights();
         let new_dist = match self.cfg.balancer {
             BalancerKind::RelativePower => relative_power(&w, &node_loads, 0),
@@ -913,10 +993,13 @@ impl<'a, T: HostMeters> DynMpi<'a, T> {
         arrays: &mut [&mut dyn RedistArray],
         report: &mut CycleReport,
     ) {
+        // Only seed-world ranks rejoin through the clear-streak path;
+        // non-seed ranks (pending or previously admitted arrivals) go
+        // through the expansion decision instead.
         let candidate = self
             .removed_nodes()
             .into_iter()
-            .find(|&n| self.clear_streak[n] >= self.cfg.rejoin_after_cycles);
+            .find(|&n| n < self.seed && self.clear_streak[n] >= self.cfg.rejoin_after_cycles);
         let Some(node) = candidate else { return };
 
         let pre_removed = self.removed_nodes();
@@ -929,10 +1012,7 @@ impl<'a, T: HostMeters> DynMpi<'a, T> {
         let new_group = Group::new(members.clone(), self.wrank);
         let node_loads: Vec<NodeLoad> = members
             .iter()
-            .map(|&m| NodeLoad {
-                ncp: loads[m],
-                speed: 1.0,
-            })
+            .map(|&m| self.node_load(m, loads[m]))
             .collect();
         let w = self.effective_weights();
         let new_dist = match self.cfg.balancer {
@@ -945,6 +1025,13 @@ impl<'a, T: HostMeters> DynMpi<'a, T> {
                 self.cfg.balance_floor,
             ),
         };
+
+        // Reset only the readmitted node's streak — the other removed
+        // nodes keep theirs, so several nodes clearing together rejoin on
+        // consecutive eligible cycles instead of each restarting a full
+        // streak. Done before the statuses go out: the tail ships the
+        // post-reset streak vector, keeping the rejoiner's replica exact.
+        self.clear_streak[node] = 0;
 
         // Statuses first: the rejoining rank must learn its membership
         // before the transfers reach it (the root sends them this cycle).
@@ -973,11 +1060,176 @@ impl<'a, T: HostMeters> DynMpi<'a, T> {
         self.dist = new_dist;
         self.active = new_group;
         self.last_loads = loads.to_vec();
-        self.clear_streak = vec![0; self.wsize];
+        self.reset_ctrl_pipeline();
+    }
+
+    /// Arrival check (malleability): when a non-seed rank's node is
+    /// online and not in the computation, open an arrival grace window
+    /// to re-measure row weights and cycle times before the expansion
+    /// decision. Gated to every `arrival_retry_cycles`-th cycle — a
+    /// deterministic retry schedule, identical on every rank, so a
+    /// rejected newcomer is reconsidered without per-node state.
+    fn maybe_begin_arrival(&mut self, online: &[bool]) {
+        if !self
+            .cycle
+            .is_multiple_of(u64::from(self.cfg.arrival_retry_cycles))
+        {
+            return;
+        }
+        let candidate =
+            (self.seed..self.wsize).find(|&n| online[n - self.seed] && !self.active.contains(n));
+        let Some(node) = candidate else { return };
+        self.note(RuntimeEvent::NodeArrived {
+            cycle: self.cycle,
+            node,
+        });
+        // Time my currently owned rows through the window, exactly like
+        // an ordinary grace period.
+        let rel = self.active.rel_unchecked();
+        let mine = self.dist.rows_of(rel);
+        let (lo, count) = (mine.first().unwrap_or(0), mine.len());
+        self.timer = Some(RowTimer::new(lo, count, self.t.proc_tick_seconds()));
+        self.post_accum.iter_mut().for_each(|x| *x = 0.0);
+        self.post_count = 0;
+        self.mode = Mode::ArrivalGrace {
+            node,
+            left: self.cfg.grace_period,
+        };
+    }
+
+    /// End of an arrival grace window: the expansion decision, symmetric
+    /// to the §4.4 removal rule. Admit the newcomer only when the
+    /// predicted cycle time with it beats the measured one by the margin
+    /// AND the per-cycle saving amortizes the redistribution cost over
+    /// the configured horizon.
+    fn finish_arrival_eval(
+        &mut self,
+        node: usize,
+        loads: &[u32],
+        arrays: &mut [&mut dyn RedistArray],
+        report: &mut CycleReport,
+    ) {
+        self.mode = Mode::Stable;
+        let timer = self.timer.take().expect("arrival grace without timer");
+        let mode = timer.mode().expect("arrival grace saw no cycles");
+        self.note(RuntimeEvent::GraceComplete {
+            cycle: self.cycle,
+            mode,
+        });
+
+        // Fresh global row weights, exactly as in `finish_grace`.
+        let pieces = self.t.allgatherv(&self.active, &timer.weights());
+        let mut weights: Vec<f64> = Vec::with_capacity(self.nrows);
+        for p in &pieces {
+            weights.extend_from_slice(p);
+        }
+        assert_eq!(weights.len(), self.nrows, "weight gather incomplete");
+        self.row_weights = Some(weights);
+
+        let n = self.active.size();
+        let avg: Vec<f64> = self.post_accum[..n]
+            .iter()
+            .map(|&s| s / f64::from(self.post_count.max(1)))
+            .collect();
+        let measured_max = avg.iter().cloned().fold(0.0, f64::max);
+
+        let mut members: Vec<usize> = self.active.members().to_vec();
+        members.push(node);
+        members.sort_unstable();
+        let node_loads: Vec<NodeLoad> = members
+            .iter()
+            .map(|&m| self.node_load(m, loads[m]))
+            .collect();
+        let w = self.effective_weights();
+        let total_work: f64 = w.iter().sum();
+        let comm_baseline = self.comm_baseline(&avg, loads, &w);
+        let pred_with = predict_cycle_time(
+            total_work,
+            &node_loads,
+            &self.comm_model_for(members.len()),
+            comm_baseline,
+        );
+        let new_dist = match self.cfg.balancer {
+            BalancerKind::RelativePower => relative_power(&w, &node_loads, 0),
+            BalancerKind::SuccessiveBalancing => successive_balance_with_floor(
+                &w,
+                &node_loads,
+                &self.comm_model_for(members.len()),
+                0,
+                self.cfg.balance_floor,
+            ),
+        };
+        let new_rel = members
+            .iter()
+            .position(|&m| m == node)
+            .expect("candidate in members");
+        let new_rows = new_dist.rows_of(new_rel).len();
+        let cost = new_rows as f64 * self.cfg.redist_seconds_per_row;
+        let benefit = measured_max - pred_with;
+        let admitted = pred_with * self.cfg.expand_margin < measured_max
+            && (cost <= 0.0 || benefit * f64::from(self.cfg.expand_horizon_cycles) >= cost);
+        self.note(RuntimeEvent::ExpandEvaluated {
+            cycle: self.cycle,
+            node,
+            predicted_with: pred_with,
+            measured_max,
+            redist_cost: cost,
+            admitted,
+        });
+        if !admitted {
+            // A rejected evaluation leaves `last_loads` alone so a
+            // pending load change is still detected next cycle.
+            return;
+        }
+
+        // Expansion: symmetric to the rejoin path. Statuses first (the
+        // newcomer must learn its membership before the transfers reach
+        // it), then the same redistribution on every rank with the
+        // newcomer as a pure receiver.
+        let pre_removed = self.removed_nodes();
+        let was_root = self.active.rel() == Some(0);
+        let old_group = self.active.clone();
+        let old_dist = self.dist.clone();
+        let new_group = Group::new(members.clone(), self.wrank);
+        self.clear_streak[node] = 0;
+        self.known_members = members;
+        self.known_counts = new_dist.counts();
+        if was_root {
+            self.send_statuses(&pre_removed, loads);
+        }
+        let oc = redist::execute_cached(
+            self.t,
+            self.wrank,
+            self.sched_cache.get_mut(),
+            &old_group,
+            &old_dist,
+            &new_group,
+            &new_dist,
+            &self.accesses,
+            arrays,
+        );
+        self.redist_seconds_total += oc.seconds;
+        self.note(RuntimeEvent::NodeAdmitted {
+            cycle: self.cycle,
+            node,
+        });
+        report.admitted = Some(node);
+        self.dist = new_dist;
+        self.active = new_group;
+        self.last_loads = loads.to_vec();
         self.reset_ctrl_pipeline();
     }
 
     // ---------------- helpers -------------------------------------------
+
+    /// Load descriptor for world rank `m`: monitor reading plus the
+    /// configured per-node relative speed (heterogeneous clusters).
+    fn node_load(&self, m: usize, ncp: u32) -> NodeLoad {
+        NodeLoad {
+            ncp,
+            speed: self.cfg.speed_of(m),
+        }
+    }
 
     fn effective_weights(&self) -> Vec<f64> {
         match &self.row_weights {
@@ -1008,10 +1260,7 @@ impl<'a, T: HostMeters> DynMpi<'a, T> {
             .active
             .members()
             .iter()
-            .map(|&m| NodeLoad {
-                ncp: loads[m],
-                speed: 1.0,
-            })
+            .map(|&m| self.node_load(m, loads[m]))
             .collect();
         let w = self.effective_weights();
         let min_rows = if self.cfg.drop_policy == DropPolicy::Logical {
@@ -1044,7 +1293,7 @@ impl<'a, T: HostMeters> DynMpi<'a, T> {
             .enumerate()
             .map(|(rel, &m)| {
                 let mine: f64 = dist.rows_of(rel).iter().map(|r| weights[r]).sum();
-                mine * f64::from(loads[m] + 1)
+                mine * f64::from(loads[m] + 1) / self.cfg.speed_of(m)
             })
             .collect();
         let max = per.iter().cloned().fold(0.0, f64::max);
@@ -1075,7 +1324,7 @@ impl<'a, T: HostMeters> DynMpi<'a, T> {
         let mut best = f64::INFINITY;
         for (rel, &m) in self.active.members().iter().enumerate() {
             let mine: f64 = self.dist.rows_of(rel).iter().map(|r| weights[r]).sum();
-            let compute = mine * f64::from(loads[m] + 1);
+            let compute = mine * f64::from(loads[m] + 1) / self.cfg.speed_of(m);
             let extra = avg_times[rel] - compute;
             if extra < best {
                 best = extra;
@@ -1130,7 +1379,13 @@ impl<'a, T: HostMeters> DynMpi<'a, T> {
         v.push(self.ctrl_epoch);
         let mut bytes = to_bytes(&v);
         if for_member {
+            // Tail order: loads[wsize] ++ clear_streak[wsize] ++
+            // weights[nrows]. Shipping the streaks keeps the joiner's
+            // rejoin bookkeeping replicated — without them, a readmitted
+            // rank would disagree with the actives about which other
+            // removed node rejoins next.
             let mut tail: Vec<f64> = loads.iter().map(|&l| f64::from(l)).collect();
+            tail.extend(self.clear_streak.iter().map(|&s| f64::from(s)));
             tail.extend(self.effective_weights());
             bytes.extend_from_slice(&to_bytes(&tail));
         }
@@ -1167,12 +1422,15 @@ impl<'a, T: HostMeters> DynMpi<'a, T> {
             let tail: Vec<f64> = from_bytes(&bytes[header_len..]);
             assert_eq!(
                 tail.len(),
-                self.wsize + self.nrows,
+                2 * self.wsize + self.nrows,
                 "malformed rejoin status"
             );
             self.last_loads = tail[..self.wsize].iter().map(|&x| x as u32).collect();
-            self.row_weights = Some(tail[self.wsize..].to_vec());
-            self.clear_streak = vec![0; self.wsize];
+            self.clear_streak = tail[self.wsize..2 * self.wsize]
+                .iter()
+                .map(|&x| x as u32)
+                .collect();
+            self.row_weights = Some(tail[2 * self.wsize..].to_vec());
             self.mode = Mode::Stable;
 
             // Rejoin: participate in the redistribution the actives are
@@ -1197,11 +1455,19 @@ impl<'a, T: HostMeters> DynMpi<'a, T> {
             self.active = new_group;
             self.dist = new_dist;
             self.reset_ctrl_pipeline();
-            self.note(RuntimeEvent::NodeRejoined {
-                cycle: self.cycle,
-                node: self.wrank,
-            });
-            report.rejoined = Some(self.wrank);
+            if self.wrank >= self.seed {
+                self.note(RuntimeEvent::NodeAdmitted {
+                    cycle: self.cycle,
+                    node: self.wrank,
+                });
+                report.admitted = Some(self.wrank);
+            } else {
+                self.note(RuntimeEvent::NodeRejoined {
+                    cycle: self.cycle,
+                    node: self.wrank,
+                });
+                report.rejoined = Some(self.wrank);
+            }
         }
         self.known_members = members;
         self.known_counts = counts;
@@ -1275,7 +1541,7 @@ mod tests {
     use crate::dense::DenseMatrix;
     use crate::drsd::Drsd;
     use dynmpi_comm::{run_threads, ThreadTransport, Transport};
-    use std::sync::atomic::{AtomicU32, Ordering};
+    use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
     use std::sync::Arc;
 
     /// Thread transport with test-controlled `dmpi_ps` readings, so the
@@ -1309,6 +1575,50 @@ mod tests {
     impl HostMeters for FakeLoad<'_> {
         fn dmpi_ps(&self, r: usize) -> u32 {
             self.loads[r].load(Ordering::Relaxed) + 1
+        }
+        fn proc_cpu_seconds(&self) -> f64 {
+            self.inner.wtime()
+        }
+        fn proc_tick_seconds(&self) -> f64 {
+            0.0
+        }
+    }
+
+    /// Like [`FakeLoad`] but with test-controlled node-online flags, for
+    /// the arrival (malleability) paths.
+    struct FakeArrival<'x> {
+        inner: &'x ThreadTransport,
+        loads: Arc<Vec<AtomicU32>>,
+        online: Arc<Vec<AtomicBool>>,
+    }
+
+    impl Transport for FakeArrival<'_> {
+        fn rank(&self) -> usize {
+            self.inner.rank()
+        }
+        fn size(&self) -> usize {
+            self.inner.size()
+        }
+        fn send_bytes(&self, dst: usize, tag: u64, payload: Vec<u8>) {
+            self.inner.send_bytes(dst, tag, payload);
+        }
+        fn recv_bytes(&self, src: usize, tag: u64) -> Vec<u8> {
+            self.inner.recv_bytes(src, tag)
+        }
+        fn recv_bytes_any(&self, tag: u64) -> (usize, Vec<u8>) {
+            self.inner.recv_bytes_any(tag)
+        }
+        fn wtime(&self) -> f64 {
+            self.inner.wtime()
+        }
+    }
+
+    impl HostMeters for FakeArrival<'_> {
+        fn dmpi_ps(&self, r: usize) -> u32 {
+            self.loads[r].load(Ordering::Relaxed) + 1
+        }
+        fn node_online(&self, r: usize) -> bool {
+            self.online[r].load(Ordering::Relaxed)
         }
         fn proc_cpu_seconds(&self) -> f64 {
             self.inner.wtime()
@@ -1547,6 +1857,212 @@ mod tests {
         }
         let total: usize = outs.iter().map(|o| o.2).sum();
         assert_eq!(total, 30);
+    }
+
+    /// Regression: two nodes clear their load simultaneously. The first
+    /// rejoin used to reset *every* removed node's clear streak, so the
+    /// second node silently restarted its full `rejoin_after_cycles`
+    /// wait — multi-node rejoin starvation. With the fix, only the
+    /// readmitted node's streak is reset and the second node rejoins on
+    /// the next eligible cycle (one pipeline warm-up later).
+    #[test]
+    fn multi_node_rejoin_not_starved() {
+        let outs = run_threads(4, |tt| {
+            let loads = Arc::new((0..4).map(|_| AtomicU32::new(0)).collect::<Vec<_>>());
+            let t = FakeLoad {
+                inner: tt,
+                loads: Arc::clone(&loads),
+            };
+            let cfg = DynMpiConfig {
+                drop_policy: DropPolicy::Always,
+                allow_rejoin: true,
+                rejoin_after_cycles: 4,
+                grace_period: 2,
+                post_redist_period: 2,
+                ..Default::default()
+            };
+            let (rt, m) = drive(&t, 40, cfg, 40, |c, _| {
+                if c == 1 {
+                    loads[2].store(2, Ordering::Relaxed);
+                    loads[3].store(2, Ordering::Relaxed);
+                }
+                if c == 14 {
+                    loads[2].store(0, Ordering::Relaxed);
+                    loads[3].store(0, Ordering::Relaxed);
+                }
+            });
+            if rt.participating() {
+                check_owned(&rt, &m, 0);
+            }
+            let rejoin_cycles: Vec<u64> = rt
+                .events()
+                .iter()
+                .filter_map(|e| match e {
+                    RuntimeEvent::NodeRejoined { cycle, .. } => Some(*cycle),
+                    _ => None,
+                })
+                .collect();
+            (rt.num_active(), rt.my_rows(0).len(), rejoin_cycles)
+        });
+        for (na, _, _) in &outs {
+            assert_eq!(*na, 4, "both nodes must be back: {outs:?}");
+        }
+        assert_eq!(outs.iter().map(|o| o.1).sum::<usize>(), 40);
+        // Rank 0 was never removed, so its log has both rejoins. The
+        // second must follow the first within the control-pipeline
+        // warm-up (CTRL_LAG cycles frozen + 1 eligible cycle), NOT a
+        // full rejoin_after_cycles streak later.
+        let cycles = &outs[0].2;
+        assert_eq!(cycles.len(), 2, "two distinct rejoins: {cycles:?}");
+        let gap = cycles[1] - cycles[0];
+        assert!(
+            gap <= CTRL_LAG + 1,
+            "second rejoin starved: gap {gap} cycles ({cycles:?})"
+        );
+    }
+
+    /// A rejoin into a heterogeneous cluster balances by configured node
+    /// speed: the fast readmitted node ends up with more rows than an
+    /// equal-load slow node.
+    #[test]
+    fn mixed_speed_rejoin_balances_by_speed() {
+        let outs = run_threads(3, |tt| {
+            let loads = Arc::new((0..3).map(|_| AtomicU32::new(0)).collect::<Vec<_>>());
+            let t = FakeLoad {
+                inner: tt,
+                loads: Arc::clone(&loads),
+            };
+            let cfg = DynMpiConfig {
+                drop_policy: DropPolicy::Always,
+                allow_rejoin: true,
+                rejoin_after_cycles: 2,
+                grace_period: 2,
+                post_redist_period: 2,
+                node_speeds: vec![1.0, 1.0, 2.0],
+                ..Default::default()
+            };
+            let (rt, m) = drive(&t, 60, cfg, 30, |c, _| {
+                if c == 1 {
+                    loads[2].store(2, Ordering::Relaxed);
+                }
+                if c == 12 {
+                    loads[2].store(0, Ordering::Relaxed);
+                }
+            });
+            if rt.participating() {
+                check_owned(&rt, &m, 0);
+            }
+            (rt.num_active(), rt.distribution().counts())
+        });
+        for (na, counts) in &outs {
+            assert_eq!(*na, 3, "fast node must have rejoined: {outs:?}");
+            assert!(
+                counts[2] > counts[0],
+                "double-speed node gets the larger share: {counts:?}"
+            );
+            assert_eq!(counts.iter().sum::<usize>(), 60);
+        }
+    }
+
+    /// Malleability: a brand-new node beyond the seed world comes online,
+    /// is measured through an arrival grace window, passes the expansion
+    /// decision, and receives rows.
+    #[test]
+    fn arrival_admitted_when_beneficial() {
+        let outs = run_threads(3, |tt| {
+            let loads = Arc::new((0..3).map(|_| AtomicU32::new(0)).collect::<Vec<_>>());
+            let online = Arc::new((0..3).map(|r| AtomicBool::new(r < 2)).collect::<Vec<_>>());
+            let t = FakeArrival {
+                inner: tt,
+                loads,
+                online: Arc::clone(&online),
+            };
+            let cfg = DynMpiConfig {
+                seed_world: Some(2),
+                grace_period: 2,
+                arrival_retry_cycles: 1,
+                expand_margin: 1e-6, // any measurable cycle time admits
+                ..Default::default()
+            };
+            let (rt, m) = drive(&t, 30, cfg, 20, |c, _| {
+                if c == 3 {
+                    online[2].store(true, Ordering::Relaxed);
+                }
+            });
+            check_owned(&rt, &m, 0);
+            let kinds: Vec<&str> = rt.events().iter().map(|e| e.kind()).collect();
+            (
+                rt.num_active(),
+                rt.my_rows(0).len(),
+                rt.participating(),
+                kinds.join(","),
+            )
+        });
+        for (na, _, p, _) in &outs {
+            assert_eq!(*na, 3, "newcomer must be admitted: {outs:?}");
+            assert!(*p, "all three ranks participate after admission");
+        }
+        assert_eq!(outs.iter().map(|o| o.1).sum::<usize>(), 30);
+        assert!(outs[2].1 > 0, "the admitted node received rows: {outs:?}");
+        // The seed ranks log the whole decision sequence; the newcomer
+        // only learns of its own admission.
+        for (r, out) in outs.iter().enumerate().take(2) {
+            let kinds = &out.3;
+            for k in ["node-arrived", "expand-evaluated", "node-admitted"] {
+                assert!(kinds.contains(k), "rank {r} missing {k}: {kinds}");
+            }
+        }
+        assert!(outs[2].3.contains("node-admitted"), "{outs:?}");
+    }
+
+    /// The expansion decision is a real gate: with an impossible margin
+    /// the arrival is evaluated (on the deterministic retry schedule) but
+    /// never admitted, and the seed world keeps all rows.
+    #[test]
+    fn arrival_rejected_by_margin() {
+        let outs = run_threads(3, |tt| {
+            let loads = Arc::new((0..3).map(|_| AtomicU32::new(0)).collect::<Vec<_>>());
+            let online = Arc::new((0..3).map(|r| AtomicBool::new(r < 2)).collect::<Vec<_>>());
+            let t = FakeArrival {
+                inner: tt,
+                loads,
+                online: Arc::clone(&online),
+            };
+            let cfg = DynMpiConfig {
+                seed_world: Some(2),
+                grace_period: 2,
+                arrival_retry_cycles: 4,
+                expand_margin: 1e9, // nothing is a 10⁹× speedup
+                ..Default::default()
+            };
+            let (rt, m) = drive(&t, 30, cfg, 20, |c, _| {
+                if c == 3 {
+                    online[2].store(true, Ordering::Relaxed);
+                }
+            });
+            if rt.participating() {
+                check_owned(&rt, &m, 0);
+            }
+            let evals: Vec<bool> = rt
+                .events()
+                .iter()
+                .filter_map(|e| match e {
+                    RuntimeEvent::ExpandEvaluated { admitted, .. } => Some(*admitted),
+                    _ => None,
+                })
+                .collect();
+            (rt.num_active(), rt.my_rows(0).len(), evals)
+        });
+        for (na, _, _) in &outs {
+            assert_eq!(*na, 2, "newcomer must stay out: {outs:?}");
+        }
+        assert_eq!(outs[0].1 + outs[1].1, 30, "seed ranks keep all rows");
+        assert_eq!(outs[2].1, 0);
+        assert!(!outs[0].2.is_empty(), "decision must have been evaluated");
+        assert!(
+            outs[0].2.iter().all(|&a| !a),
+            "no evaluation may admit: {outs:?}"
+        );
     }
 
     #[test]

@@ -50,7 +50,13 @@ use crate::trace::TraceEvent;
 
 /// Runtime-pipeline span names whose contents count as runtime overhead
 /// (monitor + balancer), not application time.
-const RUNTIME_OVERHEAD_SPANS: &[&str] = &["end_cycle", "finish_grace", "balance", "drop_eval"];
+const RUNTIME_OVERHEAD_SPANS: &[&str] = &[
+    "end_cycle",
+    "finish_grace",
+    "balance",
+    "drop_eval",
+    "arrival_eval",
+];
 
 /// Measured-imbalance window length (cycles) on each side of a
 /// redistribution.

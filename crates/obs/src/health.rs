@@ -203,6 +203,9 @@ const DECISION_KINDS: &[&str] = &[
     "drop-evaluated",
     "nodes-dropped",
     "node-rejoined",
+    "node-arrived",
+    "expand-evaluated",
+    "node-admitted",
 ];
 
 #[derive(Default)]

@@ -103,7 +103,8 @@ impl Cluster {
         self
     }
 
-    /// Number of nodes (= ranks).
+    /// Number of seed nodes (= seed ranks). Scripted arrivals allocate
+    /// additional ranks beyond this at [`run_spmd`](Self::run_spmd) time.
     pub fn size(&self) -> usize {
         self.nodes.len()
     }
@@ -134,7 +135,14 @@ impl Cluster {
         R: Send,
         F: Fn(&SimCtx) -> R + Send + Sync,
     {
-        let n = self.nodes.len();
+        let seed = self.nodes.len();
+        let arrivals = self.script.arrivals();
+        // Scripted arrivals get the ranks after the seed nodes, in script
+        // order. Their threads exist from t = 0 (the engine needs every
+        // rank's events) but their monitors read offline until
+        // `online_at`; the runtime keeps them out of the compute group
+        // until it admits them.
+        let n = seed + arrivals.len();
         let node_states: Vec<NodeState> = (0..n)
             .map(|i| {
                 let mut timeline = NcpTimeline::new();
@@ -142,7 +150,13 @@ impl Cluster {
                 for (t, ncp) in times {
                     timeline.set(t, ncp);
                 }
-                let mut sched = CpuSched::new(self.nodes[i], self.os);
+                let (spec, online_at) = if i < seed {
+                    (self.nodes[i], crate::time::SimTime::ZERO)
+                } else {
+                    let a = &arrivals[i - seed];
+                    (a.spec, a.online_at())
+                };
+                let mut sched = CpuSched::new(spec, self.os);
                 sched.set_salt(0x5eed_0000_0000_0000 ^ (i as u64).wrapping_mul(0x9e37_79b9));
                 NodeState {
                     sched,
@@ -150,11 +164,18 @@ impl Cluster {
                     cycle_count: 0,
                     cycle_events: cycles,
                     blocks: BlockHistory::new(),
+                    online_at,
                 }
             })
             .collect();
         let proc_nodes: Vec<usize> = (0..n).collect();
-        let mut state = EngineState::new(node_states, &proc_nodes, Network::new(n, self.net));
+        let mut net = Network::new(n, self.net);
+        for (j, a) in arrivals.iter().enumerate() {
+            if let Some(bw) = a.nic_bandwidth {
+                net.set_nic_bandwidth(seed + j, bw);
+            }
+        }
+        let mut state = EngineState::new(node_states, &proc_nodes, net);
         state.stepped = self
             .stepped
             .unwrap_or_else(|| std::env::var("DYNMPI_SIM_STEPPED").is_ok_and(|v| v == "1"));
@@ -459,6 +480,68 @@ mod tests {
             // Rank 0 blocks forever; the poison must still unwind it.
             let _ = ctx.recv(1, 1);
         });
+    }
+
+    #[test]
+    fn arrival_allocates_extra_rank_offline_until_cold_start_ends() {
+        let script = LoadScript::dedicated().node_arrival(
+            SimTime::from_secs(1),
+            NodeSpec::with_speed(2e6),
+            SimDur::from_millis(500),
+        );
+        let c = Cluster::homogeneous(2, NodeSpec::with_speed(1e6)).with_script(script);
+        let out = c.run_spmd(|ctx| {
+            assert_eq!(ctx.nprocs(), 3);
+            assert_eq!(ctx.online_at(2), SimTime::from_millis(1500));
+            // Before the cold start completes: no daemon on node 2.
+            let before = (ctx.node_online(2), ctx.dmpi_ps(2));
+            ctx.sleep(SimDur::from_secs(2));
+            let after = ctx.node_online(2);
+            // The arrival's own hardware spec is live: 1e6 work takes
+            // 0.5 s at 2e6 flops/s vs 1 s on the seed nodes.
+            let t0 = ctx.now();
+            ctx.advance(1e6);
+            let elapsed = (ctx.now() - t0).as_secs_f64();
+            (before, after, elapsed)
+        });
+        for (rank, &(before, after, elapsed)) in out.results.iter().enumerate() {
+            assert_eq!(before, (false, 0), "rank {rank}");
+            assert!(after, "rank {rank}");
+            let want = if rank == 2 { 0.5 } else { 1.0 };
+            assert!(
+                (elapsed - want).abs() < 0.02,
+                "rank {rank} elapsed {elapsed}"
+            );
+        }
+    }
+
+    #[test]
+    fn arrival_nic_bandwidth_applies_to_new_rank_only() {
+        let script = LoadScript::dedicated().node_arrival_with_nic(
+            SimTime::ZERO,
+            NodeSpec::default(),
+            SimDur::ZERO,
+            6.25e6, // half the default 12.5 MB/s
+        );
+        let c = Cluster::homogeneous(2, NodeSpec::default()).with_script(script);
+        let out = c.run_spmd(|ctx| match ctx.rank() {
+            0 => {
+                ctx.send(1, 1, vec![0u8; 125_000]);
+                ctx.send(2, 2, vec![0u8; 125_000]);
+                SimTime::ZERO
+            }
+            1 => {
+                ctx.recv(0, 1);
+                ctx.now()
+            }
+            _ => {
+                ctx.recv(0, 2);
+                ctx.now()
+            }
+        });
+        // Seed→seed keeps the historical timing; the slow NIC only
+        // stretches the RX serialization on the arriving node.
+        assert!(out.results[1] < out.results[2]);
     }
 
     #[test]

@@ -67,9 +67,26 @@ impl SimCtx {
     }
 
     /// A `dmpi_ps` daemon reading for `node` (updated once per second).
+    /// A node that is not yet online has no daemon: the reading is 0.
     pub fn dmpi_ps(&self, node: usize) -> u32 {
         let st = self.shared.state.lock();
+        if st.clock < st.nodes[node].online_at {
+            return 0;
+        }
         monitor::dmpi_ps_reading(&st.nodes[node].timeline, st.clock)
+    }
+
+    /// Whether `node` is online (booted/provisioned) at the current
+    /// virtual time. Seed nodes are online from t = 0; scripted arrivals
+    /// come online at `at + cold_start`.
+    pub fn node_online(&self, node: usize) -> bool {
+        let st = self.shared.state.lock();
+        st.clock >= st.nodes[node].online_at
+    }
+
+    /// Virtual time `node` comes online (`SimTime::ZERO` for seed nodes).
+    pub fn online_at(&self, node: usize) -> SimTime {
+        self.shared.state.lock().nodes[node].online_at
     }
 
     /// A `vmstat`-style reading for `node` (unreliable: misses an

@@ -121,6 +121,10 @@ pub(crate) struct NodeState {
     /// when this node's application completes that phase cycle.
     pub cycle_events: Vec<(u64, u32)>,
     pub blocks: BlockHistory,
+    /// Virtual time this node's monitors start reporting it online:
+    /// `SimTime::ZERO` for seed nodes, `at + cold_start` for scripted
+    /// arrivals. Before this instant `dmpi_ps` reads 0 (no daemon yet).
+    pub online_at: SimTime,
 }
 
 pub(crate) struct EngineState {
@@ -288,6 +292,7 @@ mod tests {
                 cycle_count: 0,
                 cycle_events: Vec::new(),
                 blocks: BlockHistory::new(),
+                online_at: SimTime::ZERO,
             })
             .collect();
         let proc_nodes: Vec<usize> = (0..nprocs).collect();

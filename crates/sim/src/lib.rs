@@ -57,6 +57,6 @@ pub use monitor::{dmpi_ps_reading, vmstat_reading, BlockHistory};
 pub use network::Network;
 pub use params::{NetParams, NodeSpec, OsParams};
 pub use report::{ProcReport, SimOutcome, SimReport};
-pub use script::{LoadEvent, LoadScript, Trigger};
+pub use script::{LoadEvent, LoadScript, NodeArrival, Trigger};
 pub use time::{SimDur, SimTime};
 pub use timeline::NcpTimeline;

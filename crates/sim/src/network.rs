@@ -15,6 +15,9 @@ use crate::time::{SimDur, SimTime};
 #[derive(Clone, Debug)]
 pub struct Network {
     params: NetParams,
+    /// Per-node NIC bandwidth in bytes/s; defaults to the cluster-wide
+    /// `params.bandwidth`, overridden per node for heterogeneous arrivals.
+    nic_bw: Vec<f64>,
     tx_free: Vec<SimTime>,
     rx_free: Vec<SimTime>,
     /// Completion time of the last rank-to-self copy, per node (self
@@ -36,6 +39,7 @@ impl Network {
         assert!(params.bandwidth > 0.0 && params.self_bandwidth > 0.0);
         Network {
             params,
+            nic_bw: vec![params.bandwidth; nodes],
             tx_free: vec![SimTime::ZERO; nodes],
             rx_free: vec![SimTime::ZERO; nodes],
             self_free: vec![SimTime::ZERO; nodes],
@@ -49,6 +53,14 @@ impl Network {
 
     pub fn params(&self) -> &NetParams {
         &self.params
+    }
+
+    /// Overrides one node's NIC bandwidth (bytes/s). Serialization on
+    /// that node's TX and RX NIC then runs at this rate instead of the
+    /// cluster-wide default.
+    pub fn set_nic_bandwidth(&mut self, node: usize, bandwidth: f64) {
+        assert!(bandwidth > 0.0, "NIC bandwidth must be positive");
+        self.nic_bw[node] = bandwidth;
     }
 
     /// Schedules a `bytes`-byte message from `src` to `dst`, with the send
@@ -72,16 +84,21 @@ impl Network {
             self.last_queued = start - t;
             return arrival;
         }
-        let ser = SimDur::from_secs_f64(bytes as f64 / self.params.bandwidth);
+        let tx_ser = SimDur::from_secs_f64(bytes as f64 / self.nic_bw[src]);
+        let rx_ser = SimDur::from_secs_f64(bytes as f64 / self.nic_bw[dst]);
         let tx_start = t.max(self.tx_free[src]);
-        let tx_end = tx_start + ser;
+        let tx_end = tx_start + tx_ser;
         self.tx_free[src] = tx_end;
         // First bit reaches the receiver one latency after it left the
         // sender; the RX NIC then serializes the frame from that point
-        // (or from whenever it frees up, if later).
+        // (or from whenever it frees up, if later). With asymmetric NIC
+        // rates the last bit cannot land before the slower sender has
+        // pushed it out, hence the lower bound at `tx_end + latency` —
+        // which for equal rates is never the binding term, so homogeneous
+        // clusters keep their exact historical timings.
         let rx_ready = tx_start + self.params.latency;
         let rx_start = rx_ready.max(self.rx_free[dst]);
-        let arrival = rx_start + ser;
+        let arrival = (rx_start + rx_ser).max(tx_end + self.params.latency);
         self.rx_free[dst] = arrival;
 
         let tx_queued = tx_start - t;

@@ -5,7 +5,8 @@
 //! competing process at the end of the second period" (§5.2). A
 //! [`LoadScript`] expresses both time-based and phase-cycle-based triggers.
 
-use crate::time::SimTime;
+use crate::params::NodeSpec;
+use crate::time::{SimDur, SimTime};
 
 /// When a load change fires.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -25,10 +26,36 @@ pub struct LoadEvent {
     pub ncp: u32,
 }
 
+/// A scripted node arrival: a brand-new node (with its own hardware
+/// description) comes online mid-run — the malleability counterpart of the
+/// paper's node *removal*. The cluster allocates one extra rank per
+/// arrival, numbered after the seed nodes in script order; the node's
+/// monitors read as offline (`dmpi_ps` = 0) until `at + cold_start`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NodeArrival {
+    /// Virtual time the node is requested (e.g. the spot instance is won).
+    pub at: SimTime,
+    /// Hardware of the arriving node.
+    pub spec: NodeSpec,
+    /// Boot/provisioning delay: the node is online at `at + cold_start`.
+    pub cold_start: SimDur,
+    /// NIC bandwidth of the arriving node in bytes/s (`None` = the
+    /// cluster-wide [`crate::NetParams::bandwidth`]).
+    pub nic_bandwidth: Option<f64>,
+}
+
+impl NodeArrival {
+    /// Virtual time the node's monitors start reporting it as online.
+    pub fn online_at(&self) -> SimTime {
+        self.at + self.cold_start
+    }
+}
+
 /// A full experiment load schedule.
 #[derive(Clone, Debug, Default)]
 pub struct LoadScript {
     events: Vec<LoadEvent>,
+    arrivals: Vec<NodeArrival>,
 }
 
 impl LoadScript {
@@ -58,9 +85,46 @@ impl LoadScript {
         self
     }
 
+    /// Adds a node arrival. The arriving node gets the next rank after the
+    /// seed nodes (in arrival insertion order) and reads as offline until
+    /// `at + cold_start`.
+    pub fn node_arrival(mut self, at: SimTime, spec: NodeSpec, cold_start: SimDur) -> Self {
+        self.arrivals.push(NodeArrival {
+            at,
+            spec,
+            cold_start,
+            nic_bandwidth: None,
+        });
+        self
+    }
+
+    /// Adds a node arrival with an explicit NIC bandwidth (bytes/s).
+    pub fn node_arrival_with_nic(
+        mut self,
+        at: SimTime,
+        spec: NodeSpec,
+        cold_start: SimDur,
+        nic_bandwidth: f64,
+    ) -> Self {
+        assert!(nic_bandwidth > 0.0, "NIC bandwidth must be positive");
+        self.arrivals.push(NodeArrival {
+            at,
+            spec,
+            cold_start,
+            nic_bandwidth: Some(nic_bandwidth),
+        });
+        self
+    }
+
     /// All events, in insertion order.
     pub fn events(&self) -> &[LoadEvent] {
         &self.events
+    }
+
+    /// Scripted node arrivals, in insertion order (= rank order after the
+    /// seed nodes).
+    pub fn arrivals(&self) -> &[NodeArrival] {
+        &self.arrivals
     }
 
     /// Splits the script per node: `(time events, cycle events)`, each
@@ -125,5 +189,39 @@ mod tests {
     #[should_panic(expected = "1-based")]
     fn cycle_zero_rejected() {
         let _ = LoadScript::dedicated().at_cycle(0, 0, 1);
+    }
+
+    #[test]
+    fn arrivals_record_order_and_online_time() {
+        let s = LoadScript::dedicated()
+            .node_arrival(
+                SimTime::from_secs(1),
+                NodeSpec::with_speed(2e6),
+                SimDur::from_millis(500),
+            )
+            .node_arrival_with_nic(
+                SimTime::from_secs(3),
+                NodeSpec::with_speed(1e6),
+                SimDur::ZERO,
+                6.25e6,
+            );
+        assert_eq!(s.arrivals().len(), 2);
+        assert_eq!(s.arrivals()[0].online_at(), SimTime::from_millis(1500));
+        assert_eq!(s.arrivals()[0].nic_bandwidth, None);
+        assert_eq!(s.arrivals()[1].online_at(), SimTime::from_secs(3));
+        assert_eq!(s.arrivals()[1].nic_bandwidth, Some(6.25e6));
+        // Arrivals alone keep the script "dedicated": no competing load.
+        assert!(s.is_dedicated());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_nic_bandwidth_rejected() {
+        let _ = LoadScript::dedicated().node_arrival_with_nic(
+            SimTime::ZERO,
+            NodeSpec::default(),
+            SimDur::ZERO,
+            0.0,
+        );
     }
 }

@@ -103,6 +103,46 @@ fn cycle_triggered_load_and_sleep_are_bit_identical() {
 }
 
 #[test]
+fn node_arrival_is_bit_identical() {
+    // A scripted arrival (extra rank, cold start, slower NIC) plus a load
+    // spike on a seed node: the arrival rank polls `node_online`, sleeps
+    // through its cold start, then joins a ring exchange. Both engines
+    // must agree on every clock, CPU reading, and online transition.
+    let mk = || {
+        let script = LoadScript::dedicated()
+            .at_time(0, SimTime::from_millis(30), 2)
+            .node_arrival_with_nic(
+                SimTime::from_millis(50),
+                NodeSpec::with_speed(8e5),
+                SimDur::from_millis(25),
+                6.25e6,
+            );
+        Cluster::homogeneous(2, NodeSpec::with_speed(1e6)).with_script(script)
+    };
+    let out = assert_equivalent(mk, |ctx| {
+        let r = ctx.rank();
+        let mut log = Vec::new();
+        if r == 2 {
+            // The newcomer: wait out the cold start in virtual time.
+            while !ctx.node_online(2) {
+                ctx.sleep(SimDur::from_millis(5));
+            }
+            log.push((ctx.now(), ctx.dmpi_ps(2)));
+        }
+        for i in 0..6u8 {
+            ctx.advance(2e4 + r as f64 * 1e3);
+            ctx.send((r + 1) % 3, 7, vec![i; 128 * (r + 1)]);
+            let _ = ctx.recv((r + 2) % 3, 7);
+            log.push((ctx.now(), ctx.cpu_time_exact().0 as u32));
+        }
+        log
+    });
+    assert_eq!(out.results.len(), 3, "arrival allocates a third rank");
+    // The newcomer came online exactly at arrival + cold start.
+    assert!(out.results[2][0].0 >= SimTime::from_millis(75));
+}
+
+#[test]
 fn recv_any_fan_in_is_bit_identical() {
     let mk = || {
         let script = LoadScript::dedicated().at_time(0, SimTime::from_millis(5), 2);

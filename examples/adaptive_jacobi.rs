@@ -109,5 +109,17 @@ fn describe(e: &dynmpi::RuntimeEvent) -> String {
         ),
         NodesDropped { nodes, .. } => format!("physically removed nodes {nodes:?}"),
         NodeRejoined { node, .. } => format!("node {node} rejoined"),
+        NodeArrived { node, .. } => format!("node {node} arrived — entering arrival grace"),
+        ExpandEvaluated {
+            predicted_with,
+            measured_max,
+            admitted,
+            ..
+        } => format!(
+            "expansion decision: predicted with newcomer {predicted_with:.3}s vs measured \
+             {measured_max:.3}s → {}",
+            if *admitted { "admit" } else { "reject" }
+        ),
+        NodeAdmitted { node, .. } => format!("node {node} admitted into the computation"),
     }
 }
