@@ -10,8 +10,9 @@ use dynmpi_apps::jacobi::JacobiParams;
 use dynmpi_apps::{AppSpec, Experiment, SimRunResult};
 use dynmpi_sim::{LoadScript, NodeSpec, SimDur, SimTime};
 
-/// Runs the experiment under both engines and asserts every output is
-/// bit-identical. Returns the fast-mode result.
+/// Runs the experiment under both engines — and sharded across 2 and 8
+/// engine shards — and asserts every output is bit-identical. Returns the
+/// fast-mode single-shard result.
 fn assert_engine_equivalent(exp: &Experiment) -> SimRunResult {
     let stepped = run_sim(&exp.clone().with_stepped(true));
     let fast = run_sim(&exp.clone().with_stepped(false));
@@ -27,6 +28,25 @@ fn assert_engine_equivalent(exp: &Experiment) -> SimRunResult {
     );
     assert_eq!(stepped.net_messages, fast.net_messages);
     assert_eq!(stepped.net_bytes, fast.net_bytes);
+    // `--shards` must be invisible in every output, in both engine modes,
+    // including mid-run world changes (arrival / drop / rejoin).
+    for shards in [2usize, 8] {
+        for (mode, reference) in [(true, &stepped), (false, &fast)] {
+            let sharded = run_sim(&exp.clone().with_stepped(mode).with_shards(shards));
+            assert_eq!(
+                reference.per_rank, sharded.per_rank,
+                "per-rank results diverged at shards={shards} stepped={mode}"
+            );
+            assert!(
+                reference.makespan == sharded.makespan,
+                "makespan diverged at shards={shards} stepped={mode}: {} vs {}",
+                reference.makespan,
+                sharded.makespan
+            );
+            assert_eq!(reference.net_messages, sharded.net_messages);
+            assert_eq!(reference.net_bytes, sharded.net_bytes);
+        }
+    }
     fast
 }
 
@@ -63,6 +83,40 @@ fn jacobi_node_arrival_is_engine_invariant_and_absorbed() {
     // Growing the job never changes the answer.
     let baseline =
         run_sim(&Experiment::new(AppSpec::Jacobi(p), 2).with_node_spec(NodeSpec::with_speed(1e6)));
+    assert_eq!(out.checksum(), baseline.checksum());
+}
+
+#[test]
+fn jacobi_node_removal_is_engine_and_shard_invariant() {
+    // Pure shrink: one seed node gets permanent competing load and is
+    // dropped for good (no rejoin). The removal collective — including the
+    // dropped rank's early exit — must be invisible to the engine mode and
+    // the shard count.
+    let p = JacobiParams::small(48, 60);
+    let script = LoadScript::dedicated().at_cycle(3, 8, 2);
+    let cfg = DynMpiConfig {
+        drop_policy: DropPolicy::Always,
+        ..Default::default()
+    };
+    let exp = Experiment::new(AppSpec::Jacobi(p.clone()), 4)
+        .with_node_spec(NodeSpec::with_speed(1e6))
+        .with_script(script)
+        .with_cfg(cfg);
+    let out = assert_engine_equivalent(&exp);
+
+    let kinds: Vec<&str> = out.events().iter().map(|e| e.kind()).collect();
+    assert!(kinds.contains(&"nodes-dropped"), "{kinds:?}");
+    assert!(
+        !out.per_rank[3].participating,
+        "loaded node stays dropped without rejoin"
+    );
+    assert!(
+        out.per_rank[..3].iter().all(|r| r.participating),
+        "survivors finish the computation"
+    );
+
+    let baseline =
+        run_sim(&Experiment::new(AppSpec::Jacobi(p), 4).with_node_spec(NodeSpec::with_speed(1e6)));
     assert_eq!(out.checksum(), baseline.checksum());
 }
 

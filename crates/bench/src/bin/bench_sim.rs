@@ -20,6 +20,10 @@
 //!   the streaming health monitor subscribed vs the same run bare: the
 //!   virtual outputs must be bit-identical and the wall-clock overhead
 //!   of online monitoring stays pinned below its acceptance bar.
+//! * **sharded scaling** — one 1024-rank ring-exchange simulation at
+//!   `--shards` 1/2/8: virtual outputs must be bit-identical at every
+//!   shard count, and on multi-core machines the 8-shard run must beat
+//!   the 1-shard run by a core-count-tiered wall-clock factor.
 //!
 //! Prints the before/after table and writes `results/BENCH_sim.json`.
 //! `--check` runs a scaled-down configuration and only asserts the
@@ -166,6 +170,62 @@ fn mini_sweep(threads: usize, iters: usize) -> (Vec<f64>, f64) {
     (makespans, start.elapsed().as_secs_f64())
 }
 
+/// One ring-exchange run: `ranks` ranks, nearest-neighbor traffic with a
+/// little any-source control traffic and monitor reads mixed in (the
+/// cross-shard-sensitive operations), on `shards` engine shards. Returns
+/// the run's virtual outputs plus the wall-clock seconds it took.
+#[allow(clippy::type_complexity)]
+fn sharded_ring(ranks: usize, shards: usize, iters: usize) -> ((Vec<SimTime>, SimReport), f64) {
+    let script = LoadScript::dedicated()
+        .at_time(ranks - 1, SimTime::from_millis(40), 2)
+        .at_cycle(0, 5, 1);
+    let cluster = Cluster::homogeneous(ranks, NodeSpec::with_speed(1e7))
+        .with_script(script)
+        .with_shards(shards);
+    let start = Instant::now();
+    let out = cluster.run_spmd(move |ctx| {
+        let r = ctx.rank();
+        let n = ctx.nprocs();
+        for i in 0..iters {
+            ctx.advance(2e4);
+            ctx.send((r + 1) % n, 1, vec![0u8; 512]);
+            let _ = ctx.recv((r + n - 1) % n, 1);
+            ctx.phase_cycle_completed();
+            // Long-haul any-source traffic: senders ≡ 0 (mod 16) target the
+            // ≡ 8 (mod 16) ranks half a ring away (n is a multiple of 16,
+            // so the target set is exactly the receiver set) — guaranteed
+            // cross-shard at any shard count ≥ 2.
+            if r % 16 == 0 && i % 8 == 1 {
+                ctx.send((r + n / 2 + 8) % n, 9, vec![i as u8]);
+            }
+            if r % 16 == 8 && i % 8 == 1 {
+                let _ = ctx.recv_any(9);
+            }
+            if i % 16 == 2 {
+                std::hint::black_box(ctx.dmpi_ps((r + 7) % n));
+            }
+        }
+        ctx.now()
+    });
+    let secs = start.elapsed().as_secs_f64();
+    ((out.results, out.report.virtual_outputs()), secs)
+}
+
+/// The wall-clock speedup `--shards 8` must show over `--shards 1`,
+/// tiered by the machine's core count so CI on small runners still
+/// enforces a bound. Below two cores there is nothing to assert.
+fn speedup_bound(cores: usize) -> f64 {
+    if cores >= 8 {
+        3.0
+    } else if cores >= 4 {
+        1.6
+    } else if cores >= 2 {
+        1.2
+    } else {
+        0.0
+    }
+}
+
 /// The adaptive competing-process Jacobi run used to price the online
 /// health monitor: same shape as the `health_monitor` integration tests.
 fn health_experiment(iters: usize) -> Experiment {
@@ -213,6 +273,7 @@ fn main() {
     let (senders, per_sender) = if check { (16, 16) } else { (64, 64) };
     let sweep_iters = if check { 10 } else { 40 };
     let monitor_iters = if check { 30 } else { 120 };
+    let (ring_ranks, ring_iters) = if check { (128, 24) } else { (1024, 120) };
 
     log_info!("engine events: {work} work units under ncp=3, stepped vs fast");
     let stepped = loaded_compute(true, work);
@@ -271,6 +332,25 @@ fn main() {
     let mon_ns = dynmpi_testkit::bench("health monitor: on", || with_monitor().0.makespan).mean_ns;
     let monitor_overhead = mon_ns / bare_ns;
 
+    let cores = dynmpi_testkit::available_threads();
+    log_info!("sharded scaling: {ring_ranks}-rank ring at --shards 1/2/8 on {cores} cores");
+    let shard_counts = [1usize, 2, 8];
+    let mut shard_secs = Vec::new();
+    let mut shard_out = None;
+    for &s in &shard_counts {
+        let (out, secs) = sharded_ring(ring_ranks, s, ring_iters);
+        log_info!("  --shards {s}: {secs:.2}s wall");
+        match &shard_out {
+            None => shard_out = Some(out),
+            Some(first) => assert_eq!(
+                *first, out,
+                "--shards {s} diverged from --shards 1 on virtual outputs"
+            ),
+        }
+        shard_secs.push(secs);
+    }
+    let shard_speedup = shard_secs[0] / shard_secs[2].max(f64::MIN_POSITIVE);
+
     print_table(
         "sim fast path: before/after",
         &["metric", "seed", "now", "ratio"],
@@ -314,6 +394,12 @@ fn main() {
                 format!("{:.2}", mon_ns / 1e6),
                 format!("{monitor_overhead:.2}x"),
             ],
+            vec![
+                format!("{ring_ranks}-rank ring wall-clock (s), 1 vs 8 shards"),
+                format!("{:.2}", shard_secs[0]),
+                format!("{:.2}", shard_secs[2]),
+                format!("{shard_speedup:.2}x"),
+            ],
         ],
     );
 
@@ -342,6 +428,20 @@ fn main() {
         monitor_overhead < 5.0,
         "health monitor overhead {monitor_overhead:.2}x exceeds the 5x acceptance bar"
     );
+    // Bit-identity across shard counts was asserted run-by-run above; the
+    // wall-clock bound only binds where the machine has cores to use.
+    let bound = speedup_bound(cores);
+    if bound > 0.0 {
+        assert!(
+            shard_speedup >= bound,
+            "{ring_ranks}-rank ring: --shards 8 speedup {shard_speedup:.2}x is under the \
+             {bound:.1}x bound for {cores} cores ({:.2}s vs {:.2}s)",
+            shard_secs[0],
+            shard_secs[2]
+        );
+    } else {
+        log_info!("single core: skipping the shard speedup bound (identity still enforced)");
+    }
 
     if check {
         println!("bench_sim --check OK");
@@ -390,6 +490,19 @@ fn main() {
                 ("monitored_ns", Json::Num(mon_ns)),
                 ("overhead", Json::Num(monitor_overhead)),
                 ("health_windows", Json::UInt(report.windows.len() as u64)),
+            ]),
+        ),
+        (
+            "sharded_scaling",
+            Json::obj([
+                ("ranks", Json::UInt(ring_ranks as u64)),
+                ("iters", Json::UInt(ring_iters as u64)),
+                ("cores", Json::UInt(cores as u64)),
+                ("shards_1_s", Json::Num(shard_secs[0])),
+                ("shards_2_s", Json::Num(shard_secs[1])),
+                ("shards_8_s", Json::Num(shard_secs[2])),
+                ("speedup_8_over_1", Json::Num(shard_speedup)),
+                ("bound", Json::Num(speedup_bound(cores))),
             ]),
         ),
     ]);

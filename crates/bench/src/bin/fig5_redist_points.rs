@@ -114,7 +114,8 @@ fn main() {
             &Experiment::new(AppSpec::Jacobi(p), 4)
                 .with_node_spec(node)
                 .with_cfg(cfg.clone())
-                .with_script(script),
+                .with_script(script)
+                .with_shards(args.shards),
             inst.recorder_for(i == 1),
         );
         let row = Row {

@@ -79,7 +79,8 @@ fn main() {
                             drop_policy: policy,
                             ..Default::default()
                         })
-                        .with_script(script.clone()),
+                        .with_script(script.clone())
+                        .with_shards(args.shards),
                     rec,
                 )
             };

@@ -61,7 +61,8 @@ fn main() {
             run_sim_with(
                 &Experiment::new(AppSpec::Particle(p), 8)
                     .with_cfg(cfg.clone())
-                    .with_script(script.clone()),
+                    .with_script(script.clone())
+                    .with_shards(args.shards),
                 rec,
             )
         };

@@ -103,7 +103,8 @@ fn main() {
                         arrival_retry_cycles: 4,
                         ..Default::default()
                     })
-                    .with_script(script),
+                    .with_script(script)
+                    .with_shards(args.shards),
                 rec,
             )
         };

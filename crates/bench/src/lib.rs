@@ -29,7 +29,9 @@
 //! Pass `--threads N` to size the configuration-sweep worker pool
 //! (default: available parallelism; output is byte-identical at any
 //! value — `fig3_alloc` ignores it and stays serial because it measures
-//! real wall-clock time).
+//! real wall-clock time). Pass `--shards N` to split each simulated run
+//! itself across cores with conservative-lookahead engine shards —
+//! again byte-identical output at any value, only wall-clock changes.
 //!
 //! Progress output goes through a leveled logger controlled by the
 //! `DYNMPI_LOG` environment variable (`error`, `warn`, `info` — the
@@ -152,6 +154,10 @@ pub struct BenchArgs {
     pub prom_out: Option<String>,
     pub only: Option<String>,
     pub threads: usize,
+    /// Engine shards per simulated run (`--shards N`): splits one
+    /// simulation across cores with conservative-lookahead windows.
+    /// Results are bit-identical at any value; only wall-clock changes.
+    pub shards: usize,
 }
 
 impl BenchArgs {
@@ -166,6 +172,7 @@ impl BenchArgs {
         let mut prom_out = None;
         let mut only = None;
         let mut threads = dynmpi_testkit::available_threads();
+        let mut shards = 1;
         let mut args = std::env::args().skip(1);
         let value = |flag: &str, args: &mut dyn Iterator<Item = String>| {
             args.next().unwrap_or_else(|| {
@@ -201,12 +208,19 @@ impl BenchArgs {
                         std::process::exit(2);
                     }
                 }
+                "--shards" => {
+                    let v = value("--shards", &mut args);
+                    shards = v.parse().ok().filter(|&s| s > 0).unwrap_or_else(|| {
+                        eprintln!("--shards needs a positive integer, got {v}");
+                        std::process::exit(2);
+                    });
+                }
                 "--help" | "-h" => {
                     eprintln!(
                         "usage: [--quick] [--out DIR] [--trace-out PATH] \
                          [--profile-out PATH] [--health-out PATH] [--watch] \
                          [--health-window MS] [--prom-out PATH] [--only KEY] \
-                         [--threads N]"
+                         [--threads N] [--shards N]"
                     );
                     std::process::exit(0);
                 }
@@ -227,6 +241,7 @@ impl BenchArgs {
             prom_out,
             only,
             threads,
+            shards,
         }
     }
 

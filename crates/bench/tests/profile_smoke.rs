@@ -103,6 +103,72 @@ fn fig4_quick_profile_is_complete() {
     assert!(cycles.iter().all(|c| u64_field(c, "rows_moved") > 0));
 }
 
+/// Runs quick fig4 `jacobi/8` fully instrumented (`--trace-out`,
+/// `--profile-out`, `--health-out`) at the given shard count, returning
+/// `(trace, profile, health, rows_jsonl)`.
+fn fig4_sharded_run(out_dir: &std::path::Path, shards: &str) -> (String, String, String, String) {
+    let dir = out_dir.join(format!("shards-{shards}"));
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("trace.json");
+    let profile = dir.join("profile.json");
+    let health = dir.join("health.jsonl");
+    let output = Command::new(env!("CARGO_BIN_EXE_fig4_overall"))
+        .arg("--quick")
+        .arg("--only")
+        .arg("jacobi/8")
+        .arg("--out")
+        .arg(&dir)
+        .arg("--shards")
+        .arg(shards)
+        .arg("--trace-out")
+        .arg(&trace)
+        .arg("--profile-out")
+        .arg(&profile)
+        .arg("--health-out")
+        .arg(&health)
+        .output()
+        .expect("failed to launch fig4_overall");
+    assert!(
+        output.status.success(),
+        "fig4_overall (--shards {shards}) failed:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    (
+        std::fs::read_to_string(&trace).unwrap(),
+        std::fs::read_to_string(&profile).unwrap(),
+        std::fs::read_to_string(&health).unwrap(),
+        std::fs::read_to_string(dir.join("fig4_overall.jsonl")).unwrap(),
+    )
+}
+
+/// The sharded arm of the smoke job: partitioning the simulation across
+/// engine shards is a pure wall-clock knob, so every observable artifact
+/// — the raw trace, the profile report, the health snapshot stream, and
+/// the result rows — must be byte-identical between `--shards 1` and
+/// `--shards 2`.
+#[test]
+fn fig4_quick_sharded_artifacts_byte_identical() {
+    let out_dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/profile-smoke");
+    std::fs::create_dir_all(&out_dir).unwrap();
+
+    let (trace_1, profile_1, health_1, rows_1) = fig4_sharded_run(&out_dir, "1");
+    let (trace_2, profile_2, health_2, rows_2) = fig4_sharded_run(&out_dir, "2");
+    assert!(!trace_1.trim().is_empty(), "sharded-arm trace is empty");
+    assert_eq!(trace_1, trace_2, "trace differs between --shards 1 and 2");
+    assert_eq!(
+        profile_1, profile_2,
+        "profile report differs between --shards 1 and 2"
+    );
+    assert_eq!(
+        health_1, health_2,
+        "health snapshots differ between --shards 1 and 2"
+    );
+    assert_eq!(
+        rows_1, rows_2,
+        "result rows differ between --shards 1 and 2"
+    );
+}
+
 /// Runs quick fig8 (node arrival) with `--health-out` under the given
 /// thread count and engine mode, returning `(rows_jsonl, health_jsonl)`.
 fn fig8_run(

@@ -435,13 +435,16 @@ struct Interval {
     end: u64,
 }
 
-/// A blocked-receive wait, linked (when the recv was traced with a `seq`
-/// attribute) to the message that resolved it.
+/// A blocked-receive wait, linked (when the recv was traced with `peer`
+/// and `seq` attributes) to the `(sender rank, seq)` of the message that
+/// resolved it.
 #[derive(Clone, Copy, Debug)]
 struct BlockedWait {
     start: u64,
     end: u64,
-    seq: Option<u64>,
+    link: Option<(usize, u64)>,
+    /// RX-NIC queueing charged to the resolving message (`rx_queued_ns`).
+    rx_queued: u64,
 }
 
 /// A scheduler leaf span: the only thing (besides blocked waits and
@@ -453,7 +456,8 @@ struct SchedLeaf {
     cpu: u64,
 }
 
-/// One message-send record, keyed globally by `seq`.
+/// One message-send record, keyed by `(sender rank, seq)` — sequence
+/// numbers are per-sender program order, so the pair is globally unique.
 #[derive(Clone, Copy, Debug)]
 struct SendRec {
     rank: usize,
@@ -501,7 +505,7 @@ fn contained(intervals: &[Interval], start: u64, end: u64) -> bool {
 /// order) into a [`ProfileReport`].
 pub fn analyze(events: &[TraceEvent]) -> ProfileReport {
     let mut lanes: BTreeMap<usize, Lane> = BTreeMap::new();
-    let mut sends: HashMap<u64, SendRec> = HashMap::new();
+    let mut sends: HashMap<(usize, u64), SendRec> = HashMap::new();
     // Redistribution instants, deduped by cycle: (seconds, rows_moved).
     let mut redists: BTreeMap<u64, (f64, u64)> = BTreeMap::new();
     // `balance` span attributes, keyed by cycle.
@@ -527,7 +531,8 @@ pub fn analyze(events: &[TraceEvent]) -> ProfileReport {
                             lane.blocked.push(BlockedWait {
                                 start,
                                 end,
-                                seq: None,
+                                link: None,
+                                rx_queued: 0,
                             });
                         } else {
                             // Fall back on the span name when the exact
@@ -578,7 +583,7 @@ pub fn analyze(events: &[TraceEvent]) -> ProfileReport {
                     ("comm", "send") => {
                         if let Some(seq) = arg_u64(args, "seq") {
                             sends.insert(
-                                seq,
+                                (rank, seq),
                                 SendRec {
                                     rank,
                                     ts: *ts_ns,
@@ -593,9 +598,16 @@ pub fn analyze(events: &[TraceEvent]) -> ProfileReport {
                         // Link the wait that this receive resolved: the
                         // receiver pops the message at the instant its
                         // blocked span ends, so the timestamps coincide.
+                        // Seqs are per-sender, so the link key needs the
+                        // peer (sending rank) too.
                         if let Some(last) = lane.blocked.last_mut() {
-                            if last.end == *ts_ns && last.seq.is_none() {
-                                last.seq = arg_u64(args, "seq");
+                            if last.end == *ts_ns && last.link.is_none() {
+                                if let (Some(peer), Some(seq)) =
+                                    (arg_u64(args, "peer"), arg_u64(args, "seq"))
+                                {
+                                    last.link = Some((peer as usize, seq));
+                                    last.rx_queued = arg_u64(args, "rx_queued_ns").unwrap_or(0);
+                                }
                             }
                         }
                     }
@@ -637,7 +649,10 @@ pub fn analyze(events: &[TraceEvent]) -> ProfileReport {
     }
 }
 
-fn attribute(lanes: &BTreeMap<usize, Lane>, sends: &HashMap<u64, SendRec>) -> Vec<RankAttribution> {
+fn attribute(
+    lanes: &BTreeMap<usize, Lane>,
+    sends: &HashMap<(usize, u64), SendRec>,
+) -> Vec<RankAttribution> {
     let mut out = Vec::with_capacity(lanes.len());
     for (&rank, lane) in lanes {
         let mut b = Buckets::default();
@@ -668,7 +683,7 @@ fn attribute(lanes: &BTreeMap<usize, Lane>, sends: &HashMap<u64, SendRec>) -> Ve
                 b.runtime_ns += dur;
                 continue;
             }
-            match w.seq.and_then(|s| sends.get(&s)) {
+            match w.link.and_then(|k| sends.get(&k)) {
                 Some(send) => {
                     // Up to the send instant the wait is the sender's
                     // fault; from the send to delivery it is the network's.
@@ -676,7 +691,9 @@ fn attribute(lanes: &BTreeMap<usize, Lane>, sends: &HashMap<u64, SendRec>) -> Ve
                     b.late_wait_ns += boundary - w.start;
                     let net = w.end - boundary;
                     b.network_ns += net;
-                    contention += send.queued.min(net);
+                    // Contention = TX-side plus RX-side NIC queueing of
+                    // the resolving message, capped at the network share.
+                    contention += (send.queued + w.rx_queued).min(net);
                 }
                 // No matching send traced (e.g. truncated stream): the
                 // whole wait is a late-sender wait.
@@ -700,7 +717,7 @@ fn attribute(lanes: &BTreeMap<usize, Lane>, sends: &HashMap<u64, SendRec>) -> Ve
 /// gated progress. Produces a gap-free partition of `[0, makespan]`.
 fn critical_path(
     lanes: &BTreeMap<usize, Lane>,
-    sends: &HashMap<u64, SendRec>,
+    sends: &HashMap<(usize, u64), SendRec>,
     makespan: u64,
 ) -> Vec<CritSegment> {
     if makespan == 0 || lanes.is_empty() {
@@ -726,7 +743,7 @@ fn critical_path(
             .rev()
             .find(|(i, w)| {
                 w.end <= t
-                    && w.seq.map(|s| sends.contains_key(&s)).unwrap_or(false)
+                    && w.link.map(|k| sends.contains_key(&k)).unwrap_or(false)
                     && !visited.contains(&(cur, *i))
             })
             .map(|(i, w)| (i, *w));
@@ -748,7 +765,7 @@ fn critical_path(
                 end_ns: t,
             });
         }
-        let send = sends[&w.seq.expect("picked waits are linked")];
+        let send = sends[&w.link.expect("picked waits are linked")];
         let s_ts = send.ts.min(w.end);
         if w.end > s_ts {
             segs.push(CritSegment {
@@ -902,15 +919,20 @@ mod tests {
                     u("tag", 7),
                     u("seq", 42),
                     u("bytes", 64),
-                    u("arrival_ns", 150),
-                    u("queued_ns", 5),
+                    u("queued_ns", 3),
                 ],
             ),
             inst(
                 "recv",
                 0,
                 150,
-                vec![u("peer", 1), u("tag", 7), u("seq", 42), u("bytes", 64)],
+                vec![
+                    u("peer", 1),
+                    u("tag", 7),
+                    u("seq", 42),
+                    u("bytes", 64),
+                    u("rx_queued_ns", 2),
+                ],
             ),
             span_args(
                 "sched",
@@ -935,6 +957,7 @@ mod tests {
         // wait, 40ns network.
         assert_eq!(r0.buckets.late_wait_ns, 100);
         assert_eq!(r0.buckets.network_ns, 40);
+        // TX queueing (3) + RX queueing (2), both under the 40ns net share.
         assert_eq!(r0.contention_ns, 5);
         let r1 = &report.ranks[1];
         assert_eq!(r1.buckets.compute_ns, 55);
@@ -1033,10 +1056,15 @@ mod tests {
                 "send",
                 0,
                 50,
-                vec![u("seq", 1), u("bytes", 0), u("tag", 1), u("arrival_ns", 50)],
+                vec![u("peer", 0), u("seq", 1), u("bytes", 0), u("tag", 1)],
             ),
             span("sched", "blocked", 0, 40, 10),
-            inst("recv", 0, 50, vec![u("seq", 1), u("bytes", 0), u("tag", 1)]),
+            inst(
+                "recv",
+                0,
+                50,
+                vec![u("peer", 0), u("seq", 1), u("bytes", 0), u("tag", 1)],
+            ),
             span_args("sched", "run", 0, 50, 10, vec![u("cpu", 10)]),
         ];
         let report = analyze(&events);

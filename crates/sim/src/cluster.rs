@@ -5,12 +5,14 @@ use std::sync::Arc;
 
 use crate::cpu::CpuSched;
 use crate::ctx::SimCtx;
-use crate::engine::{EngineState, NodeState, Shared};
+use crate::engine::{EngineState, NodeState, Shared, Status};
 use crate::monitor::BlockHistory;
 use crate::network::Network;
 use crate::params::{NetParams, NodeSpec, OsParams};
 use crate::report::{ProcReport, SimOutcome, SimReport};
 use crate::script::LoadScript;
+use crate::shard::{MonBoard, OutMsg, WindowSync};
+use crate::time::{SimDur, SimTime};
 use crate::timeline::NcpTimeline;
 
 /// A virtual cluster: node specs, OS and network parameters, and the load
@@ -25,6 +27,9 @@ pub struct Cluster {
     /// `Some(true)` forces the per-slice stepped CPU path, `Some(false)`
     /// forces fast-forward; `None` defers to `DYNMPI_SIM_STEPPED`.
     stepped: Option<bool>,
+    /// Engine shards the run is partitioned into (virtual-time results are
+    /// bit-identical for every value; only wall-clock changes).
+    shards: usize,
 }
 
 impl std::fmt::Debug for Cluster {
@@ -35,6 +40,7 @@ impl std::fmt::Debug for Cluster {
             .field("net", &self.net)
             .field("script", &self.script)
             .field("traced", &self.recorder.is_some())
+            .field("shards", &self.shards)
             .finish()
     }
 }
@@ -50,6 +56,7 @@ impl Cluster {
             script: LoadScript::dedicated(),
             recorder: None,
             stepped: None,
+            shards: 1,
         }
     }
 
@@ -63,6 +70,7 @@ impl Cluster {
             script: LoadScript::dedicated(),
             recorder: None,
             stepped: None,
+            shards: 1,
         }
     }
 
@@ -103,6 +111,18 @@ impl Cluster {
         self
     }
 
+    /// Partitions the run into `shards` engine shards that advance on
+    /// separate cores using conservative lookahead windows one network
+    /// latency wide. Virtual-time results — `SimReport`, traces, monitor
+    /// readings — are bit-identical for every shard count; only wall-clock
+    /// time changes. Clamped to `[1, ranks]` at run time; a zero-latency
+    /// network forces one shard (no lookahead to exploit).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        assert!(shards > 0, "shards must be positive");
+        self.shards = shards;
+        self
+    }
+
     /// Number of seed nodes (= seed ranks). Scripted arrivals allocate
     /// additional ranks beyond this at [`run_spmd`](Self::run_spmd) time.
     pub fn size(&self) -> usize {
@@ -124,26 +144,13 @@ impl Cluster {
         &self.os
     }
 
-    /// Runs `f` as an SPMD program: one invocation per rank, each on its
-    /// own node, all in the same virtual time. Returns every rank's result
-    /// plus the run report. Deterministic: same inputs → same virtual
-    /// timings, bit for bit.
-    ///
-    /// Panics (with the original payload) if any rank panics.
-    pub fn run_spmd<R, F>(&self, f: F) -> SimOutcome<R>
-    where
-        R: Send,
-        F: Fn(&SimCtx) -> R + Send + Sync,
-    {
-        let seed = self.nodes.len();
+    /// Builds the initial per-node engine state (called once per shard:
+    /// every shard carries full-size vectors but only touches the entries
+    /// it owns, so cloned initial state is exactly what a single-shard
+    /// engine would hold for those entries).
+    fn build_nodes(&self, n: usize, seed: usize) -> Vec<NodeState> {
         let arrivals = self.script.arrivals();
-        // Scripted arrivals get the ranks after the seed nodes, in script
-        // order. Their threads exist from t = 0 (the engine needs every
-        // rank's events) but their monitors read offline until
-        // `online_at`; the runtime keeps them out of the compute group
-        // until it admits them.
-        let n = seed + arrivals.len();
-        let node_states: Vec<NodeState> = (0..n)
+        (0..n)
             .map(|i| {
                 let mut timeline = NcpTimeline::new();
                 let (times, cycles) = self.script.split_for_node(i);
@@ -151,7 +158,7 @@ impl Cluster {
                     timeline.set(t, ncp);
                 }
                 let (spec, online_at) = if i < seed {
-                    (self.nodes[i], crate::time::SimTime::ZERO)
+                    (self.nodes[i], SimTime::ZERO)
                 } else {
                     let a = &arrivals[i - seed];
                     (a.spec, a.online_at())
@@ -167,31 +174,97 @@ impl Cluster {
                     online_at,
                 }
             })
-            .collect();
-        let proc_nodes: Vec<usize> = (0..n).collect();
+            .collect()
+    }
+
+    fn build_net(&self, n: usize, seed: usize) -> Network {
         let mut net = Network::new(n, self.net);
-        for (j, a) in arrivals.iter().enumerate() {
+        for (j, a) in self.script.arrivals().iter().enumerate() {
             if let Some(bw) = a.nic_bandwidth {
                 net.set_nic_bandwidth(seed + j, bw);
             }
         }
-        let mut state = EngineState::new(node_states, &proc_nodes, net);
-        state.stepped = self
+        net
+    }
+
+    /// Runs `f` as an SPMD program: one invocation per rank, each on its
+    /// own node, all in the same virtual time. Returns every rank's result
+    /// plus the run report. Deterministic: same inputs → same virtual
+    /// timings, bit for bit — including across shard counts.
+    ///
+    /// Panics (with the original payload) if any rank panics.
+    pub fn run_spmd<R, F>(&self, f: F) -> SimOutcome<R>
+    where
+        R: Send,
+        F: Fn(&SimCtx) -> R + Send + Sync,
+    {
+        let seed = self.nodes.len();
+        // Scripted arrivals get the ranks after the seed nodes, in script
+        // order. Their threads exist from t = 0 (the engine needs every
+        // rank's events) but their monitors read offline until
+        // `online_at`; the runtime keeps them out of the compute group
+        // until it admits them.
+        let n = seed + self.script.arrivals().len();
+        let stepped = self
             .stepped
             .unwrap_or_else(|| std::env::var("DYNMPI_SIM_STEPPED").is_ok_and(|v| v == "1"));
-        let shared = Arc::new(Shared::new(state));
+        // A zero-latency network has zero lookahead: nothing to overlap.
+        let nshards = if self.net.latency == SimDur::ZERO {
+            1
+        } else {
+            self.shards.clamp(1, n)
+        };
 
-        // Kick off: hand the turn to the earliest initial event.
-        {
-            let mut st = shared.state.lock();
-            st.dispatch_next();
-        }
+        // pid → shard, contiguous blocks (ranks mostly talk to neighbors,
+        // so contiguity keeps most traffic shard-local).
+        let owner: Arc<Vec<usize>> = Arc::new((0..n).map(|pid| pid * nshards / n).collect());
+
+        let shareds: Vec<Arc<Shared>> = if nshards == 1 {
+            let mut state = EngineState::new(self.build_nodes(n, seed), &Vec::from_iter(0..n), {
+                self.build_net(n, seed)
+            });
+            state.stepped = stepped;
+            let shared = Arc::new(Shared::new(state));
+            // Kick off: hand the turn to the earliest initial event.
+            shared.state.lock().dispatch_next();
+            vec![shared]
+        } else {
+            let ws = Arc::new(WindowSync::new(nshards));
+            let board = Arc::new(MonBoard::new(
+                self.build_nodes(n, seed)
+                    .into_iter()
+                    .map(|ns| ns.timeline)
+                    .collect(),
+            ));
+            (0..nshards)
+                .map(|shard| {
+                    let mut state = EngineState::new_sharded(
+                        self.build_nodes(n, seed),
+                        &Vec::from_iter(0..n),
+                        self.build_net(n, seed),
+                        shard,
+                        Arc::clone(&owner),
+                        Arc::clone(&ws),
+                        Arc::clone(&board),
+                    );
+                    state.stepped = stepped;
+                    Arc::new(Shared::new(state))
+                })
+                .collect()
+        };
 
         let f = &f;
         let joined: Vec<std::thread::Result<R>> = std::thread::scope(|s| {
+            if nshards > 1 {
+                let shareds = &shareds;
+                let owner = Arc::clone(&owner);
+                let latency = self.net.latency;
+                s.spawn(move || coordinate(shareds, &owner, latency));
+            }
             let handles: Vec<_> = (0..n)
                 .map(|pid| {
-                    let shared = Arc::clone(&shared);
+                    let shared = Arc::clone(&shareds[owner[pid]]);
+                    let all = &shareds;
                     let recorder = self.recorder.clone();
                     s.spawn(move || {
                         // Guard dropped (and buffers flushed) after the rank
@@ -206,10 +279,16 @@ impl Cluster {
                                 Ok(v)
                             }
                             Err(e) => {
-                                shared.poison(
-                                    pid,
-                                    format!("rank {pid} panicked inside the simulation"),
-                                );
+                                // Poison every shard (and through the first
+                                // one's wsync, the coordinator) so the
+                                // whole run unwinds promptly.
+                                let msg = format!("rank {pid} panicked inside the simulation");
+                                for sh in all.iter() {
+                                    sh.poison(pid, msg.clone());
+                                }
+                                if let Some(ws) = &shared.state.lock().wsync {
+                                    ws.poison();
+                                }
                                 Err(e)
                             }
                         }
@@ -225,7 +304,7 @@ impl Cluster {
         if joined.iter().any(|r| r.is_err()) {
             // Re-raise the payload of the rank that poisoned the run (the
             // root cause); secondary unwinds from other ranks are noise.
-            let origin = shared.state.lock().panic_origin;
+            let origin = shareds.iter().find_map(|sh| sh.state.lock().panic_origin);
             let mut errs: Vec<(usize, Box<dyn std::any::Any + Send>)> = joined
                 .into_iter()
                 .enumerate()
@@ -240,36 +319,134 @@ impl Cluster {
         }
         let results: Vec<R> = joined.into_iter().map(|r| r.unwrap()).collect();
 
-        let st = shared.state.lock();
+        // Assemble the report: per-proc and per-node data from each pid's
+        // owner shard, counters summed across shards (each shard counts
+        // only what it executed).
+        let guards: Vec<_> = shareds.iter().map(|sh| sh.state.lock()).collect();
         let report = SimReport {
-            finish_time: st
-                .procs
-                .iter()
-                .map(|p| p.finish_time)
+            finish_time: (0..n)
+                .map(|pid| guards[owner[pid]].procs[pid].finish_time)
                 .max()
                 .unwrap_or_default(),
-            procs: st
-                .procs
-                .iter()
-                .map(|p| ProcReport {
-                    node: p.node,
-                    cpu_time: p.cpu_time,
-                    finish_time: p.finish_time,
-                    msgs_sent: p.msgs_sent,
-                    msgs_recvd: p.msgs_recvd,
-                    bytes_sent: p.bytes_sent,
-                    bytes_recvd: p.bytes_recvd,
-                    blocked_fraction: st.nodes[p.node]
-                        .blocks
-                        .blocked_fraction(crate::time::SimTime::ZERO, p.finish_time),
+            procs: (0..n)
+                .map(|pid| {
+                    let st = &guards[owner[pid]];
+                    let p = &st.procs[pid];
+                    ProcReport {
+                        node: p.node,
+                        cpu_time: p.cpu_time,
+                        finish_time: p.finish_time,
+                        msgs_sent: p.msgs_sent,
+                        msgs_recvd: p.msgs_recvd,
+                        bytes_sent: p.bytes_sent,
+                        bytes_recvd: p.bytes_recvd,
+                        blocked_fraction: st.nodes[p.node]
+                            .blocks
+                            .blocked_fraction(SimTime::ZERO, p.finish_time),
+                    }
                 })
                 .collect(),
-            net_messages: st.net.message_count(),
-            net_bytes: st.net.byte_count(),
-            engine_events: st.events_pushed,
-            turn_bypasses: st.bypasses,
+            net_messages: guards.iter().map(|st| st.net.message_count()).sum(),
+            net_bytes: guards.iter().map(|st| st.net.byte_count()).sum(),
+            engine_events: guards.iter().map(|st| st.events_pushed).sum(),
+            turn_bypasses: guards.iter().map(|st| st.bypasses).sum(),
         };
         SimOutcome { results, report }
+    }
+}
+
+/// The window coordinator for a sharded run: waits for every shard to
+/// quiesce, applies the window's cross-NIC messages in canonical
+/// `(sent, src, seq)` order, then opens the next lookahead window at
+/// `T_min + latency`. Runs until every rank finished (or the run is
+/// poisoned / deadlocked).
+fn coordinate(shareds: &[Arc<Shared>], owner: &[usize], latency: SimDur) {
+    let nshards = shareds.len();
+    let ws = Arc::clone(
+        shareds[0]
+            .state
+            .lock()
+            .wsync
+            .as_ref()
+            .expect("sharded engine without window sync"),
+    );
+    loop {
+        if !ws.wait_all(nshards) {
+            return; // poisoned
+        }
+        // Drain this window's cross-shard traffic and count survivors.
+        let mut msgs: Vec<OutMsg> = Vec::new();
+        let mut live = 0usize;
+        for sh in shareds {
+            let mut st = sh.state.lock();
+            msgs.append(&mut st.outbox);
+            live += st.live;
+        }
+        if live == 0 {
+            // All ranks returned; any undrained messages have no receiver
+            // and no observable effect.
+            return;
+        }
+        // Apply in the canonical order — identical to the order a
+        // single-shard run lands these sends in, so destination NIC state
+        // and mailbox contents evolve bit-identically.
+        msgs.sort_by_key(|m| (m.env.sent, m.env.src, m.env.seq));
+        for mut m in msgs {
+            let mut st = shareds[owner[m.dst]].state.lock();
+            let (arrival, rx_queued) = st.net.rx_land(m.dst_node, m.bytes, m.rx_ready, m.tx_end);
+            m.env.arrival = arrival;
+            m.env.rx_queued = rx_queued;
+            st.deliver(m.dst, m.env);
+        }
+        // Global lower bound on the next event.
+        let mut tmin = SimTime::MAX;
+        for sh in shareds {
+            if let Some(t) = sh.state.lock().next_event_time() {
+                tmin = tmin.min(t);
+            }
+        }
+        if tmin == SimTime::MAX {
+            // Live ranks, no events anywhere, nothing in flight: the same
+            // deadlock a single-shard engine diagnoses in dispatch_next.
+            let mut stuck = Vec::new();
+            let mut clock = SimTime::ZERO;
+            for sh in shareds {
+                let st = sh.state.lock();
+                clock = clock.max(st.clock);
+                for (pid, p) in st.procs.iter().enumerate() {
+                    if owner[pid] == st.shard && matches!(p.status, Status::BlockedRecv(_)) {
+                        stuck.push(pid);
+                    }
+                }
+            }
+            stuck.sort_unstable();
+            let msg = format!(
+                "simulation deadlock at {clock}: no pending events, ranks {stuck:?} \
+                 blocked at recv"
+            );
+            for sh in shareds {
+                sh.poison(stuck.first().copied().unwrap_or(0), msg.clone());
+            }
+            ws.poison();
+            return;
+        }
+        // Open the next window: anything sent at u ≥ tmin arrives at
+        // u + latency ≥ window end, i.e. in a later window — no shard can
+        // miss a message it should have seen (conservative lookahead).
+        let wend = tmin + latency;
+        ws.reset();
+        for sh in shareds {
+            let mut st = sh.state.lock();
+            st.window_end = wend;
+            st.quiesced = false;
+            if st.dispatch_next() {
+                drop(st);
+                sh.cv.notify_all();
+            } else {
+                st.quiesced = true;
+                ws.mark_quiescent();
+            }
+        }
     }
 }
 
@@ -402,6 +579,52 @@ mod tests {
         assert_eq!(a, b);
     }
 
+    /// The tentpole contract in miniature: the same workload, any shard
+    /// count, one `SimReport` — bit for bit (cost counters excluded: the
+    /// shards pay for their windows in engine events).
+    #[test]
+    fn sharded_runs_match_single_shard_bit_for_bit() {
+        let run = |shards: usize| {
+            let script = LoadScript::dedicated()
+                .at_time(1, SimTime::from_millis(50), 2)
+                .at_cycle(2, 7, 1);
+            let c = Cluster::homogeneous(6, NodeSpec::with_speed(1e7))
+                .with_script(script)
+                .with_shards(shards);
+            let out = c.run_spmd(|ctx| {
+                let r = ctx.rank();
+                let n = ctx.nprocs();
+                let mut probe_sum = 0u64;
+                for i in 0..15 {
+                    ctx.advance(4e4);
+                    let next = (r + 1) % n;
+                    let prev = (r + n - 1) % n;
+                    ctx.send(next, 1, vec![r as u8; 256]);
+                    let _ = ctx.recv(prev, 1);
+                    ctx.phase_cycle_completed();
+                    if i % 4 == r % 4 {
+                        // Any-source traffic and monitor reads cross
+                        // shard boundaries.
+                        ctx.send((r + 2) % n, 9, vec![i as u8]);
+                    }
+                    if i % 4 == (r + 2) % 4 {
+                        let _ = ctx.recv_any(9);
+                    }
+                    probe_sum += u64::from(ctx.probe(None, 9));
+                    probe_sum += u64::from(ctx.dmpi_ps((r + 3) % n));
+                    probe_sum += u64::from(ctx.vmstat((r + 1) % n));
+                }
+                (ctx.now(), ctx.cpu_time_exact(), probe_sum)
+            });
+            (out.results, out.report.virtual_outputs())
+        };
+        let one = run(1);
+        assert_eq!(one, run(2), "--shards 2 diverged");
+        assert_eq!(one, run(3), "--shards 3 diverged");
+        assert_eq!(one, run(6), "--shards 6 diverged");
+        assert_eq!(one, run(64), "over-sharding must clamp, not diverge");
+    }
+
     #[test]
     fn competing_process_slows_only_its_node() {
         let mk = |loaded: bool| {
@@ -470,6 +693,17 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "deadlock")]
+    fn sharded_deadlock_panics_with_diagnosis() {
+        let c = Cluster::homogeneous(2, NodeSpec::default()).with_shards(2);
+        let _ = c.run_spmd(|ctx| {
+            if ctx.rank() == 0 {
+                let _ = ctx.recv(1, 99); // never sent
+            }
+        });
+    }
+
+    #[test]
     #[should_panic(expected = "boom")]
     fn rank_panic_propagates() {
         let c = Cluster::homogeneous(2, NodeSpec::default());
@@ -478,6 +712,20 @@ mod tests {
                 panic!("boom");
             }
             // Rank 0 blocks forever; the poison must still unwind it.
+            let _ = ctx.recv(1, 1);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn sharded_rank_panic_propagates() {
+        let c = Cluster::homogeneous(3, NodeSpec::default()).with_shards(3);
+        let _ = c.run_spmd(|ctx| {
+            if ctx.rank() == 1 {
+                panic!("boom");
+            }
+            // Other ranks block forever; the poison must unwind all
+            // shards and the coordinator.
             let _ = ctx.recv(1, 1);
         });
     }

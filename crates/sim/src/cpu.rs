@@ -16,6 +16,7 @@
 
 use crate::params::{NodeSpec, OsParams};
 use crate::time::{SimDur, SimTime};
+use crate::timeline::NcpTimeline;
 
 /// Deterministic 64-bit mix (splitmix64 finalizer) for per-round slot
 /// rotation.
@@ -422,6 +423,44 @@ impl CpuSched {
             completed: false,
         }
     }
+
+    /// Drives [`Self::fast_forward`] across as many load-script phases as
+    /// the work spans and returns one aggregate [`Step`] — the whole
+    /// compute stretch in a single call, so the engine pays one span and
+    /// one event per `advance` instead of one per phase. The timeline must
+    /// be immutable for the duration (it is: only the node's own rank
+    /// mutates it, and that rank is the one computing).
+    ///
+    /// Always completes: each leg strictly advances `t` (a positive-work
+    /// step never returns `end == t`), and the total is exactly what the
+    /// per-phase loop accumulates.
+    pub fn fast_forward_script(&self, t: SimTime, timeline: &NcpTimeline, need: SimDur) -> Step {
+        let start = t;
+        let mut t = t;
+        let mut left = need;
+        let mut cpu = SimDur::ZERO;
+        let mut slices = 0u64;
+        loop {
+            let ncp = timeline.at(t);
+            let next = timeline.next_change_after(t);
+            let st = self.fast_forward(t, ncp, next, left);
+            cpu += st.cpu;
+            left = left - st.cpu;
+            slices += st.slices;
+            debug_assert!(st.completed || st.end > t, "no progress in fast-forward");
+            t = st.end;
+            if st.completed {
+                debug_assert_eq!(cpu, need);
+                debug_assert!(t >= start);
+                return Step {
+                    end: t,
+                    cpu,
+                    slices,
+                    completed: true,
+                };
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -706,6 +745,41 @@ mod tests {
         assert_eq!(s.work_to_ns(0.0), SimDur::ZERO);
         assert_eq!(s.work_to_ns(1.0), SimDur::from_micros(1));
         assert_eq!(s.work_to_ns(1e-9), SimDur(1)); // rounds up, not to 0
+    }
+
+    #[test]
+    fn fast_forward_script_matches_stepped_across_phases() {
+        // A multi-phase load script: the one-call aggregate must land on
+        // the same finish time, CPU total, and slice count as stepping
+        // slice by slice through every phase.
+        let mut tl = NcpTimeline::new();
+        tl.set(SimTime::from_millis(40), 2);
+        tl.set(SimTime::from_millis(333), 1);
+        tl.set(SimTime::from_millis(700), 3);
+        tl.set(SimTime::from_secs(2), 0);
+        let mut s = sched();
+        s.set_salt(42);
+        let start = SimTime::from_micros(777);
+        let need = SimDur::from_millis(900);
+        let mut t = start;
+        let mut left = need;
+        let mut cpu = SimDur::ZERO;
+        let mut slices = 0u64;
+        loop {
+            let st = s.step_ns(t, tl.at(t), tl.next_change_after(t), left);
+            cpu += st.cpu;
+            left = left - st.cpu;
+            slices += st.slices;
+            t = st.end;
+            if st.completed {
+                break;
+            }
+        }
+        let agg = s.fast_forward_script(start, &tl, need);
+        assert!(agg.completed);
+        assert_eq!(agg.end, t, "finish time");
+        assert_eq!(agg.cpu, cpu, "cpu total");
+        assert_eq!(agg.slices, slices, "slice count");
     }
 
     #[test]

@@ -4,6 +4,17 @@
 //! virtual cluster: consume CPU, exchange messages, read clocks and load
 //! monitors. Every method that takes virtual time may hand the turn to
 //! another rank; application code just sees blocking calls.
+//!
+//! Sharded runs share almost every code path with single-shard runs; the
+//! differences are confined to three points, each chosen so virtual-time
+//! behavior is bit-identical across shard counts:
+//!
+//! * cross-node sends queue in the shard outbox instead of landing
+//!   eagerly (the coordinator applies them in the canonical
+//!   `(sent, src, seq)` order — exactly the single-shard delivery order);
+//! * remote monitor reads go through the shared [`crate::shard::MonBoard`];
+//! * the turn token reports quiescence to the window coordinator when the
+//!   local queue drains up to `window_end`.
 
 use std::sync::Arc;
 
@@ -11,6 +22,7 @@ use dynmpi_obs as obs;
 
 use crate::engine::{EngineState, Envelope, RecvWait, Shared, Status};
 use crate::monitor;
+use crate::shard::OutMsg;
 use crate::sync::MutexGuard;
 use crate::time::{SimDur, SimTime};
 
@@ -68,12 +80,25 @@ impl SimCtx {
 
     /// A `dmpi_ps` daemon reading for `node` (updated once per second).
     /// A node that is not yet online has no daemon: the reading is 0.
+    ///
+    /// Reading a *remote* node's daemon observes the report as of one
+    /// network latency ago — the publication had to cross the wire. (This
+    /// is also what lets a sharded engine serve remote readings from data
+    /// at least one lookahead window old, race-free.) A rank reading its
+    /// own node sees the current second's report.
     pub fn dmpi_ps(&self, node: usize) -> u32 {
         let st = self.shared.state.lock();
         if st.clock < st.nodes[node].online_at {
             return 0;
         }
-        monitor::dmpi_ps_reading(&st.nodes[node].timeline, st.clock)
+        if st.procs[self.pid].node == node {
+            return monitor::dmpi_ps_reading(&st.nodes[node].timeline, st.clock);
+        }
+        let sample = monitor::monitor_sample_time(st.clock, st.net.params().latency);
+        match &st.board {
+            Some(board) => monitor::dmpi_ps_reading_at(&board.nodes[node].lock().timeline, sample),
+            None => monitor::dmpi_ps_reading_at(&st.nodes[node].timeline, sample),
+        }
     }
 
     /// Whether `node` is online (booted/provisioned) at the current
@@ -90,14 +115,33 @@ impl SimCtx {
     }
 
     /// A `vmstat`-style reading for `node` (unreliable: misses an
-    /// application blocked at a receive — see §4.2).
+    /// application blocked at a receive — see §4.2). Remote readings lag
+    /// one network latency, like [`Self::dmpi_ps`].
     pub fn vmstat(&self, node: usize) -> u32 {
         let st = self.shared.state.lock();
-        monitor::vmstat_reading(&st.nodes[node].timeline, &st.nodes[node].blocks, st.clock)
+        if st.procs[self.pid].node == node {
+            return monitor::vmstat_reading(
+                &st.nodes[node].timeline,
+                &st.nodes[node].blocks,
+                st.clock,
+            );
+        }
+        let sample = monitor::monitor_sample_time(st.clock, st.net.params().latency);
+        match &st.board {
+            Some(board) => {
+                let m = board.nodes[node].lock();
+                monitor::vmstat_reading_at(&m.timeline, &m.blocks, sample)
+            }
+            None => {
+                monitor::vmstat_reading_at(&st.nodes[node].timeline, &st.nodes[node].blocks, sample)
+            }
+        }
     }
 
     /// True competing-process count on `node` right now (oracle for tests
-    /// and for scripting; real systems only have the monitors above).
+    /// and for scripting; real systems only have the monitors above). In a
+    /// sharded run a remote node's reading reflects pre-scripted changes
+    /// only — use the monitors for anything a real system would sense.
     pub fn true_ncp(&self, node: usize) -> u32 {
         let st = self.shared.state.lock();
         st.nodes[node].timeline.at(st.clock)
@@ -110,41 +154,63 @@ impl SimCtx {
     /// The remaining work is quantized to nanoseconds once up front
     /// ([`crate::CpuSched::work_to_ns`]) and then advanced in exact integer
     /// steps: one scheduler slice at a time when the engine runs stepped
-    /// (`DYNMPI_SIM_STEPPED=1`), or whole load phases at a time through the
-    /// closed-form fast-forward otherwise. Both paths produce bit-identical
-    /// timestamps and CPU accounting; the fast path just touches the event
-    /// queue O(1) times per load phase instead of O(phase/quantum).
+    /// (`DYNMPI_SIM_STEPPED=1`), or the whole load-script stretch in one
+    /// closed-form call otherwise. Both paths produce bit-identical
+    /// timestamps and CPU accounting; the fast path touches the event
+    /// queue once per `advance` instead of O(stretch/quantum) times.
     pub fn advance(&self, work: f64) {
         if work <= 0.0 {
             return;
         }
         let mut st = self.shared.state.lock();
         let node = st.procs[self.pid].node;
-        let mut need = st.nodes[node].sched.work_to_ns(work);
-        let stepped = st.stepped;
+        let need = st.nodes[node].sched.work_to_ns(work);
+        if !st.stepped {
+            let now = st.clock;
+            let n = &st.nodes[node];
+            let step = n.sched.fast_forward_script(now, &n.timeline, need);
+            if step.cpu > SimDur::ZERO {
+                st.procs[self.pid].cpu_time += step.cpu;
+            }
+            if step.end > now {
+                if obs::enabled() {
+                    // Scheduler span: this rank ran and/or sat out
+                    // competitors' slices from `now` to `step.end` — the
+                    // whole multi-phase stretch as one span. The
+                    // `cpu`/`slices` attributes carry the exact CPU
+                    // consumed and quantum count, so analyzers can
+                    // re-expand aggregated spans: summed attribution is
+                    // bit-identical between stepped and fast modes.
+                    obs::span_begin("sched", step.kind(now), now.0);
+                    obs::span_end_args(
+                        step.end.0,
+                        vec![
+                            ("cpu".to_string(), obs::Json::UInt(step.cpu.0)),
+                            ("slices".to_string(), obs::Json::UInt(step.slices)),
+                        ],
+                    );
+                    if step.slices > 0 {
+                        obs::count("sim.sched.quanta", step.slices);
+                    }
+                }
+                self.advance_to(&mut st, step.end);
+            }
+            return;
+        }
+        // Stepped reference path: one scheduler slice per engine event.
+        let mut need = need;
         loop {
             let now = st.clock;
             let node = st.procs[self.pid].node;
             let ncp = st.nodes[node].timeline.at(now);
             let next = st.nodes[node].timeline.next_change_after(now);
-            let step = if stepped {
-                st.nodes[node].sched.step_ns(now, ncp, next, need)
-            } else {
-                st.nodes[node].sched.fast_forward(now, ncp, next, need)
-            };
+            let step = st.nodes[node].sched.step_ns(now, ncp, next, need);
             if step.cpu > SimDur::ZERO {
                 st.procs[self.pid].cpu_time += step.cpu;
                 need = need - step.cpu;
             }
             if step.end > now {
                 if obs::enabled() {
-                    // Scheduler span: this rank ran and/or sat out
-                    // competitors' slices from `now` to `step.end` (a
-                    // fast-forwarded stretch aggregates many slices into
-                    // one span). The `cpu`/`slices` attributes carry the
-                    // exact CPU consumed and quantum count, so analyzers
-                    // can re-expand aggregated spans: summed attribution
-                    // is bit-identical between stepped and fast modes.
                     obs::span_begin("sched", step.kind(now), now.0);
                     obs::span_end_args(
                         step.end.0,
@@ -192,49 +258,90 @@ impl SimCtx {
         let now = st.clock;
         let src_node = st.procs[self.pid].node;
         let dst_node = st.procs[dst].node;
-        let arrival = st.net.deliver_at(src_node, dst_node, len, now);
-        let seq = st.next_seq();
-        if obs::enabled() {
-            // Message-matching attributes: `seq` is the engine-unique id
-            // the matching `comm/recv` instant echoes, letting analyzers
-            // link sends to receives across ranks; `queued_ns` is the NIC
-            // contention share of this message's flight time.
-            obs::instant(
-                "comm",
-                "send",
-                now.0,
-                vec![
-                    ("peer".to_string(), obs::Json::UInt(dst as u64)),
-                    ("tag".to_string(), obs::Json::UInt(tag)),
-                    ("seq".to_string(), obs::Json::UInt(seq)),
-                    ("bytes".to_string(), obs::Json::UInt(len as u64)),
-                    ("arrival_ns".to_string(), obs::Json::UInt(arrival.0)),
-                    (
-                        "queued_ns".to_string(),
-                        obs::Json::UInt(st.net.last_queued().0),
-                    ),
-                ],
-            );
-        }
-        let env = Envelope {
-            src: self.pid,
-            tag,
-            sent: now,
-            arrival,
-            seq,
-            payload,
-        };
-        let wake = matches!(st.procs[dst].status, Status::BlockedRecv(w) if w.matches(&env));
+        st.procs[self.pid].send_seq += 1;
+        let seq = st.procs[self.pid].send_seq;
         st.procs[self.pid].msgs_sent += 1;
         st.procs[self.pid].bytes_sent += len as u64;
         // Mirrors the ProcState counters exactly, so merged per-rank
         // metrics reconcile with `SimReport` totals integer-for-integer.
         obs::count("sim.msgs_sent", 1);
         obs::count("sim.bytes_sent", len as u64);
-        st.procs[dst].mailbox.push(env);
-        if wake {
-            st.procs[dst].status = Status::Scheduled;
-            st.push_event(arrival, dst);
+        let emit = |queued: SimDur| {
+            if obs::enabled() {
+                // Message-matching attributes: `seq` is the sender-local
+                // program-order id the matching `comm/recv` instant echoes
+                // (with `peer` = the sender), letting analyzers link sends
+                // to receives across ranks; `queued_ns` is the send-side
+                // NIC contention share of this message's flight time (the
+                // receive-side share rides on the `comm/recv` instant —
+                // a sharded engine doesn't know it yet at send time).
+                obs::instant(
+                    "comm",
+                    "send",
+                    now.0,
+                    vec![
+                        ("peer".to_string(), obs::Json::UInt(dst as u64)),
+                        ("tag".to_string(), obs::Json::UInt(tag)),
+                        ("seq".to_string(), obs::Json::UInt(seq)),
+                        ("bytes".to_string(), obs::Json::UInt(len as u64)),
+                        ("queued_ns".to_string(), obs::Json::UInt(queued.0)),
+                    ],
+                );
+            }
+        };
+        if src_node == dst_node {
+            // Same-node delivery: the copy engine is owner-local state, so
+            // it stays eager in every mode.
+            let (arrival, queued) = st.net.deliver_self(src_node, len, now);
+            emit(queued);
+            st.deliver(
+                dst,
+                Envelope {
+                    src: self.pid,
+                    tag,
+                    sent: now,
+                    arrival,
+                    seq,
+                    rx_queued: SimDur::ZERO,
+                    payload,
+                },
+            );
+            return;
+        }
+        let tx = st.net.tx_depart(src_node, len, now);
+        emit(tx.queued);
+        let env = Envelope {
+            src: self.pid,
+            tag,
+            sent: now,
+            arrival: SimTime::ZERO, // set by the RX half
+            seq,
+            rx_queued: SimDur::ZERO,
+            payload,
+        };
+        if st.sharded() {
+            // The RX half runs on the destination shard when the
+            // coordinator applies the window's messages in canonical
+            // order. (Same-shard messages too: landing them eagerly here
+            // would update the destination NIC out of that order.)
+            st.outbox.push(OutMsg {
+                env,
+                dst,
+                dst_node,
+                bytes: len,
+                rx_ready: tx.rx_ready,
+                tx_end: tx.tx_end,
+            });
+        } else {
+            let (arrival, rx_queued) = st.net.rx_land(dst_node, len, tx.rx_ready, tx.tx_end);
+            st.deliver(
+                dst,
+                Envelope {
+                    arrival,
+                    rx_queued,
+                    ..env
+                },
+            );
         }
     }
 
@@ -251,6 +358,9 @@ impl SimCtx {
     }
 
     /// Non-blocking probe: is a matching message already deliverable?
+    /// Exact in every mode: a message with arrival ≤ now was sent in a
+    /// window that closed at or before that arrival, so a sharded engine
+    /// has already applied it.
     pub fn probe(&self, src: Option<usize>, tag: u64) -> bool {
         let st = self.shared.state.lock();
         st.procs[self.pid]
@@ -282,6 +392,9 @@ impl SimCtx {
                     // (network flight + NIC queueing). Both are computed
                     // receiver-locally from the envelope's `sent` stamp, so
                     // they are independent of cross-rank event order.
+                    // `rx_queued_ns` is the RX-NIC contention this frame
+                    // paid — the receive-side twin of the send instant's
+                    // `queued_ns`.
                     let (late_ns, net_ns) = match wait_start {
                         Some(ws) => {
                             let total = now.0 - ws;
@@ -299,7 +412,7 @@ impl SimCtx {
                             ("tag".to_string(), obs::Json::UInt(env.tag)),
                             ("seq".to_string(), obs::Json::UInt(env.seq)),
                             ("bytes".to_string(), obs::Json::UInt(len as u64)),
-                            ("arrival_ns".to_string(), obs::Json::UInt(env.arrival.0)),
+                            ("rx_queued_ns".to_string(), obs::Json::UInt(env.rx_queued.0)),
                             ("late_ns".to_string(), obs::Json::UInt(late_ns)),
                             ("net_ns".to_string(), obs::Json::UInt(net_ns)),
                         ],
@@ -316,19 +429,28 @@ impl SimCtx {
             obs::span_begin("sched", "blocked", now.0);
             let node = st.procs[self.pid].node;
             st.nodes[node].blocks.block(now);
-            if let Some(arrival) = st.procs[self.pid].mailbox.pending_arrival(wait) {
-                // Arrival already determined by the network: sleep to it
-                // (same-rank continuation if no earlier event intervenes).
-                self.advance_to(&mut st, arrival);
-            } else {
-                // Unknown: the sender will wake us.
-                st.procs[self.pid].status = Status::BlockedRecv(wait);
-                self.yield_turn(&mut st);
+            if let Some(board) = &st.board {
+                board.nodes[node].lock().blocks.block(now);
             }
+            // Register as blocked and queue a wake-up hint at the earliest
+            // known matching arrival (if the network already determined
+            // one). Every later matching delivery queues its own wake-up,
+            // so the earliest candidate dispatches — in a sharded run a
+            // cross-shard message can undercut the local hint, and this is
+            // also the single-shard behavior, keeping wake times identical
+            // across shard counts.
+            st.procs[self.pid].status = Status::BlockedRecv(wait);
+            if let Some(arrival) = st.procs[self.pid].mailbox.pending_arrival(wait) {
+                st.push_event(arrival, self.pid);
+            }
+            self.yield_turn(&mut st);
             let wake = st.clock;
             obs::span_end(wake.0);
             let node = st.procs[self.pid].node;
             st.nodes[node].blocks.unblock(wake);
+            if let Some(board) = &st.board {
+                board.nodes[node].lock().blocks.unblock(wake);
+            }
             let ncp = st.nodes[node].timeline.at(wake);
             st.nodes[node].sched.note_reentry(wake, ncp);
         }
@@ -340,6 +462,7 @@ impl SimCtx {
         let mut st = self.shared.state.lock();
         let clock = st.clock;
         let node = st.procs[self.pid].node;
+        let mut fired = false;
         let n = &mut st.nodes[node];
         n.cycle_count += 1;
         let c = n.cycle_count;
@@ -347,8 +470,15 @@ impl SimCtx {
             if ev_c <= c {
                 n.timeline.set(clock, ncp);
                 n.cycle_events.remove(0);
+                fired = true;
             } else {
                 break;
+            }
+        }
+        if fired {
+            let ncp = st.nodes[node].timeline.at(clock);
+            if let Some(board) = &st.board {
+                board.nodes[node].lock().timeline.set(clock, ncp);
             }
         }
     }
@@ -368,26 +498,32 @@ impl SimCtx {
         let clock = st.clock;
         let node = st.procs[self.pid].node;
         st.nodes[node].timeline.set(clock, ncp);
+        if let Some(board) = &st.board {
+            board.nodes[node].lock().timeline.set(clock, ncp);
+        }
     }
 
     /// Advances the virtual clock to `t` on behalf of this (running) rank.
     ///
-    /// Turn-handoff bypass: if no *other* rank has a live event at or
-    /// before `t`, this rank keeps the turn — the clock moves forward
-    /// in place with no heap push, no `notify`, and no condvar wait, so a
-    /// pure-compute stretch costs zero engine events. Otherwise it falls
-    /// back to the classic queued event + full yield, preserving the
-    /// global `(time, seq)` dispatch order exactly.
+    /// Turn-handoff bypass: if `t` is inside the current window and no
+    /// *other* rank has a live event at or before `t`, this rank keeps the
+    /// turn — the clock moves forward in place with no heap push, no
+    /// `notify`, and no condvar wait, so a pure-compute stretch costs zero
+    /// engine events. Otherwise it falls back to the classic queued event +
+    /// full yield, preserving the global `(time, pid, seq)` dispatch order
+    /// exactly. (The window bound is strict: a running rank's clock stays
+    /// below `window_end`, which is what makes remote monitor samples at
+    /// `now − latency` settled at the barrier.)
     fn advance_to(&self, st: &mut MutexGuard<'_, EngineState>, t: SimTime) {
         debug_assert_eq!(st.current, Some(self.pid));
         debug_assert!(t >= st.clock, "advance_to into the past");
         // Stepped mode keeps the seed's exact execution strategy — every
-        // advance goes through the heap and a full turn handoff — so it
+        // advance goes through the queue and a full turn handoff — so it
         // doubles as the before-side cost baseline for `engine_events`.
-        if !st.stepped {
+        if !st.stepped && t < st.window_end {
             st.prune_stale_heads();
-            // Strict `>`: an existing event at exactly `t` carries a lower
-            // sequence number than the event we would push, so it must
+            // Strict `>`: an existing event at exactly `t` may carry a
+            // lower (pid, seq) than the event we would push, so it must
             // dispatch first.
             if st.queue.peek().is_none_or(|ev| ev.time > t) {
                 st.clock = t;
@@ -404,7 +540,7 @@ impl SimCtx {
     /// is scheduled again. The caller must have arranged its own wake-up
     /// (queued event or blocked-recv registration) before calling.
     fn yield_turn(&self, st: &mut MutexGuard<'_, EngineState>) {
-        st.dispatch_next();
+        st.dispatch_or_quiesce();
         if st.current == Some(self.pid) {
             // The turn came straight back (our own event was earliest):
             // keep running without waking the other threads.
@@ -432,7 +568,7 @@ impl SimCtx {
         st.procs[self.pid].status = Status::Finished;
         st.procs[self.pid].finish_time = clock;
         st.live -= 1;
-        st.dispatch_next();
+        st.dispatch_or_quiesce();
         self.shared.cv.notify_all();
     }
 }

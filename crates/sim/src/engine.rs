@@ -1,35 +1,57 @@
-//! Conservative sequential discrete-event engine.
+//! Conservative discrete-event engine core.
 //!
 //! Every simulated rank runs as a real OS thread so application code can be
-//! ordinary imperative Rust (loops, sends, receives), but **exactly one**
-//! simulation thread executes at a time: a thread that blocks in virtual
-//! time hands the "turn" to the thread owning the earliest pending event.
-//! Event order is a total order on `(virtual time, sequence number)`, so a
-//! run is a deterministic function of its inputs.
+//! ordinary imperative Rust (loops, sends, receives), but within one
+//! *shard* **exactly one** simulation thread executes at a time: a thread
+//! that blocks in virtual time hands the "turn" to the thread owning the
+//! earliest pending event. Event order is a total order on
+//! `(virtual time, pid, sequence number)`, so a run is a deterministic
+//! function of its inputs.
+//!
+//! A sharded run (see [`crate::shard`]) builds one `EngineState` per
+//! shard; each owns a contiguous pid range and advances only up to its
+//! `window_end` (the conservative lookahead bound). Cross-NIC messages
+//! are queued in `outbox` and applied by the coordinator at the window
+//! barrier in canonical `(sent, src, seq)` order — exactly the order a
+//! single-shard run applies them in, which is what keeps `SimReport`s
+//! bit-identical across `--shards` values.
 
-use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 use crate::sync::{Condvar, Mutex};
 
 use crate::cpu::CpuSched;
+use crate::equeue::EventQueue;
 use crate::mailbox::Mailbox;
 use crate::monitor::BlockHistory;
 use crate::network::Network;
+use crate::shard::{MonBoard, OutMsg, WindowSync};
 use crate::time::{SimDur, SimTime};
 use crate::timeline::NcpTimeline;
 
 /// A scheduled wake-up for a process.
+///
+/// `epoch` stamps the owning process's wake generation at push time: an
+/// event is live only while the process has not been dispatched since. A
+/// blocked receiver may accumulate several candidate wake-ups (a known
+/// pending arrival plus one per matching delivery); the earliest
+/// dispatches, and the dispatch bumps the epoch so the rest die in place.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub(crate) struct Event {
     pub time: SimTime,
-    pub seq: u64,
     pub pid: usize,
+    pub seq: u64,
+    pub epoch: u64,
 }
 
 impl Ord for Event {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest event pops first.
-        (other.time, other.seq).cmp(&(self.time, self.seq))
+        // BinaryHeap (the test oracle) is a max-heap; invert so the
+        // earliest event pops first. `pid` before `seq`: at equal times
+        // the lowest rank runs first regardless of push order, which is
+        // what makes the cross-shard message order reproducible.
+        (other.time, other.pid, other.seq, other.epoch)
+            .cmp(&(self.time, self.pid, self.seq, self.epoch))
     }
 }
 
@@ -48,7 +70,12 @@ pub(crate) struct Envelope {
     /// its wait into late-sender vs. network time locally).
     pub sent: SimTime,
     pub arrival: SimTime,
+    /// Per-sender sequence number (program order on the sending rank).
+    /// `(sent, src, seq)` is the canonical total order on messages.
     pub seq: u64,
+    /// RX-NIC queueing this frame paid (fan-in contention), carried to the
+    /// receiver for trace attribution.
+    pub rx_queued: SimDur,
     pub payload: Vec<u8>,
 }
 
@@ -68,12 +95,12 @@ impl RecvWait {
 /// Run state of a simulated process.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub(crate) enum Status {
-    /// Has a wake event in the queue (computing, sleeping, or waiting for a
-    /// known message arrival).
+    /// Has a wake event in the queue (computing or sleeping).
     Scheduled,
     /// Currently holds the turn.
     Running,
-    /// Waiting for a message whose arrival is not yet known.
+    /// Waiting for a message; wake events are pushed as candidate
+    /// arrivals become known.
     BlockedRecv(RecvWait),
     /// Program returned.
     Finished,
@@ -88,6 +115,11 @@ pub(crate) struct ProcState {
     /// read-granularity truncation).
     pub cpu_time: SimDur,
     pub mailbox: Mailbox,
+    /// Wake generation: bumped every time this process is dispatched;
+    /// queued events from earlier generations are dead.
+    pub epoch: u64,
+    /// Messages sent by this rank so far (the per-sender `Envelope::seq`).
+    pub send_seq: u64,
     pub msgs_sent: u64,
     pub msgs_recvd: u64,
     pub bytes_sent: u64,
@@ -102,6 +134,8 @@ impl ProcState {
             status: Status::Scheduled,
             cpu_time: SimDur::ZERO,
             mailbox: Mailbox::new(),
+            epoch: 0,
+            send_seq: 0,
             msgs_sent: 0,
             msgs_recvd: 0,
             bytes_sent: 0,
@@ -129,17 +163,34 @@ pub(crate) struct NodeState {
 
 pub(crate) struct EngineState {
     pub clock: SimTime,
-    pub queue: BinaryHeap<Event>,
+    pub queue: EventQueue,
     pub procs: Vec<ProcState>,
     pub nodes: Vec<NodeState>,
     pub net: Network,
     pub current: Option<usize>,
+    /// Live ranks owned by this shard.
     pub live: usize,
     pub seq: u64,
+    /// This shard's index, and the pid → shard map for sharded runs
+    /// (`None` for a single-shard engine, which owns every pid).
+    pub shard: usize,
+    pub owner: Option<Arc<Vec<usize>>>,
+    /// Conservative dispatch horizon: events at or beyond it stay queued
+    /// until the coordinator opens the next window. `SimTime::MAX` for a
+    /// single-shard engine.
+    pub window_end: SimTime,
+    /// Cross-NIC messages sent this window, drained by the coordinator.
+    pub outbox: Vec<OutMsg>,
+    /// Whether this shard already reported quiescence for the current
+    /// window (so it reports exactly once per window).
+    pub quiesced: bool,
+    pub wsync: Option<Arc<WindowSync>>,
+    /// Cross-shard monitor mirror (sharded runs only).
+    pub board: Option<Arc<MonBoard>>,
     /// Force the per-slice stepped CPU path (`DYNMPI_SIM_STEPPED=1`): the
     /// reference mode the closed-form fast-forward is validated against.
     pub stepped: bool,
-    /// Heap events pushed over the run — the cost metric the fast path and
+    /// Queue events pushed over the run — the cost metric the fast path and
     /// turn-handoff bypass exist to shrink.
     pub events_pushed: u64,
     /// Turn handoffs elided because the next event belonged to the rank
@@ -152,16 +203,26 @@ pub(crate) struct EngineState {
 }
 
 impl EngineState {
+    /// Single-shard engine owning every pid (the classic configuration,
+    /// and the reference the sharded mode must match bit for bit).
     pub fn new(nodes: Vec<NodeState>, proc_nodes: &[usize], net: Network) -> Self {
+        let width = (net.params().latency.0 / 4).max(1);
         let mut st = EngineState {
             clock: SimTime::ZERO,
-            queue: BinaryHeap::new(),
+            queue: EventQueue::new(width),
             procs: proc_nodes.iter().map(|&n| ProcState::new(n)).collect(),
             nodes,
             net,
             current: None,
             live: proc_nodes.len(),
             seq: 0,
+            shard: 0,
+            owner: None,
+            window_end: SimTime::MAX,
+            outbox: Vec::new(),
+            quiesced: false,
+            wsync: None,
+            board: None,
             stepped: false,
             events_pushed: 0,
             bypasses: 0,
@@ -174,6 +235,45 @@ impl EngineState {
         st
     }
 
+    /// One shard of a sharded engine: full-size state vectors (indexed by
+    /// global pid/node — only this shard's entries are ever touched), with
+    /// initial events for owned pids only. Starts quiescent; the
+    /// coordinator opens the first window.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new_sharded(
+        nodes: Vec<NodeState>,
+        proc_nodes: &[usize],
+        net: Network,
+        shard: usize,
+        owner: Arc<Vec<usize>>,
+        wsync: Arc<WindowSync>,
+        board: Arc<MonBoard>,
+    ) -> Self {
+        let mut st = EngineState::new(nodes, proc_nodes, net);
+        st.queue = EventQueue::new((st.net.params().latency.0 / 4).max(1));
+        st.seq = 0;
+        st.events_pushed = 0;
+        st.shard = shard;
+        st.live = owner.iter().filter(|&&s| s == shard).count();
+        st.owner = Some(owner);
+        st.window_end = SimTime::ZERO;
+        st.quiesced = true;
+        st.wsync = Some(wsync);
+        st.board = Some(board);
+        let owner = st.owner.clone().expect("just set");
+        for (pid, &s) in owner.iter().enumerate() {
+            if s == shard {
+                st.push_event(SimTime::ZERO, pid);
+            }
+        }
+        st
+    }
+
+    /// Is this engine one shard of a sharded run?
+    pub fn sharded(&self) -> bool {
+        self.owner.is_some()
+    }
+
     pub fn next_seq(&mut self) -> u64 {
         self.seq += 1;
         self.seq
@@ -182,28 +282,61 @@ impl EngineState {
     pub fn push_event(&mut self, time: SimTime, pid: usize) {
         let seq = self.next_seq();
         self.events_pushed += 1;
-        self.queue.push(Event { time, seq, pid });
+        let epoch = self.procs[pid].epoch;
+        self.queue.push(Event {
+            time,
+            pid,
+            seq,
+            epoch,
+        });
     }
 
-    /// Drops stale heap heads — wake events for procs that re-blocked or
-    /// finished since they were queued — so callers can inspect the
-    /// earliest *live* event.
+    fn event_live(&self, ev: &Event) -> bool {
+        ev.epoch == self.procs[ev.pid].epoch
+            && !matches!(self.procs[ev.pid].status, Status::Finished)
+    }
+
+    /// Drops dead queue heads — events from an older wake generation, or
+    /// for finished procs — so callers can inspect the earliest *live*
+    /// event.
     pub fn prune_stale_heads(&mut self) {
         while let Some(ev) = self.queue.peek() {
-            if matches!(self.procs[ev.pid].status, Status::Scheduled) {
+            if self.event_live(ev) {
                 return;
             }
             self.queue.pop();
         }
     }
 
-    /// Pops the next event, advances the clock, and hands the turn to its
-    /// process. Returns `false` when the simulation has fully drained.
-    /// Panics the simulation on deadlock.
+    /// Earliest live event time, if any (for the coordinator's `T_min`).
+    pub fn next_event_time(&mut self) -> Option<SimTime> {
+        self.prune_stale_heads();
+        self.queue.peek().map(|e| e.time)
+    }
+
+    /// Files a delivered message with the destination process and, if it
+    /// is blocked on a matching receive, queues a wake-up at the arrival.
+    /// Used by both the eager single-shard send path and the coordinator's
+    /// window barrier — one code path, one behavior.
+    pub fn deliver(&mut self, dst: usize, env: Envelope) {
+        let wake = matches!(self.procs[dst].status, Status::BlockedRecv(w) if w.matches(&env));
+        let arrival = env.arrival;
+        self.procs[dst].mailbox.push(env);
+        if wake {
+            self.push_event(arrival, dst);
+        }
+    }
+
+    /// Pops the next live event **before `window_end`**, advances the
+    /// clock, and hands the turn to its process. Returns `false` when
+    /// nothing is dispatchable — the run drained (single shard), the
+    /// window closed (sharded), or a deadlock was detected (single shard;
+    /// the sharded equivalent is diagnosed by the coordinator, which sees
+    /// every shard).
     pub fn dispatch_next(&mut self) -> bool {
         loop {
-            let Some(ev) = self.queue.pop() else {
-                if self.live > 0 {
+            let Some(ev) = self.queue.peek().copied() else {
+                if self.window_end == SimTime::MAX && self.live > 0 {
                     let stuck: Vec<usize> = self
                         .procs
                         .iter()
@@ -220,19 +353,41 @@ impl EngineState {
                 self.current = None;
                 return false;
             };
-            // A wake event for a proc that was re-blocked or finished in the
-            // meantime is stale; skip it.
-            match self.procs[ev.pid].status {
-                Status::Scheduled => {
-                    debug_assert!(ev.time >= self.clock, "event in the past");
-                    self.clock = self.clock.max(ev.time);
-                    self.procs[ev.pid].status = Status::Running;
-                    self.current = Some(ev.pid);
-                    return true;
-                }
-                Status::Finished | Status::Running | Status::BlockedRecv(_) => continue,
+            if !self.event_live(&ev) {
+                self.queue.pop();
+                continue;
+            }
+            // Strict bound: a running rank's clock always stays below the
+            // window end, so every cross-shard observation at `now - L`
+            // lands strictly before other shards' mutation frontier.
+            if ev.time >= self.window_end {
+                self.current = None;
+                return false;
+            }
+            self.queue.pop();
+            debug_assert!(ev.time >= self.clock, "event in the past");
+            self.clock = self.clock.max(ev.time);
+            let p = &mut self.procs[ev.pid];
+            p.epoch += 1; // kill this proc's other queued wake-ups
+            p.status = Status::Running;
+            self.current = Some(ev.pid);
+            return true;
+        }
+    }
+
+    /// [`Self::dispatch_next`], reporting quiescence to the window
+    /// coordinator (once per window) when nothing is dispatchable. All
+    /// turn-token call sites use this; the coordinator itself calls
+    /// `dispatch_next` and handles the result inline.
+    pub fn dispatch_or_quiesce(&mut self) -> bool {
+        let ok = self.dispatch_next();
+        if !ok && !self.quiesced {
+            if let Some(ws) = &self.wsync {
+                self.quiesced = true;
+                ws.mark_quiescent();
             }
         }
+        ok
     }
 }
 
@@ -304,26 +459,31 @@ mod tests {
     }
 
     #[test]
-    fn event_ordering_is_time_then_seq() {
+    fn event_ordering_is_time_then_pid_then_seq() {
         let a = Event {
             time: SimTime::from_secs(1),
-            seq: 5,
             pid: 0,
+            seq: 6,
+            epoch: 0,
         };
         let b = Event {
             time: SimTime::from_secs(1),
-            seq: 6,
             pid: 1,
+            seq: 5,
+            epoch: 0,
         };
         let c = Event {
             time: SimTime::from_secs(2),
+            pid: 0,
             seq: 1,
-            pid: 2,
+            epoch: 0,
         };
-        let mut heap = BinaryHeap::new();
+        let mut heap = std::collections::BinaryHeap::new();
         heap.push(c);
         heap.push(b);
         heap.push(a);
+        // At equal times the lower pid wins even with a higher seq: the
+        // dispatch order is (time, pid, seq).
         assert_eq!(heap.pop(), Some(a));
         assert_eq!(heap.pop(), Some(b));
         assert_eq!(heap.pop(), Some(c));
@@ -352,6 +512,35 @@ mod tests {
     }
 
     #[test]
+    fn epoch_mismatch_invalidates_events() {
+        let mut st = state(1);
+        // A second wake-up for proc 0 at a later time…
+        st.push_event(SimTime::from_millis(5), 0);
+        // …then the proc is dispatched (epoch bumps), re-scheduled, and
+        // wakes at an even later time: both old events are now dead.
+        assert!(st.dispatch_next());
+        st.procs[0].status = Status::Scheduled;
+        st.push_event(SimTime::from_millis(9), 0);
+        assert!(st.dispatch_next());
+        assert_eq!(st.clock, SimTime::from_millis(9));
+        assert!(st.queue.is_empty(), "stale epoch events must be consumed");
+    }
+
+    #[test]
+    fn window_end_parks_future_events() {
+        let mut st = state(1);
+        st.queue.clear();
+        st.procs[0].status = Status::Scheduled;
+        st.push_event(SimTime::from_millis(3), 0);
+        st.window_end = SimTime::from_millis(2);
+        assert!(!st.dispatch_next(), "event beyond the window must wait");
+        assert!(st.panic_msg.is_none(), "a closed window is not a deadlock");
+        st.window_end = SimTime::from_millis(4);
+        assert!(st.dispatch_next());
+        assert_eq!(st.clock, SimTime::from_millis(3));
+    }
+
+    #[test]
     fn deadlock_is_detected() {
         let mut st = state(1);
         st.queue.clear();
@@ -373,6 +562,7 @@ mod tests {
             sent: SimTime::ZERO,
             arrival: SimTime::ZERO,
             seq: 0,
+            rx_queued: SimDur::ZERO,
             payload: vec![],
         };
         assert!(RecvWait {
@@ -395,8 +585,8 @@ mod tests {
 
     #[test]
     fn proc_mailbox_delivers_in_arrival_seq_order() {
-        // The indexed mailbox behind ProcState keeps the seed's matching
-        // order; the full oracle suite lives in `mailbox.rs`.
+        // The indexed mailbox behind ProcState keeps the canonical
+        // matching order; the full oracle suite lives in `mailbox.rs`.
         let mut p = ProcState::new(0);
         let mk = |seq, arrival_ms| Envelope {
             src: 1,
@@ -404,6 +594,7 @@ mod tests {
             sent: SimTime::ZERO,
             arrival: SimTime::from_millis(arrival_ms),
             seq,
+            rx_queued: SimDur::ZERO,
             payload: vec![seq as u8],
         };
         p.mailbox.push(mk(2, 5));
@@ -419,10 +610,32 @@ mod tests {
     }
 
     #[test]
+    fn deliver_wakes_matching_blocked_receiver() {
+        let mut st = state(2);
+        st.queue.clear();
+        st.procs[0].status = Status::BlockedRecv(RecvWait { src: None, tag: 4 });
+        st.deliver(
+            0,
+            Envelope {
+                src: 1,
+                tag: 4,
+                sent: SimTime::ZERO,
+                arrival: SimTime::from_millis(7),
+                seq: 1,
+                rx_queued: SimDur::ZERO,
+                payload: vec![],
+            },
+        );
+        assert!(st.dispatch_next());
+        assert_eq!(st.current, Some(0));
+        assert_eq!(st.clock, SimTime::from_millis(7));
+    }
+
+    #[test]
     fn prune_stale_heads_drops_only_dead_events() {
         let mut st = state(2);
-        // Proc 1 blocked at a receive: its initial t=0 event is stale.
-        st.procs[1].status = Status::BlockedRecv(RecvWait { src: None, tag: 0 });
+        // Proc 1's initial event is from a previous wake generation.
+        st.procs[1].epoch += 1;
         st.prune_stale_heads();
         // Proc 0's live event survives in front of proc 1's stale one.
         assert_eq!(st.queue.peek().map(|e| e.pid), Some(0));

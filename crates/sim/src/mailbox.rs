@@ -3,18 +3,22 @@
 //! The seed kept every undelivered envelope in one `Vec` and rescanned it
 //! for each receive — O(backlog) per match, which the collective-heavy
 //! traffic from the comm layer turns into a real cost. This index keeps one
-//! FIFO queue per `(tag, src)` pair, each ordered by `(arrival, seq)`, so:
+//! FIFO queue per `(tag, src)` pair, each ordered by `(arrival, seq)`, plus
+//! a per-tag set of queue-front keys so:
 //!
 //! * a directed receive looks at exactly one queue front;
-//! * an any-source receive takes the minimum over the fronts of the tag's
-//!   queues (one per distinct sender, found by a `BTreeMap` range scan);
-//! * the matching order — earliest `(arrival, seq)` wins — is identical to
-//!   the seed's linear scan, which the oracle property test pins down.
+//! * an any-source receive takes the *first* element of the tag's front
+//!   set — O(log senders) even past 1024 ranks, where the seed's
+//!   range-scan-over-fronts went linear in the sender count;
+//! * the matching order — earliest `(arrival, src, seq)` wins — is the
+//!   canonical message order of the sharded engine, pinned by the oracle
+//!   property test.
 //!
-//! `BTreeMap` (not a hash map) keeps iteration order deterministic, which
-//! the bit-reproducibility guarantee of the engine depends on.
+//! `BTreeMap`/`BTreeSet` (not hash maps) keep iteration order
+//! deterministic, which the bit-reproducibility guarantee of the engine
+//! depends on.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use crate::engine::{Envelope, RecvWait};
 use crate::time::SimTime;
@@ -22,10 +26,16 @@ use crate::time::SimTime;
 #[derive(Debug, Default)]
 pub(crate) struct Mailbox {
     /// `(tag, src)` → envelopes ordered by `(arrival, seq)`. Keys are
-    /// removed when their queue drains, so range scans only visit live
-    /// senders.
+    /// removed when their queue drains.
     queues: BTreeMap<(u64, usize), VecDeque<Envelope>>,
+    /// `tag` → the `(arrival, src, seq)` key of every live queue's front
+    /// envelope. The set minimum IS the any-source match for that tag.
+    fronts: BTreeMap<u64, BTreeSet<(SimTime, usize, u64)>>,
     len: usize,
+}
+
+fn front_key(env: &Envelope) -> (SimTime, usize, u64) {
+    (env.arrival, env.src, env.seq)
 }
 
 impl Mailbox {
@@ -44,7 +54,9 @@ impl Mailbox {
     /// `push_back`; the ordered-insert fallback keeps the queue invariant
     /// under any delivery model.
     pub fn push(&mut self, env: Envelope) {
-        let q = self.queues.entry((env.tag, env.src)).or_default();
+        let tag = env.tag;
+        let q = self.queues.entry((tag, env.src)).or_default();
+        let old_front = q.front().map(front_key);
         let key = (env.arrival, env.seq);
         match q.back() {
             Some(b) if (b.arrival, b.seq) > key => {
@@ -53,10 +65,18 @@ impl Mailbox {
             }
             _ => q.push_back(env),
         }
+        let new_front = front_key(q.front().expect("just pushed"));
+        if old_front != Some(new_front) {
+            let set = self.fronts.entry(tag).or_default();
+            if let Some(old) = old_front {
+                set.remove(&old);
+            }
+            set.insert(new_front);
+        }
         self.len += 1;
     }
 
-    /// The queue key holding the earliest `(arrival, seq)` match for
+    /// The queue key holding the earliest `(arrival, src, seq)` match for
     /// `wait`, if any.
     fn best_key(&self, wait: RecvWait) -> Option<(u64, usize)> {
         match wait.src {
@@ -65,13 +85,10 @@ impl Mailbox {
                 self.queues.contains_key(&k).then_some(k)
             }
             None => self
-                .queues
-                .range((wait.tag, 0)..=(wait.tag, usize::MAX))
-                .min_by_key(|(_, q)| {
-                    let f = q.front().expect("empty queue left in index");
-                    (f.arrival, f.seq)
-                })
-                .map(|(&k, _)| k),
+                .fronts
+                .get(&wait.tag)
+                .and_then(|set| set.first())
+                .map(|&(_, src, _)| (wait.tag, src)),
         }
     }
 
@@ -85,8 +102,18 @@ impl Mailbox {
             return None;
         }
         let env = q.pop_front().expect("front checked above");
-        if q.is_empty() {
-            self.queues.remove(&key);
+        let set = self.fronts.get_mut(&key.0).expect("front set is live");
+        set.remove(&front_key(&env));
+        match q.front() {
+            Some(f) => {
+                set.insert(front_key(f));
+            }
+            None => {
+                self.queues.remove(&key);
+                if set.is_empty() {
+                    self.fronts.remove(&key.0);
+                }
+            }
         }
         self.len -= 1;
         Some(env)
@@ -108,6 +135,7 @@ impl Mailbox {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::time::SimDur;
 
     fn env(src: usize, tag: u64, arrival_ms: u64, seq: u64) -> Envelope {
         Envelope {
@@ -116,6 +144,7 @@ mod tests {
             sent: SimTime::ZERO,
             arrival: SimTime::from_millis(arrival_ms),
             seq,
+            rx_queued: SimDur::ZERO,
             payload: vec![seq as u8],
         }
     }
@@ -169,6 +198,22 @@ mod tests {
     }
 
     #[test]
+    fn any_source_tie_breaks_on_src_then_seq() {
+        // Seqs are per-sender, so distinct sources can collide on
+        // (arrival, seq); the lower source wins — the canonical
+        // (arrival, src, seq) order.
+        let mut mb = Mailbox::new();
+        mb.push(env(5, 3, 4, 1));
+        mb.push(env(2, 3, 4, 9));
+        let wait = RecvWait { src: None, tag: 3 };
+        let now = SimTime::from_millis(10);
+        let e = mb.pop_ready(wait, now).unwrap();
+        assert_eq!((e.src, e.seq), (2, 9));
+        let e = mb.pop_ready(wait, now).unwrap();
+        assert_eq!((e.src, e.seq), (5, 1));
+    }
+
+    #[test]
     fn tags_demultiplex() {
         let mut mb = Mailbox::new();
         mb.push(env(1, 10, 1, 1));
@@ -206,9 +251,11 @@ mod tests {
 #[cfg(test)]
 mod oracle {
     use super::*;
+    use crate::time::SimDur;
     use dynmpi_testkit::check_n;
 
-    /// The seed's `find_ready`/`find_pending`, verbatim semantics.
+    /// The seed's `find_ready`/`find_pending`, with the canonical
+    /// `(arrival, src, seq)` order (seqs are per-sender).
     struct LinearBox(Vec<Envelope>);
 
     impl LinearBox {
@@ -218,15 +265,12 @@ mod oracle {
                 .iter()
                 .enumerate()
                 .filter(|(_, e)| wait.matches(e) && e.arrival <= now)
-                .min_by_key(|(_, e)| (e.arrival, e.seq))
+                .min_by_key(|(_, e)| (e.arrival, e.src, e.seq))
                 .map(|(i, _)| i)?;
             Some(self.0.remove(i))
         }
 
         fn pending_arrival(&self, wait: RecvWait) -> Option<SimTime> {
-            // Seed reported min arrival; for full-order agreement the
-            // oracle takes min (arrival, seq), which coincides on the
-            // arrival component.
             self.0
                 .iter()
                 .filter(|e| wait.matches(e))
@@ -240,20 +284,23 @@ mod oracle {
         check_n("mailbox_vs_oracle", 300, |rng| {
             let mut mb = Mailbox::new();
             let mut oracle = LinearBox(Vec::new());
-            let mut seq = 0u64;
             let nsrc = rng.range_usize(1, 6);
             let ntag = rng.range_u64(1, 4);
+            // Per-sender program-order sequence numbers, like the engine's.
+            let mut seqs = vec![0u64; nsrc];
             for _ in 0..rng.range_u64(0, 60) {
                 let op = rng.range_u64(0, 4);
                 if op == 0 || mb.len() == 0 {
-                    seq += 1;
+                    let src = rng.range_usize(0, nsrc);
+                    seqs[src] += 1;
                     let e = Envelope {
-                        src: rng.range_usize(0, nsrc),
+                        src,
                         tag: rng.range_u64(0, ntag),
                         sent: SimTime::ZERO,
-                        // Coarse arrivals so (arrival, seq) ties happen.
+                        // Coarse arrivals so (arrival, src, seq) ties happen.
                         arrival: SimTime::from_millis(rng.range_u64(0, 8)),
-                        seq,
+                        seq: seqs[src],
+                        rx_queued: SimDur::ZERO,
                         payload: vec![],
                     };
                     mb.push(e.clone());

@@ -76,12 +76,29 @@ impl BlockHistory {
     }
 }
 
+/// The publication instant a reader at virtual time `t` observes for a
+/// monitor whose reports take `lag` to propagate: the start of the second
+/// containing `t - lag` (saturating at 0). A rank reading its own node's
+/// monitor passes `lag = 0`; a rank reading a *remote* node's monitor
+/// passes one network latency — which also makes remote readings a pure
+/// function of state at least one lookahead window old, so the sharded
+/// engine can serve them from the shared monitor board without races.
+pub fn monitor_sample_time(t: SimTime, lag: crate::time::SimDur) -> SimTime {
+    SimTime(t.0.saturating_sub(lag.0)).floor_to_second()
+}
+
 /// A `dmpi_ps` daemon reading: running-or-ready process count on the node,
 /// always including the monitored application. The daemon publishes once per
 /// virtual second, so readers see the state as of the containing second's
 /// start.
 pub fn dmpi_ps_reading(timeline: &NcpTimeline, t: SimTime) -> u32 {
-    timeline.at(t.floor_to_second()) + 1
+    dmpi_ps_reading_at(timeline, t.floor_to_second())
+}
+
+/// [`dmpi_ps_reading`] at an explicit (already-floored) sample instant,
+/// e.g. one from [`monitor_sample_time`].
+pub fn dmpi_ps_reading_at(timeline: &NcpTimeline, sample: SimTime) -> u32 {
+    timeline.at(sample) + 1
 }
 
 /// A `vmstat`-style reading: processes on the run queue at the sample
@@ -89,7 +106,11 @@ pub fn dmpi_ps_reading(timeline: &NcpTimeline, t: SimTime) -> u32 {
 /// blocked-at-receive applications disappear, which is exactly the
 /// unreliability §4.2 reports.
 pub fn vmstat_reading(timeline: &NcpTimeline, blocks: &BlockHistory, t: SimTime) -> u32 {
-    let sample = t.floor_to_second();
+    vmstat_reading_at(timeline, blocks, t.floor_to_second())
+}
+
+/// [`vmstat_reading`] at an explicit (already-floored) sample instant.
+pub fn vmstat_reading_at(timeline: &NcpTimeline, blocks: &BlockHistory, sample: SimTime) -> u32 {
     let app = u32::from(!blocks.blocked_at(sample));
     timeline.at(sample) + app
 }
@@ -144,6 +165,31 @@ mod tests {
         let f = h.blocked_fraction(SimTime::ZERO, ms(1000));
         assert!((f - 0.5).abs() < 1e-9, "{f}");
         assert_eq!(h.blocked_fraction(ms(10), ms(10)), 0.0);
+    }
+
+    #[test]
+    fn sample_time_lags_then_floors() {
+        use crate::time::SimDur;
+        let lag = SimDur::from_micros(100);
+        // 5.000050s - 100µs = 4.99995s → floors to 4s, not 5s: a reader
+        // right after a second boundary still sees the previous second.
+        assert_eq!(
+            monitor_sample_time(SimTime::from_micros(5_000_050), lag),
+            SimTime::from_secs(4)
+        );
+        assert_eq!(
+            monitor_sample_time(SimTime::from_millis(5_500), lag),
+            SimTime::from_secs(5)
+        );
+        // Saturates at the epoch instead of underflowing.
+        assert_eq!(
+            monitor_sample_time(SimTime::from_micros(50), lag),
+            SimTime::ZERO
+        );
+        assert_eq!(
+            monitor_sample_time(SimTime::from_secs(3), SimDur::ZERO),
+            SimTime::from_secs(3)
+        );
     }
 
     #[test]

@@ -5,11 +5,29 @@
 //! node's transmit and receive NICs serialize their own traffic — the
 //! contention that matters for ghost-row exchanges and redistribution
 //! bursts. Rank-to-self messages cost a memcpy.
-
-use dynmpi_obs as obs;
+//!
+//! Delivery is split into a sender half ([`Network::tx_depart`]) and a
+//! receiver half ([`Network::rx_land`]) so a sharded engine can run them on
+//! different shards: the sender's shard charges the TX NIC when the send is
+//! issued, and the destination's shard charges the RX NIC when the
+//! coordinator applies the message at the window barrier — in the same
+//! canonical order a single-shard run applies sends, so NIC state evolves
+//! identically. [`Network::deliver_at`] composes the two for the
+//! single-shard path.
 
 use crate::params::NetParams;
 use crate::time::{SimDur, SimTime};
+
+/// Sender-side result of injecting a cross-node frame.
+#[derive(Clone, Copy, Debug)]
+pub struct TxDepart {
+    /// Last bit leaves the sender's TX NIC.
+    pub tx_end: SimTime,
+    /// First bit reaches the destination NIC (one latency after TX start).
+    pub rx_ready: SimTime,
+    /// Time the frame queued behind earlier sends on the TX NIC.
+    pub queued: SimDur,
+}
 
 /// Per-node NIC availability state.
 #[derive(Clone, Debug)]
@@ -63,55 +81,79 @@ impl Network {
         self.nic_bw[node] = bandwidth;
     }
 
-    /// Schedules a `bytes`-byte message from `src` to `dst`, with the send
-    /// call issued at `t`. Returns the virtual time at which the payload is
-    /// fully available at the destination.
-    ///
-    /// Cut-through model: the frame serializes once on the sender's TX NIC
-    /// and once on the receiver's RX NIC, overlapped except for the wire
-    /// latency between the first bits. A frame that finds the RX NIC busy
-    /// queues and then pays its full serialization there too — fan-in is
-    /// as expensive as fan-out, which is what makes the eager-tree
-    /// broadcast's root-side burst visible in simulated time.
-    pub fn deliver_at(&mut self, src: usize, dst: usize, bytes: usize, t: SimTime) -> SimTime {
+    /// Sender half of a cross-node delivery: serializes the frame on
+    /// `src`'s TX NIC at time `t` and accounts it. Cut-through model: the
+    /// first bit is on the wire as soon as TX starts, so the destination
+    /// NIC can begin landing the frame one latency later.
+    pub fn tx_depart(&mut self, src: usize, bytes: usize, t: SimTime) -> TxDepart {
         self.messages += 1;
         self.bytes += bytes as u64;
-        if src == dst {
-            let copy = SimDur::from_secs_f64(bytes as f64 / self.params.self_bandwidth);
-            let start = t.max(self.self_free[src]);
-            let arrival = start + copy;
-            self.self_free[src] = arrival;
-            self.last_queued = start - t;
-            return arrival;
-        }
         let tx_ser = SimDur::from_secs_f64(bytes as f64 / self.nic_bw[src]);
-        let rx_ser = SimDur::from_secs_f64(bytes as f64 / self.nic_bw[dst]);
         let tx_start = t.max(self.tx_free[src]);
         let tx_end = tx_start + tx_ser;
         self.tx_free[src] = tx_end;
-        // First bit reaches the receiver one latency after it left the
-        // sender; the RX NIC then serializes the frame from that point
-        // (or from whenever it frees up, if later). With asymmetric NIC
-        // rates the last bit cannot land before the slower sender has
-        // pushed it out, hence the lower bound at `tx_end + latency` —
-        // which for equal rates is never the binding term, so homogeneous
-        // clusters keep their exact historical timings.
-        let rx_ready = tx_start + self.params.latency;
+        let queued = tx_start - t;
+        self.tx_wait[src] += queued;
+        TxDepart {
+            tx_end,
+            rx_ready: tx_start + self.params.latency,
+            queued,
+        }
+    }
+
+    /// Receiver half: lands a frame whose first bit reached `dst`'s NIC at
+    /// `rx_ready` and whose sender finishes serializing at `tx_end`.
+    /// Returns `(arrival, rx_queued)`. A frame that finds the RX NIC busy
+    /// queues and then pays its full serialization there too — fan-in is
+    /// as expensive as fan-out, which is what makes the eager-tree
+    /// broadcast's root-side burst visible in simulated time.
+    pub fn rx_land(
+        &mut self,
+        dst: usize,
+        bytes: usize,
+        rx_ready: SimTime,
+        tx_end: SimTime,
+    ) -> (SimTime, SimDur) {
+        let rx_ser = SimDur::from_secs_f64(bytes as f64 / self.nic_bw[dst]);
         let rx_start = rx_ready.max(self.rx_free[dst]);
+        // With asymmetric NIC rates the last bit cannot land before the
+        // slower sender has pushed it out, hence the lower bound at
+        // `tx_end + latency` — which for equal rates is never the binding
+        // term, so homogeneous clusters keep their exact historical
+        // timings.
         let arrival = (rx_start + rx_ser).max(tx_end + self.params.latency);
         self.rx_free[dst] = arrival;
+        let queued = rx_start - rx_ready;
+        self.rx_wait[dst] += queued;
+        (arrival, queued)
+    }
 
-        let tx_queued = tx_start - t;
-        let rx_queued = rx_start - rx_ready;
-        self.tx_wait[src] += tx_queued;
-        self.rx_wait[dst] += rx_queued;
-        self.last_queued = tx_queued + rx_queued;
-        if tx_queued > SimDur::ZERO {
-            obs::count("net.tx_wait_ns", tx_queued.0);
+    /// Rank-to-self delivery: a memcpy at the node's copy bandwidth,
+    /// FIFO behind earlier self-copies. Returns `(arrival, queued)`.
+    pub fn deliver_self(&mut self, node: usize, bytes: usize, t: SimTime) -> (SimTime, SimDur) {
+        self.messages += 1;
+        self.bytes += bytes as u64;
+        let copy = SimDur::from_secs_f64(bytes as f64 / self.params.self_bandwidth);
+        let start = t.max(self.self_free[node]);
+        let arrival = start + copy;
+        self.self_free[node] = arrival;
+        (arrival, start - t)
+    }
+
+    /// Schedules a `bytes`-byte message from `src` to `dst`, with the send
+    /// call issued at `t`. Returns the virtual time at which the payload is
+    /// fully available at the destination. Composes [`Self::tx_depart`]
+    /// and [`Self::rx_land`] (or [`Self::deliver_self`]) — the
+    /// single-shard path, and the reference the split halves must match.
+    pub fn deliver_at(&mut self, src: usize, dst: usize, bytes: usize, t: SimTime) -> SimTime {
+        if src == dst {
+            let (arrival, queued) = self.deliver_self(src, bytes, t);
+            self.last_queued = queued;
+            return arrival;
         }
-        if rx_queued > SimDur::ZERO {
-            obs::count("net.rx_wait_ns", rx_queued.0);
-        }
+        let tx = self.tx_depart(src, bytes, t);
+        let (arrival, rx_queued) = self.rx_land(dst, bytes, tx.rx_ready, tx.tx_end);
+        self.last_queued = tx.queued + rx_queued;
         arrival
     }
 
@@ -191,6 +233,22 @@ mod tests {
         assert_eq!(b, SimTime::from_micros(20_100));
         assert_eq!(n.tx_wait_total(), SimDur::ZERO);
         assert_eq!(n.rx_wait_total(), SimDur::from_micros(10_000));
+    }
+
+    #[test]
+    fn split_halves_compose_to_deliver_at() {
+        // The sharded engine runs TX and RX on different shards with
+        // other traffic in between; the split must be observationally
+        // identical to the one-shot call.
+        let mut whole = net(3);
+        let mut split = net(3);
+        let a = whole.deliver_at(0, 2, 125_000, SimTime::ZERO);
+        let tx = split.tx_depart(0, 125_000, SimTime::ZERO);
+        let (b, rxq) = split.rx_land(2, 125_000, tx.rx_ready, tx.tx_end);
+        assert_eq!(a, b);
+        assert_eq!(tx.queued + rxq, whole.last_queued());
+        assert_eq!(whole.message_count(), split.message_count());
+        assert_eq!(whole.byte_count(), split.byte_count());
     }
 
     #[test]

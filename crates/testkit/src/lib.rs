@@ -243,6 +243,48 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
+    let order: Vec<usize> = (0..items.len()).collect();
+    sweep_in_order(items, &order, threads, f)
+}
+
+/// The claim order that longest-processing-time (LPT) list scheduling
+/// uses: heaviest item first, ties broken by input index. Deterministic.
+pub fn lpt_order(weights: &[f64]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..weights.len()).collect();
+    // NaN weights count as lightest so the order stays total.
+    let w = |i: usize| {
+        if weights[i].is_nan() {
+            f64::NEG_INFINITY
+        } else {
+            weights[i]
+        }
+    };
+    order.sort_by(|&a, &b| w(b).total_cmp(&w(a)).then(a.cmp(&b)));
+    order
+}
+
+/// [`sweep`] with a per-item cost estimate: workers claim items heaviest
+/// first (LPT order), so one huge arm placed late in the input no longer
+/// tail-blocks the pool while its siblings sit finished. Weights only
+/// steer the claim order — results still come back in **input order** and
+/// are bit-identical to `sweep`'s at any thread count. Weights need only
+/// be roughly proportional to runtime (e.g. `ranks × iterations`).
+pub fn sweep_weighted<T, R, F>(items: &[T], weights: &[f64], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    assert_eq!(items.len(), weights.len(), "one weight per item");
+    sweep_in_order(items, &lpt_order(weights), threads, f)
+}
+
+fn sweep_in_order<T, R, F>(items: &[T], order: &[usize], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
     if threads <= 1 || items.len() <= 1 {
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
@@ -252,9 +294,9 @@ where
         let workers: Vec<_> = (0..threads.min(items.len()))
             .map(|_| {
                 s.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(item) = items.get(i) else { return };
-                    let r = f(i, item);
+                    let k = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&i) = order.get(k) else { return };
+                    let r = f(i, &items[i]);
                     // A sibling worker may have panicked while we computed:
                     // tolerate the poisoned lock so our result still lands
                     // and the scope can unwind with the original payload.
@@ -382,5 +424,60 @@ mod tests {
     #[test]
     fn available_threads_is_positive() {
         assert!(available_threads() >= 1);
+    }
+
+    #[test]
+    fn sweep_weighted_matches_sweep_results() {
+        let items: Vec<u64> = (0..23).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * 3).collect();
+        let weights: Vec<f64> = items.iter().map(|&x| (x % 7) as f64).collect();
+        for threads in [1, 3, 16] {
+            let got = sweep_weighted(&items, &weights, threads, |i, &x| {
+                assert_eq!(items[i], x);
+                x * 3
+            });
+            assert_eq!(got, expect, "threads = {threads}");
+        }
+    }
+
+    /// Greedy list-scheduling makespan on `threads` identical workers when
+    /// items are claimed in `order` and item `i` takes `weights[i]` —
+    /// exactly the pool's behavior if runtime tracks the weights.
+    fn simulated_makespan(weights: &[f64], order: &[usize], threads: usize) -> f64 {
+        let mut free = vec![0.0f64; threads];
+        for &i in order {
+            let w = free
+                .iter_mut()
+                .min_by(|a, b| a.partial_cmp(b).unwrap())
+                .unwrap();
+            *w += weights[i];
+        }
+        free.iter().fold(0.0f64, |a, &b| a.max(b))
+    }
+
+    #[test]
+    fn lpt_order_avoids_tail_blocking_on_skewed_sweeps() {
+        // The fig4 shape that motivated the fix: four light arms and one
+        // huge arm listed last. Input-order claiming parks the huge arm
+        // behind the light ones and tail-blocks the pool.
+        let weights = [10.0, 10.0, 10.0, 10.0, 40.0];
+        let threads = 2;
+        let total: f64 = weights.iter().sum();
+        let balanced = (total / threads as f64).max(40.0); // lower bound
+        let input_order: Vec<usize> = (0..weights.len()).collect();
+        let naive = simulated_makespan(&weights, &input_order, threads);
+        let lpt = simulated_makespan(&weights, &lpt_order(&weights), threads);
+        assert!(naive > 1.2 * balanced, "skew not skewed enough: {naive}");
+        assert!(
+            lpt <= 1.2 * balanced,
+            "LPT makespan {lpt} exceeds 1.2 × balanced bound {balanced}"
+        );
+    }
+
+    #[test]
+    fn lpt_order_is_heaviest_first_with_index_ties() {
+        assert_eq!(lpt_order(&[1.0, 5.0, 5.0, 0.5]), vec![1, 2, 0, 3]);
+        assert_eq!(lpt_order(&[]), Vec::<usize>::new());
+        assert_eq!(lpt_order(&[2.0, f64::NAN, 3.0]), vec![2, 0, 1]);
     }
 }
