@@ -82,14 +82,17 @@ pub fn run<T: HostMeters>(t: &T, p: &JacobiParams, cfg: DynMpiConfig) -> AppResu
     mb.fill_rows(&rt.local_rows(b_id), |i, j| initial(i, j, n));
 
     let row_work = (n - 2) as f64 * work::JACOBI_POINT;
-    for step in 0..p.iters {
+    // The canonical rollback loop: a crash recovery rewinds `step` to the
+    // checkpointed progress and the survivors replay from restored data.
+    let mut step = 0usize;
+    while step < p.iters {
         rt.begin_cycle();
         if p.rebalance_at == Some(step) {
             rt.request_rebalance();
         }
         if rt.participating() {
             // Even steps read B / write A, odd steps the reverse.
-            let (src_id, src, dst) = if step % 2 == 0 {
+            let (src_id, src, dst) = if step.is_multiple_of(2) {
                 (b_id, &mut mb, &mut ma)
             } else {
                 (a_id, &mut ma, &mut mb)
@@ -104,6 +107,10 @@ pub fn run<T: HostMeters>(t: &T, p: &JacobiParams, cfg: DynMpiConfig) -> AppResu
         }
         let mut arrays: Vec<&mut dyn RedistArray> = vec![&mut ma, &mut mb];
         rt.end_cycle(&mut arrays);
+        step = match rt.take_rollback() {
+            Some(back) => back as usize,
+            None => step + 1,
+        };
     }
 
     // Checksum over the final written buffer (globally consistent).

@@ -3,7 +3,11 @@
 use dynmpi::RuntimeEvent;
 
 /// What one rank reports after running an application.
-#[derive(Clone, Debug, PartialEq)]
+///
+/// `Default` is the "no result" value: the simulator substitutes it for
+/// a rank whose node fail-stopped mid-run (`checksum: None`,
+/// `participating: false`).
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct AppResult {
     /// Application-level checksum (identical across ranks; used to prove
     /// adaptation never changes answers). `None` when the numerical

@@ -20,6 +20,12 @@
 //!   the streaming health monitor subscribed vs the same run bare: the
 //!   virtual outputs must be bit-identical and the wall-clock overhead
 //!   of online monitoring stays pinned below its acceptance bar.
+//! * **checkpoint overhead** — the same adaptive Jacobi run with the
+//!   fault path armed (failure detection + periodic buddy-checkpoint
+//!   refreshes) vs. unguarded: the refresh traffic's virtual-makespan
+//!   overhead is deterministic and must stay pinned below its
+//!   acceptance bar, and the refresh counters must show the mirrors
+//!   actually cycling.
 //! * **sharded scaling** — one 1024-rank ring-exchange simulation at
 //!   `--shards` 1/2/8: virtual outputs must be bit-identical at every
 //!   shard count, and on multi-core machines the 8-shard run must beat
@@ -332,6 +338,28 @@ fn main() {
     let mon_ns = dynmpi_testkit::bench("health monitor: on", || with_monitor().0.makespan).mean_ns;
     let monitor_overhead = mon_ns / bare_ns;
 
+    log_info!("checkpoint overhead: same Jacobi run, fault path off vs armed (interval 5)");
+    let ckpt_interval = 5u32;
+    let ckpt_exp = health_experiment(monitor_iters).with_cfg(DynMpiConfig {
+        failure_detection: true,
+        peer_timeout_seconds: 0.05,
+        failure_confirm_cycles: 3,
+        checkpoint_interval_cycles: ckpt_interval,
+        ..Default::default()
+    });
+    let ckpt_rec = Recorder::new();
+    let guarded = run_sim_with(&ckpt_exp, Some(ckpt_rec.clone()));
+    let ckpt_metrics = ckpt_rec.merged_metrics();
+    let ckpt_refreshes = ckpt_metrics.counter(dynmpi::CKPT_REFRESHES);
+    let ckpt_bytes = ckpt_metrics.counter(dynmpi::CKPT_BYTES_SENT);
+    // Virtual, not wall: the refresh traffic is simulated communication,
+    // so the ratio is exactly reproducible on any machine.
+    let ckpt_overhead = guarded.makespan / bare.makespan;
+    let guarded_ns = dynmpi_testkit::bench("fault path: armed", || {
+        run_sim_with(&ckpt_exp, None).makespan
+    })
+    .mean_ns;
+
     let cores = dynmpi_testkit::available_threads();
     log_info!("sharded scaling: {ring_ranks}-rank ring at --shards 1/2/8 on {cores} cores");
     let shard_counts = [1usize, 2, 8];
@@ -395,6 +423,12 @@ fn main() {
                 format!("{monitor_overhead:.2}x"),
             ],
             vec![
+                format!("fault path armed, virtual makespan (x{ckpt_refreshes} refreshes)"),
+                format!("{:.3}s", bare.makespan),
+                format!("{:.3}s", guarded.makespan),
+                format!("{ckpt_overhead:.3}x"),
+            ],
+            vec![
                 format!("{ring_ranks}-rank ring wall-clock (s), 1 vs 8 shards"),
                 format!("{:.2}", shard_secs[0]),
                 format!("{:.2}", shard_secs[2]),
@@ -427,6 +461,23 @@ fn main() {
     assert!(
         monitor_overhead < 5.0,
         "health monitor overhead {monitor_overhead:.2}x exceeds the 5x acceptance bar"
+    );
+    // The fault path must be cheap enough to arm by default on long
+    // runs: the mirror refreshes and the timeout-guarded control gather
+    // together may not stretch the virtual makespan past the bar. The
+    // ratio is pure simulation, so it is deterministic — this is a tight
+    // bound, not a wall-clock-noise allowance.
+    assert!(
+        ckpt_refreshes > 0 && ckpt_bytes > 0,
+        "fault-path run recorded no checkpoint refreshes ({ckpt_refreshes}) or \
+         bytes ({ckpt_bytes}) — the mirrors never cycled"
+    );
+    assert!(
+        ckpt_overhead < 1.25,
+        "checkpoint refresh overhead {ckpt_overhead:.3}x exceeds the 1.25x bar \
+         ({:.3}s guarded vs {:.3}s bare)",
+        guarded.makespan,
+        bare.makespan
     );
     // Bit-identity across shard counts was asserted run-by-run above; the
     // wall-clock bound only binds where the machine has cores to use.
@@ -490,6 +541,20 @@ fn main() {
                 ("monitored_ns", Json::Num(mon_ns)),
                 ("overhead", Json::Num(monitor_overhead)),
                 ("health_windows", Json::UInt(report.windows.len() as u64)),
+            ]),
+        ),
+        (
+            "checkpoint_overhead",
+            Json::obj([
+                ("iters", Json::UInt(monitor_iters as u64)),
+                ("interval_cycles", Json::UInt(ckpt_interval as u64)),
+                ("refreshes", Json::UInt(ckpt_refreshes)),
+                ("bytes_sent", Json::UInt(ckpt_bytes)),
+                ("bare_makespan_s", Json::Num(bare.makespan)),
+                ("guarded_makespan_s", Json::Num(guarded.makespan)),
+                ("overhead", Json::Num(ckpt_overhead)),
+                ("bare_wall_ns", Json::Num(bare_ns)),
+                ("guarded_wall_ns", Json::Num(guarded_ns)),
             ]),
         ),
         (

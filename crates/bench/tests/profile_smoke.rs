@@ -1,8 +1,10 @@
 //! Smoke tests behind the CI `profile-smoke` job: run the quick fig4
 //! `jacobi/8` configuration end to end with `--trace-out`/`--profile-out`
 //! (and, separately, `--health-out`) and assert the emitted reports are
-//! parseable, complete, and internally consistent. Artifacts land in
-//! `target/profile-smoke/` so CI can upload them when this fails.
+//! parseable, complete, and internally consistent; quick fig8 (node
+//! arrival) and fig9 (node crash) arms do the same for the malleability
+//! and fault paths. Artifacts land in `target/profile-smoke/` so CI can
+//! upload them when this fails.
 
 use std::path::PathBuf;
 use std::process::Command;
@@ -257,6 +259,98 @@ fn fig8_quick_arrival_absorbed_deterministically() {
         ["grow/2", "grow/4", "grow/8", "readd/4"],
         "unexpected fig8 scenario sweep"
     );
+}
+
+/// Runs quick fig9 (node crash) fully observed (`--trace-out`,
+/// `--health-out`) under the given thread count, shard count, and engine
+/// mode, returning `(rows_jsonl, health_jsonl, trace_json)`.
+fn fig9_run(
+    out_dir: &std::path::Path,
+    tag: &str,
+    threads: &str,
+    shards: &str,
+    stepped: bool,
+) -> (String, String, String) {
+    let dir = out_dir.join(format!("fig9-{tag}"));
+    std::fs::create_dir_all(&dir).unwrap();
+    let health = dir.join("health.jsonl");
+    let trace = dir.join("trace.json");
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_fig9_node_crash"));
+    cmd.arg("--quick")
+        .arg("--out")
+        .arg(&dir)
+        .arg("--threads")
+        .arg(threads)
+        .arg("--shards")
+        .arg(shards)
+        .arg("--health-out")
+        .arg(&health)
+        .arg("--trace-out")
+        .arg(&trace);
+    if stepped {
+        cmd.env("DYNMPI_SIM_STEPPED", "1");
+    }
+    let output = cmd.output().expect("failed to launch fig9_node_crash");
+    assert!(
+        output.status.success(),
+        "fig9_node_crash ({tag}) failed:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    (
+        std::fs::read_to_string(dir.join("fig9_node_crash.jsonl")).unwrap(),
+        std::fs::read_to_string(&health).unwrap(),
+        std::fs::read_to_string(&trace).unwrap(),
+    )
+}
+
+/// The fig9 arm of the smoke job: after an injected mid-run crash the
+/// survivors must confirm the death, restore from the buddy checkpoint,
+/// and finish with the crash-free checksum — and the rows, health
+/// snapshots, and raw trace must be byte-identical across `--threads 1`
+/// vs `8`, `--shards 1` vs `2`, and fast vs. stepped engine modes.
+#[test]
+fn fig9_quick_crash_recovers_deterministically() {
+    let out_dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/profile-smoke");
+    std::fs::create_dir_all(&out_dir).unwrap();
+
+    let (rows_t1, health_t1, trace_t1) = fig9_run(&out_dir, "t1", "1", "1", false);
+    let (rows_t8, health_t8, trace_t8) = fig9_run(&out_dir, "t8", "8", "1", false);
+    let (rows_s2, health_s2, trace_s2) = fig9_run(&out_dir, "s2", "4", "2", false);
+    let (rows_st, health_st, trace_st) = fig9_run(&out_dir, "stepped", "4", "1", true);
+    for (name, rows, health, trace) in [
+        ("--threads 8", &rows_t8, &health_t8, &trace_t8),
+        ("--shards 2", &rows_s2, &health_s2, &trace_s2),
+        ("stepped engine", &rows_st, &health_st, &trace_st),
+    ] {
+        assert_eq!(&rows_t1, rows, "fig9 rows differ under {name}");
+        assert_eq!(
+            &health_t1, health,
+            "fig9 health snapshots differ under {name}"
+        );
+        assert_eq!(&trace_t1, trace, "fig9 trace differs under {name}");
+    }
+
+    assert!(!trace_t1.trim().is_empty(), "fig9 trace is empty");
+    let mut fracs = Vec::new();
+    for (lineno, line) in rows_t1.lines().enumerate() {
+        let row = Json::parse(line)
+            .unwrap_or_else(|e| panic!("fig9 row {} is not JSON: {e}", lineno + 1));
+        assert_eq!(
+            row.get("checksum_ok").and_then(Json::as_bool),
+            Some(true),
+            "recovered run diverged from the crash-free checksum: {row}"
+        );
+        assert!(
+            u64_field(&row, "confirmed_cycle") > 0,
+            "crash never confirmed: {row}"
+        );
+        assert!(
+            u64_field(&row, "detect_cycles") > 0 && u64_field(&row, "restored_rows") > 0,
+            "no detection latency or no restored rows: {row}"
+        );
+        fracs.push(row.get("crash_frac").and_then(Json::as_f64).unwrap());
+    }
+    assert_eq!(fracs, [0.3, 0.6], "unexpected fig9 crash sweep");
 }
 
 /// Runs quick fig4 `jacobi/8` with `--health-out` under the given thread

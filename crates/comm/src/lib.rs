@@ -36,4 +36,4 @@ pub use group::Group;
 pub use ops::{CommOps, COLL_LARGE_THRESHOLD, LARGE_ALGO_MIN_RANKS};
 pub use sim_transport::SimTransport;
 pub use thread::{run_threads, ThreadTransport};
-pub use transport::{HostMeters, Transport, RESERVED_TAG_BASE};
+pub use transport::{HostMeters, PeerTimeout, Transport, RESERVED_TAG_BASE};

@@ -3,7 +3,7 @@
 use dynmpi_obs as obs;
 use dynmpi_sim::SimCtx;
 
-use crate::transport::{HostMeters, Transport};
+use crate::transport::{HostMeters, PeerTimeout, Transport};
 
 /// A [`Transport`] view over a simulated rank.
 ///
@@ -62,6 +62,29 @@ impl Transport for SimTransport<'_> {
             payload.len() as u64,
         );
         (src, payload)
+    }
+
+    fn recv_bytes_timeout(
+        &self,
+        src: usize,
+        tag: u64,
+        timeout_seconds: f64,
+    ) -> Result<Vec<u8>, PeerTimeout> {
+        let timeout = dynmpi_sim::SimDur::from_secs_f64(timeout_seconds);
+        match self.ctx.recv_timeout(Some(src), tag, timeout) {
+            Ok((_, payload)) => {
+                obs::observe(
+                    "comm.msg_bytes_recvd",
+                    &obs::BYTE_BUCKETS,
+                    payload.len() as u64,
+                );
+                Ok(payload)
+            }
+            Err(t) => Err(PeerTimeout {
+                src: t.src,
+                tag: t.tag,
+            }),
+        }
     }
 
     fn wtime(&self) -> f64 {

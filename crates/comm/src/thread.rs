@@ -48,6 +48,27 @@ impl ThreadTransport {
         Some(stash.remove(pos))
     }
 
+    /// Non-blocking probe: a matching message if one is already delivered,
+    /// stashing any non-matching deliveries for later receives. Used by
+    /// tests that emulate timeout-guarded receives without wall-clock
+    /// waits (poll this together with the fault condition).
+    pub fn try_recv_bytes(&self, src: usize, tag: u64) -> Option<Vec<u8>> {
+        if let Some(e) = self.take_stashed(Some(src), tag) {
+            return Some(e.payload);
+        }
+        loop {
+            match self.inbox.try_recv() {
+                Ok(e) => {
+                    if e.tag == tag && e.src == src {
+                        return Some(e.payload);
+                    }
+                    self.stash.borrow_mut().push(e);
+                }
+                Err(_) => return None,
+            }
+        }
+    }
+
     fn recv_matching(&self, src: Option<usize>, tag: u64) -> Envelope {
         if let Some(e) = self.take_stashed(src, tag) {
             return e;
@@ -102,6 +123,51 @@ impl Transport for ThreadTransport {
     fn recv_bytes_any(&self, tag: u64) -> (usize, Vec<u8>) {
         let e = self.recv_matching(None, tag);
         (e.src, e.payload)
+    }
+
+    /// Real wall-clock timed receive: gives up once `timeout_seconds`
+    /// elapse without a matching delivery (non-matching deliveries are
+    /// stashed, as in the blocking receive).
+    fn recv_bytes_timeout(
+        &self,
+        src: usize,
+        tag: u64,
+        timeout_seconds: f64,
+    ) -> Result<Vec<u8>, crate::transport::PeerTimeout> {
+        if let Some(e) = self.take_stashed(Some(src), tag) {
+            return Ok(e.payload);
+        }
+        let deadline = Instant::now() + Duration::from_secs_f64(timeout_seconds.max(0.0));
+        loop {
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(crate::transport::PeerTimeout {
+                    src: Some(src),
+                    tag,
+                });
+            }
+            match self
+                .inbox
+                .recv_timeout((deadline - now).min(Duration::from_millis(20)))
+            {
+                Ok(e) => {
+                    if e.tag == tag && e.src == src {
+                        return Ok(e.payload);
+                    }
+                    self.stash.borrow_mut().push(e);
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    assert!(
+                        !self.poison.load(Ordering::Acquire),
+                        "thread transport: a peer rank panicked while rank {} was receiving",
+                        self.rank
+                    );
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    panic!("thread transport: all peers disconnected while receiving")
+                }
+            }
+        }
     }
 
     fn wtime(&self) -> f64 {

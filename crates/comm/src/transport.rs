@@ -11,6 +11,28 @@
 /// internal (collective) traffic uses tags at or above it.
 pub const RESERVED_TAG_BASE: u64 = 1 << 32;
 
+/// A blocking receive gave up: no matching message arrived within the
+/// caller's timeout. The peer may be dead, partitioned, or merely slow —
+/// classifying that is the failure detector's job, not the transport's.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PeerTimeout {
+    /// The rank the receive was directed at (`None` = any source).
+    pub src: Option<usize>,
+    /// The tag the receive was matching.
+    pub tag: u64,
+}
+
+impl std::fmt::Display for PeerTimeout {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.src {
+            Some(s) => write!(f, "receive from rank {s} tag {} timed out", self.tag),
+            None => write!(f, "any-source receive tag {} timed out", self.tag),
+        }
+    }
+}
+
+impl std::error::Error for PeerTimeout {}
+
 /// A point-to-point byte transport between `size()` ranks.
 pub trait Transport {
     /// This rank's id in `0..size()`.
@@ -28,6 +50,22 @@ pub trait Transport {
 
     /// Receives the next message under `tag` from any rank, blocking.
     fn recv_bytes_any(&self, tag: u64) -> (usize, Vec<u8>);
+
+    /// Receives like [`recv_bytes`](Transport::recv_bytes) but gives up
+    /// after `timeout_seconds` of transport time, returning
+    /// `Err(`[`PeerTimeout`]`)` instead of blocking forever — the
+    /// progress-or-fail primitive failure detection builds on. The default
+    /// implementation never times out (transports without a clocked wait
+    /// degrade to plain blocking receives; callers treat that as "failure
+    /// detection unavailable", not as an error).
+    fn recv_bytes_timeout(
+        &self,
+        src: usize,
+        tag: u64,
+        _timeout_seconds: f64,
+    ) -> Result<Vec<u8>, PeerTimeout> {
+        Ok(self.recv_bytes(src, tag))
+    }
 
     /// Wallclock seconds (virtual or real, per transport).
     fn wtime(&self) -> f64;

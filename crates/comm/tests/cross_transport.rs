@@ -7,7 +7,7 @@ use dynmpi_sim::{Cluster, NodeSpec};
 /// Runs `f` on both transports with `n` ranks and returns both results.
 fn on_both<R, F>(n: usize, f: F) -> (Vec<R>, Vec<R>)
 where
-    R: Send + Clone,
+    R: Send + Clone + Default,
     F: Fn(&dyn DynTransport) -> R + Send + Sync,
 {
     let threads = run_threads(n, |t| f(&TransportObj(t)));

@@ -97,6 +97,21 @@ pub struct DynMpiConfig {
     /// retry gate, so a rejected newcomer is reconsidered as conditions
     /// change without re-measuring every cycle).
     pub arrival_retry_cycles: u32,
+    /// Master switch for the fail-stop failure path: timeout-guarded
+    /// control receives, the replicated failure detector, buddy
+    /// checkpoints and crash recovery. Off by default — classic runs stay
+    /// byte-identical with earlier releases (no extra control payload).
+    pub failure_detection: bool,
+    /// Seconds a control-plane or ghost receive waits before reporting a
+    /// peer timeout (the detector's per-cycle silence probe).
+    pub peer_timeout_seconds: f64,
+    /// Consecutive silent cycles before a Suspect escalates to Confirmed
+    /// dead — the detector's sustain rule, mirroring the health monitor's.
+    pub failure_confirm_cycles: u32,
+    /// Refresh buddy checkpoints every this many cycles *between*
+    /// redistributions (they always refresh at setup and on every
+    /// redistribution). 0 = piggyback-only refreshes.
+    pub checkpoint_interval_cycles: u32,
 }
 
 impl Default for DynMpiConfig {
@@ -122,6 +137,10 @@ impl Default for DynMpiConfig {
             expand_horizon_cycles: 50,
             redist_seconds_per_row: 0.0,
             arrival_retry_cycles: 8,
+            failure_detection: false,
+            peer_timeout_seconds: 0.5,
+            failure_confirm_cycles: 3,
+            checkpoint_interval_cycles: 0,
         }
     }
 }
@@ -172,6 +191,20 @@ impl DynMpiConfig {
             self.arrival_retry_cycles >= 1,
             "arrival retry gate must be ≥ 1 cycle"
         );
+        if self.failure_detection {
+            assert!(
+                self.adapt,
+                "failure detection rides on the adaptive control plane"
+            );
+            assert!(
+                self.peer_timeout_seconds > 0.0,
+                "peer timeout must be positive when failure detection is on"
+            );
+            assert!(
+                self.failure_confirm_cycles >= 1,
+                "failure confirmation must sustain ≥ 1 cycle"
+            );
+        }
     }
 
     /// Relative speed of world rank `r`'s node (1.0 when unspecified).
@@ -228,6 +261,46 @@ mod tests {
     fn zero_arrival_retry_rejected() {
         let c = DynMpiConfig {
             arrival_retry_cycles: 0,
+            ..Default::default()
+        };
+        c.validate();
+    }
+
+    #[test]
+    fn failure_detection_off_by_default() {
+        let c = DynMpiConfig::default();
+        assert!(!c.failure_detection);
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "peer timeout")]
+    fn zero_peer_timeout_rejected_when_detecting() {
+        let c = DynMpiConfig {
+            failure_detection: true,
+            peer_timeout_seconds: 0.0,
+            ..Default::default()
+        };
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "control plane")]
+    fn failure_detection_requires_adapt() {
+        let c = DynMpiConfig {
+            adapt: false,
+            failure_detection: true,
+            ..Default::default()
+        };
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "sustain")]
+    fn zero_confirm_cycles_rejected_when_detecting() {
+        let c = DynMpiConfig {
+            failure_detection: true,
+            failure_confirm_cycles: 0,
             ..Default::default()
         };
         c.validate();

@@ -55,6 +55,26 @@ pub enum RuntimeEvent {
     /// An arriving node was admitted into the computation and will
     /// receive rows in the accompanying redistribution.
     NodeAdmitted { cycle: u64, node: usize },
+    /// The failure detector saw a silent control cycle from a node whose
+    /// monitor also reads dead — the Suspect half of Suspect→Confirmed.
+    NodeSuspected {
+        cycle: u64,
+        node: usize,
+        silent_cycles: u32,
+    },
+    /// The detector's sustain rule fired: the node is Confirmed dead on
+    /// every survivor (identically — the decision replays from broadcast
+    /// control data). Recovery follows.
+    NodeConfirmedDead { cycle: u64, node: usize },
+    /// Crash recovery completed: survivors rolled back to the checkpoint
+    /// cycle, the dead node's rows were restored from its buddy, and the
+    /// group was rebalanced.
+    NodeRecovered {
+        cycle: u64,
+        node: usize,
+        rollback_to: u64,
+        restored_rows: usize,
+    },
 }
 
 impl RuntimeEvent {
@@ -70,7 +90,10 @@ impl RuntimeEvent {
             | RuntimeEvent::NodeRejoined { cycle, .. }
             | RuntimeEvent::NodeArrived { cycle, .. }
             | RuntimeEvent::ExpandEvaluated { cycle, .. }
-            | RuntimeEvent::NodeAdmitted { cycle, .. } => *cycle,
+            | RuntimeEvent::NodeAdmitted { cycle, .. }
+            | RuntimeEvent::NodeSuspected { cycle, .. }
+            | RuntimeEvent::NodeConfirmedDead { cycle, .. }
+            | RuntimeEvent::NodeRecovered { cycle, .. } => *cycle,
         }
     }
 
@@ -140,8 +163,27 @@ impl RuntimeEvent {
                 push("redist_cost", Json::Num(*redist_cost));
                 push("admitted", Json::Bool(*admitted));
             }
-            RuntimeEvent::NodeAdmitted { node, .. } => {
+            RuntimeEvent::NodeAdmitted { node, .. }
+            | RuntimeEvent::NodeConfirmedDead { node, .. } => {
                 push("node", Json::UInt(*node as u64));
+            }
+            RuntimeEvent::NodeSuspected {
+                node,
+                silent_cycles,
+                ..
+            } => {
+                push("node", Json::UInt(*node as u64));
+                push("silent_cycles", Json::UInt(u64::from(*silent_cycles)));
+            }
+            RuntimeEvent::NodeRecovered {
+                node,
+                rollback_to,
+                restored_rows,
+                ..
+            } => {
+                push("node", Json::UInt(*node as u64));
+                push("rollback_to", Json::UInt(*rollback_to));
+                push("restored_rows", Json::UInt(*restored_rows as u64));
             }
         }
         args
@@ -160,6 +202,9 @@ impl RuntimeEvent {
             RuntimeEvent::NodeArrived { .. } => "node-arrived",
             RuntimeEvent::ExpandEvaluated { .. } => "expand-evaluated",
             RuntimeEvent::NodeAdmitted { .. } => "node-admitted",
+            RuntimeEvent::NodeSuspected { .. } => "node-suspected",
+            RuntimeEvent::NodeConfirmedDead { .. } => "node-confirmed-dead",
+            RuntimeEvent::NodeRecovered { .. } => "node-recovered",
         }
     }
 }
@@ -247,5 +292,40 @@ mod tests {
         let n = RuntimeEvent::NodeAdmitted { cycle: 12, node: 4 };
         assert_eq!(n.kind(), "node-admitted");
         assert_eq!(n.cycle(), 12);
+    }
+
+    #[test]
+    fn failure_events_carry_decision_payload() {
+        let s = RuntimeEvent::NodeSuspected {
+            cycle: 9,
+            node: 2,
+            silent_cycles: 2,
+        };
+        assert_eq!(s.kind(), "node-suspected");
+        assert_eq!(s.cycle(), 9);
+        assert!(s
+            .trace_args()
+            .iter()
+            .any(|(k, v)| k == "silent_cycles" && v.as_u64() == Some(2)));
+        let c = RuntimeEvent::NodeConfirmedDead { cycle: 11, node: 2 };
+        assert_eq!(c.kind(), "node-confirmed-dead");
+        assert!(c
+            .trace_args()
+            .iter()
+            .any(|(k, v)| k == "node" && v.as_u64() == Some(2)));
+        let r = RuntimeEvent::NodeRecovered {
+            cycle: 11,
+            node: 2,
+            rollback_to: 8,
+            restored_rows: 40,
+        };
+        assert_eq!(r.kind(), "node-recovered");
+        let args = r.trace_args();
+        assert!(args
+            .iter()
+            .any(|(k, v)| k == "rollback_to" && v.as_u64() == Some(8)));
+        assert!(args
+            .iter()
+            .any(|(k, v)| k == "restored_rows" && v.as_u64() == Some(40)));
     }
 }

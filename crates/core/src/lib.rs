@@ -55,6 +55,7 @@
 
 pub mod array;
 pub mod balance;
+pub mod checkpoint;
 pub mod config;
 pub mod dense;
 pub mod dist;
@@ -68,6 +69,8 @@ pub mod sparse;
 pub mod timing;
 
 pub use array::{AllocStats, ArrayKind, ArrayMeta, RedistArray};
+pub use checkpoint::{BuddyCheckpoint, CKPT_BYTES_SENT, CKPT_REFRESHES, CKPT_REFRESH_TIMEOUTS};
+
 pub use balance::{
     partition_rows, predict_cycle_time, relative_power, successive_balance,
     successive_balance_with_floor, CommModel, NodeLoad,

@@ -522,6 +522,159 @@ pub fn execute_with<T: Transport>(
     }
 }
 
+/// Executes the *recovery* redistribution after a confirmed node death.
+///
+/// Semantics are those of [`execute`] over `old_group → new_group`, except
+/// that `dead` (a member of `old_group`, absent from `new_group`) no longer
+/// exists: `holder` — the buddy that materialized `dead`'s checkpointed
+/// rows locally ([`crate::checkpoint::BuddyCheckpoint::materialize_mirror`])
+/// — stands in for it. Every survivor of `old_group` ∪ `new_group` must
+/// call this collectively; callers must have rolled their own rows back to
+/// the same checkpoint first, so row contents match the distributions.
+///
+/// Protocol deltas vs. a plain redistribution:
+/// - the holder executes `dead`'s Phase A sends by proxy from the
+///   materialized mirror, *after* its own sends per array (senders and
+///   receivers agree on that order, which keeps the shared-FIFO
+///   `(holder, tag)` channel unambiguous);
+/// - proxy legs aimed at the holder itself are skipped on both sides —
+///   those rows are already local from the mirror;
+/// - receivers take their `src == dead` entry last, from `holder`;
+/// - the closing barrier spans `old_group` ∪ `new_group` *minus* `dead`.
+///
+/// `rows_moved`/`bytes_sent` count actual transfers only (skipped
+/// self-legs are not transfers; the runtime reports restored rows
+/// separately via `NodeRecovered`).
+#[allow(clippy::too_many_arguments)]
+pub fn execute_recovery<T: Transport>(
+    t: &T,
+    me: usize,
+    old_group: &Group,
+    old_dist: &Distribution,
+    new_group: &Group,
+    new_dist: &Distribution,
+    accesses: &[ArrayAccess],
+    arrays: &mut [&mut dyn RedistArray],
+    dead: usize,
+    holder: usize,
+) -> RedistOutcome {
+    assert_ne!(me, dead, "the dead rank cannot participate in recovery");
+    assert_ne!(holder, dead, "the buddy holder must be a survivor");
+    assert!(
+        old_group.rel_of(dead).is_some() && new_group.rel_of(dead).is_none(),
+        "dead rank must leave the group in recovery"
+    );
+
+    let t0 = t.wtime();
+    let traced = obs::enabled();
+    if traced {
+        obs::span_begin("redist", "recovery", t.now_ns());
+    }
+
+    let narrays = arrays.len();
+    let sched = TransferSchedule::build(
+        me, old_group, old_dist, new_group, new_dist, accesses, narrays,
+    );
+    // The dead rank's schedule, built from the same shared state: only
+    // Phase A sends survive (it owns nothing in `new_dist`), and the
+    // holder executes them from the materialized mirror.
+    let proxy = (me == holder).then(|| {
+        TransferSchedule::build(
+            dead, old_group, old_dist, new_group, new_dist, accesses, narrays,
+        )
+    });
+
+    let mut rows_moved = 0usize;
+    let mut bytes_sent = 0u64;
+
+    // ---- Phase A: ownership moves, with the holder standing in --------
+    for (ai, arr) in arrays.iter_mut().enumerate() {
+        let tag = TAG_MOVE + ai as u64;
+        for (dst, mv) in &sched.move_sends {
+            let payload = arr.pack_rows(mv, true);
+            rows_moved += mv.len();
+            bytes_sent += payload.len() as u64;
+            t.send_bytes(*dst, tag, payload);
+        }
+        if let Some(p) = &proxy {
+            for (dst, mv) in &p.move_sends {
+                if *dst == me {
+                    // Self-leg: the mirror already holds these rows.
+                    continue;
+                }
+                let payload = arr.pack_rows(mv, true);
+                rows_moved += mv.len();
+                bytes_sent += payload.len() as u64;
+                t.send_bytes(*dst, tag, payload);
+            }
+        }
+        for (src, mv) in sched.move_recvs.iter().filter(|(s, _)| *s != dead) {
+            let payload = t.recv_bytes(*src, tag);
+            rows_moved += mv.len();
+            arr.unpack_rows(mv, &payload);
+        }
+        if let Some((_, mv)) = sched.move_recvs.iter().find(|(s, _)| *s == dead) {
+            if me != holder {
+                let payload = t.recv_bytes(holder, tag);
+                rows_moved += mv.len();
+                arr.unpack_rows(mv, &payload);
+            }
+            // me == holder: the rows never left local storage.
+        }
+    }
+
+    // ---- Phase B: ghost acquisition (survivors only by construction) --
+    for (ai, arr) in arrays.iter_mut().enumerate() {
+        let tag = TAG_GHOST + ai as u64;
+        for (dst, from_me) in &sched.ghost_sends[ai] {
+            let payload = arr.pack_rows(from_me, false);
+            bytes_sent += payload.len() as u64;
+            t.send_bytes(*dst, tag, payload);
+        }
+        for (src, from_src) in &sched.ghost_recvs[ai] {
+            let payload = t.recv_bytes(*src, tag);
+            arr.unpack_rows(from_src, &payload);
+        }
+    }
+
+    // ---- Phase C: release stale storage (drops any mirror surplus) ----
+    for (ai, arr) in arrays.iter_mut().enumerate() {
+        let stale = arr.present_rows().diff(&sched.keep[ai]);
+        arr.drop_rows(&stale);
+    }
+
+    let mut members: Vec<usize> = old_group
+        .members()
+        .iter()
+        .chain(new_group.members())
+        .copied()
+        .filter(|&r| r != dead)
+        .collect();
+    members.sort_unstable();
+    members.dedup();
+    let all = Group::new(members, me);
+    t.barrier(&all);
+
+    if traced {
+        obs::count("redist.rows_moved", rows_moved as u64);
+        obs::count("redist.bytes_sent", bytes_sent);
+        obs::span_end_args(
+            t.now_ns(),
+            vec![
+                ("dead".to_string(), Json::UInt(dead as u64)),
+                ("holder".to_string(), Json::UInt(holder as u64)),
+                ("rows_moved".to_string(), Json::UInt(rows_moved as u64)),
+                ("bytes_sent".to_string(), Json::UInt(bytes_sent)),
+            ],
+        );
+    }
+    RedistOutcome {
+        seconds: t.wtime() - t0,
+        rows_moved,
+        bytes_sent,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -868,5 +1021,174 @@ mod tests {
             assert_eq!(needs_evals, 0, "second call must not re-evaluate needs");
             assert_eq!(builds, 0, "second call must hit the schedule cache");
         }
+    }
+
+    /// Recovery with the holder forwarding all of the dead node's rows to
+    /// another survivor (no self-legs): values, ghosts, and storage must
+    /// come out exactly as if the dead node had participated.
+    #[test]
+    fn recovery_proxies_dead_rows_through_holder() {
+        let nrows = 9;
+        let out = run_threads(3, move |t| {
+            let me = t.rank();
+            if me == 2 {
+                return 0; // crashed: does not participate
+            }
+            let dead = 2;
+            let holder = 0; // ring buddy of rel 2 in {0,1,2} is rel 0
+            let old_g = Group::world(me, 3);
+            let new_g = Group::new(vec![0, 1], me);
+            let old = Distribution::block_from_counts(&[3, 3, 3]);
+            let new = Distribution::block_from_counts(&[5, 4]);
+            let acc = [read_halo(0)];
+
+            let mut m = DenseMatrix::<f64>::new(nrows, 1);
+            // Post-rollback state: own snapshot rows, stale ghosts; the
+            // holder additionally carries the dead node's mirror.
+            m.fill_rows(&old.rows_of(me), |i, _| i as f64);
+            let ghosts = ghost_needs(&old, me, 0, &acc, nrows);
+            m.fill_rows(&ghosts, |_, _| f64::NAN); // stale, must be refreshed
+            if me == holder {
+                m.fill_rows(&old.rows_of(dead), |i, _| i as f64);
+            }
+
+            let mut arrays: Vec<&mut dyn RedistArray> = vec![&mut m];
+            let oc = execute_recovery(
+                t,
+                me,
+                &old_g,
+                &old,
+                &new_g,
+                &new,
+                &acc,
+                &mut arrays,
+                dead,
+                holder,
+            );
+            assert!(oc.seconds >= 0.0);
+
+            let mine_new = new.rows_of(me);
+            let ghosts_new = ghost_needs(&new, me, 0, &acc, nrows);
+            for i in mine_new.union(&ghosts_new).iter() {
+                assert_eq!(m.row(i)[0], i as f64, "rank {me} row {i}");
+            }
+            // Mirror surplus and stale rows must be gone.
+            assert_eq!(m.present_rows(), mine_new.union(&ghosts_new));
+            mine_new.len()
+        });
+        assert_eq!(out[0] + out[1], 9);
+    }
+
+    /// Recovery where part of the dead node's rows land on the holder
+    /// itself (self-legs): those rows must stay local — no transfer — and
+    /// still end up correct.
+    #[test]
+    fn recovery_keeps_self_leg_rows_on_holder() {
+        let nrows = 9;
+        run_threads(3, move |t| {
+            let me = t.rank();
+            if me == 1 {
+                return; // crashed
+            }
+            let dead = 1;
+            let holder = 2; // ring buddy of rel 1 in {0,1,2} is rel 2
+            let old_g = Group::world(me, 3);
+            let new_g = Group::new(vec![0, 2], me);
+            let old = Distribution::block_from_counts(&[3, 3, 3]);
+            // New: rel 0 (world 0) rows 0..4, rel 1 (world 2) rows 4..9 —
+            // dead's old rows 3..6 split: row 3 → world 0, rows 4,5 →
+            // holder (self-legs).
+            let new = Distribution::block_from_counts(&[4, 5]);
+            let acc = [read_halo(0)];
+
+            let mut m = DenseMatrix::<f64>::new(nrows, 1);
+            m.fill_rows(&old.rows_of(if me == 2 { 2 } else { 0 }), |i, _| {
+                (10 * i) as f64
+            });
+            if me == holder {
+                m.fill_rows(&old.rows_of(dead), |i, _| (10 * i) as f64);
+            }
+
+            let mut arrays: Vec<&mut dyn RedistArray> = vec![&mut m];
+            let oc = execute_recovery(
+                t,
+                me,
+                &old_g,
+                &old,
+                &new_g,
+                &new,
+                &acc,
+                &mut arrays,
+                dead,
+                holder,
+            );
+
+            let rel = if me == 2 { 1 } else { 0 };
+            let mine_new = new.rows_of(rel);
+            let ghosts_new = ghost_needs(&new, rel, 0, &acc, nrows);
+            for i in mine_new.union(&ghosts_new).iter() {
+                assert_eq!(m.row(i)[0], (10 * i) as f64, "rank {me} row {i}");
+            }
+            assert_eq!(m.present_rows(), mine_new.union(&ghosts_new));
+            if me == holder {
+                // Rows 4,5 arrived via the mirror, not the network: the
+                // only ownership transfers the holder makes are its own
+                // send of nothing plus the proxy send of row 3 and the
+                // move of its received rows.
+                assert!(oc.rows_moved < 3, "self-legs must not count as moves");
+            }
+        });
+    }
+
+    /// The holder's shared-FIFO channel: when a receiver takes both the
+    /// holder's own rows and the dead node's proxied rows, processing the
+    /// dead entry last must line up with the holder's own-then-proxy send
+    /// order. Dead in the middle forces both legs onto the same receiver.
+    #[test]
+    fn recovery_orders_own_and_proxy_legs_on_shared_channel() {
+        let nrows = 12;
+        run_threads(3, move |t| {
+            let me = t.rank();
+            if me == 1 {
+                return;
+            }
+            let dead = 1;
+            let holder = 2;
+            let old_g = Group::world(me, 3);
+            let new_g = Group::new(vec![0, 2], me);
+            let old = Distribution::block_from_counts(&[4, 4, 4]);
+            // World 0 takes everything: it receives holder's own rows AND
+            // dead's proxied rows from the same (holder, tag) channel.
+            let new = Distribution::block_from_counts(&[12, 0]);
+
+            let mut m = DenseMatrix::<f64>::new(nrows, 1);
+            let my_old_rel = if me == 2 { 2 } else { 0 };
+            m.fill_rows(&old.rows_of(my_old_rel), |i, _| (i * i) as f64);
+            if me == holder {
+                m.fill_rows(&old.rows_of(dead), |i, _| (i * i) as f64);
+            }
+
+            let mut arrays: Vec<&mut dyn RedistArray> = vec![&mut m];
+            execute_recovery(
+                t,
+                me,
+                &old_g,
+                &old,
+                &new_g,
+                &new,
+                &[],
+                &mut arrays,
+                dead,
+                holder,
+            );
+
+            if me == 0 {
+                for i in 0..nrows {
+                    assert_eq!(m.row(i)[0], (i * i) as f64, "row {i}");
+                }
+            } else {
+                assert!(m.present_rows().is_empty());
+            }
+        });
     }
 }

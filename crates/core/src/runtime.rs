@@ -23,6 +23,7 @@ use crate::array::{ArrayMeta, RedistArray};
 use crate::balance::{
     predict_cycle_time, relative_power, successive_balance_with_floor, CommModel, NodeLoad,
 };
+use crate::checkpoint::{BuddyCheckpoint, TAG_CKPT_META};
 use crate::config::{BalancerKind, DropPolicy, DynMpiConfig};
 use crate::dist::Distribution;
 use crate::drsd::{AccessMode, ArrayAccess, Drsd};
@@ -49,6 +50,14 @@ const CTRL_LAG: u64 = 2;
 const TAG_GLOBAL: u64 = (1 << 33) + 0x30_0000;
 /// Per-cycle ghost-row exchange (one tag per array).
 const TAG_GEX: u64 = (1 << 33) + 0x40_0000;
+/// Control-gather sentinels (failure detection only): the peer's sample
+/// never arrived within the timeout. `CTRL_SILENT` = its `dmpi_ps`
+/// monitor also reads dead (a crash suspect); `CTRL_STALLED` = the
+/// monitor still answers (overload — no suspicion, and the detector
+/// streak resets so a merely slow node is never confirmed). Negative so
+/// they can never collide with a real cycle time.
+const CTRL_SILENT: f64 = -1.0;
+const CTRL_STALLED: f64 = -2.0;
 
 /// Identifier of a registered array (registration order).
 pub type ArrayId = usize;
@@ -104,6 +113,9 @@ pub struct CycleReport {
     pub rejoined: Option<usize>,
     /// A brand-new node (beyond the seed world) admitted this cycle.
     pub admitted: Option<usize>,
+    /// A node confirmed dead and recovered around this cycle. The caller
+    /// must also check [`DynMpi::take_rollback`] and rewind its loop.
+    pub recovered: Option<usize>,
 }
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -179,6 +191,26 @@ pub struct DynMpi<'a, T: HostMeters> {
     /// pre-redistribution cycle times because of the pipeline lag).
     post_skip: u32,
 
+    /// Buddy checkpoints (fail-stop path; empty unless
+    /// `cfg.failure_detection`).
+    ckpt: BuddyCheckpoint,
+    /// Confirmed-dead world nodes — never readmitted.
+    dead: Vec<bool>,
+    /// Consecutive silent control cycles per world node (the replicated
+    /// detector streaks; advanced identically on every active rank from
+    /// the broadcast blob).
+    silent_streak: Vec<u32>,
+    /// Application steps completed on this rank (= phase cycles, minus
+    /// replayed steps after a rollback). Stamped into checkpoints.
+    app_progress: u64,
+    /// Pending rollback for the application after a recovery.
+    rollback_to: Option<u64>,
+    /// Cycles since the last checkpoint refresh (interval refreshes).
+    cycles_since_ckpt: u32,
+    /// This rank concluded it is isolated (control receives silent for
+    /// the full confirmation window) and withdrew permanently.
+    evicted: bool,
+
     /// Transfer-schedule cache: steady-state cycles (ghost exchange,
     /// repeated redistributions over an unchanged distribution) reuse the
     /// schedule instead of re-deriving it. `RefCell` because the
@@ -234,6 +266,13 @@ impl<'a, T: HostMeters> DynMpi<'a, T> {
             ctrl_sent: 0,
             self_samples: std::collections::VecDeque::new(),
             post_skip: 0,
+            ckpt: BuddyCheckpoint::new(),
+            dead: vec![false; wsize],
+            silent_streak: vec![0; wsize],
+            app_progress: 0,
+            rollback_to: None,
+            cycles_since_ckpt: 0,
+            evicted: false,
             sched_cache: RefCell::new(ScheduleCache::new()),
         }
     }
@@ -555,18 +594,37 @@ impl<'a, T: HostMeters> DynMpi<'a, T> {
         self.local_cycle_times.push(cycle_time);
         self.t.phase_cycle_completed();
         self.cycle += 1;
+        self.app_progress += 1;
         let mut report = CycleReport {
             cycle: self.cycle,
             seconds: cycle_time,
             ..Default::default()
         };
 
+        if self.evicted {
+            // A self-evicted rank has no one to talk to: every cycle is a
+            // silent no-op until the application finishes its loop.
+            return report;
+        }
         if self.is_removed {
             self.removed_end_cycle(arrays, &mut report);
+            if !self.is_removed && self.cfg.failure_detection {
+                // Just readmitted: join the actives' checkpoint refresh
+                // (they run theirs after the same transition).
+                self.refresh_ckpt(arrays);
+            }
             return report;
         }
         if !self.cfg.adapt {
             return report;
+        }
+        if self.cfg.failure_detection && self.ckpt.epoch() == 0 {
+            // First cycle: the arrays now hold the application's
+            // initialized data (setup-time contents are unfilled), so
+            // this is the earliest sound baseline checkpoint. A crash
+            // before this refresh completes is unrecoverable (DESIGN.md
+            // §14).
+            self.refresh_ckpt(arrays);
         }
 
         // 1. Pipelined control plane. Every cycle each active rank posts
@@ -599,6 +657,24 @@ impl<'a, T: HostMeters> DynMpi<'a, T> {
             for r in 0..self.active.size() {
                 if r == 0 {
                     b.push(self.self_samples.pop_front().expect("own sample queued"));
+                } else if self.cfg.failure_detection {
+                    // Timeout-guarded gather: a missing sample becomes a
+                    // sentinel the replicated detector classifies from
+                    // the monitor reading (dead vs. merely overloaded).
+                    let peer = self.active.world_rank(r);
+                    let sample =
+                        match self
+                            .t
+                            .recv_bytes_timeout(peer, up, self.cfg.peer_timeout_seconds)
+                        {
+                            Ok(bytes) => {
+                                let v: Vec<f64> = from_bytes(&bytes);
+                                v[0]
+                            }
+                            Err(_) if self.t.dmpi_ps(peer) == 0 => CTRL_SILENT,
+                            Err(_) => CTRL_STALLED,
+                        };
+                    b.push(sample);
                 } else {
                     let bytes = self.t.recv_bytes(self.active.world_rank(r), up);
                     let v: Vec<f64> = from_bytes(&bytes);
@@ -614,12 +690,54 @@ impl<'a, T: HostMeters> DynMpi<'a, T> {
             for node in self.seed..self.wsize {
                 b.push(if self.t.node_online(node) { 1.0 } else { 0.0 });
             }
+            // Fail-stop path: raw monitor liveness per world node. The
+            // load entries above subtract the application's own process,
+            // so a dead monitor (raw 0) is indistinguishable from an
+            // unloaded node there; these flags disambiguate. Gated on
+            // `failure_detection` so classic control blobs stay
+            // byte-identical.
+            if self.cfg.failure_detection {
+                for node in 0..self.wsize {
+                    b.push(if self.t.dmpi_ps(node) >= 1 { 1.0 } else { 0.0 });
+                }
+            }
             let bytes = to_bytes(&b);
             for r in 1..self.active.size() {
                 self.t
                     .send_bytes(self.active.world_rank(r), down, bytes.clone());
             }
             b
+        } else if self.cfg.failure_detection {
+            // The state blob is the replicated machine's input: a rank
+            // must never advance without it. A timeout alone is NOT
+            // evidence of being cut off — the root's gather legitimately
+            // drifts one peer-timeout per silent cycle while a death is
+            // being confirmed, so a fixed retry budget would falsely
+            // evict a healthy survivor (and deadlock the others'
+            // recovery). Like the ghost exchange, the wait re-arms until
+            // the same evidence the detector uses says *this rank* is cut
+            // off: the root's monitor reading dead (partitioned reader,
+            // or the root itself died — the latter is out of scope,
+            // DESIGN.md §14). Then it withdraws rather than blocking
+            // forever — the survivors are confirming it dead through the
+            // same silence.
+            let got = loop {
+                match self
+                    .t
+                    .recv_bytes_timeout(root, down, self.cfg.peer_timeout_seconds)
+                {
+                    Ok(b) => break Some(b),
+                    Err(_) if self.t.dmpi_ps(root) == 0 => break None,
+                    Err(_) => continue,
+                }
+            };
+            match got {
+                Some(b) => from_bytes(&b),
+                None => {
+                    self.self_evict();
+                    return report;
+                }
+            }
         } else {
             from_bytes(&self.t.recv_bytes(root, down))
         };
@@ -629,8 +747,18 @@ impl<'a, T: HostMeters> DynMpi<'a, T> {
             .iter()
             .map(|&x| x as u32)
             .collect();
-        let online: Vec<bool> = blob[na + self.wsize..].iter().map(|&x| x == 1.0).collect();
+        let online_end = na + self.wsize + (self.wsize - self.seed);
+        let online: Vec<bool> = blob[na + self.wsize..online_end]
+            .iter()
+            .map(|&x| x == 1.0)
+            .collect();
+        let alive: Vec<bool> = if self.cfg.failure_detection {
+            blob[online_end..].iter().map(|&x| x == 1.0).collect()
+        } else {
+            vec![true; self.wsize]
+        };
         debug_assert_eq!(online.len(), self.wsize - self.seed);
+        debug_assert_eq!(alive.len(), self.wsize);
 
         // Track load-free streaks of removed nodes (for rejoin).
         for (n, &load) in loads.iter().enumerate() {
@@ -641,11 +769,47 @@ impl<'a, T: HostMeters> DynMpi<'a, T> {
             }
         }
 
-        // 2. Replicated state machine.
-        let pre_removed = self.removed_nodes();
-        self.step(&times, &loads, &online, arrays, &mut report);
+        // 2. Replicated failure detector: every active rank advances the
+        //    same Suspect→Confirmed streak machine from the broadcast
+        //    sentinels, so all survivors confirm a death on the same
+        //    cycle without further coordination.
+        let mut confirmed = None;
+        if self.cfg.failure_detection {
+            for (r, &tm) in times.iter().enumerate() {
+                let m = self.active.world_rank(r);
+                if tm == CTRL_SILENT {
+                    let streak = self.silent_streak[m] + 1;
+                    self.silent_streak[m] = streak;
+                    self.note(RuntimeEvent::NodeSuspected {
+                        cycle: self.cycle,
+                        node: m,
+                        silent_cycles: streak,
+                    });
+                    if streak >= self.cfg.failure_confirm_cycles && confirmed.is_none() {
+                        confirmed = Some(m);
+                    }
+                } else {
+                    // A real sample or a stall sentinel (monitor alive):
+                    // the sustain rule restarts, so pure overload never
+                    // escalates to Confirmed.
+                    self.silent_streak[m] = 0;
+                }
+            }
+        }
+        if let Some(d) = confirmed {
+            self.note(RuntimeEvent::NodeConfirmedDead {
+                cycle: self.cycle,
+                node: d,
+            });
+            self.recover_from_death(d, &loads, arrays, &mut report);
+            return report;
+        }
 
-        // 3. Status send-out to ranks that were already removed at cycle
+        // 3. Replicated state machine.
+        let pre_removed = self.removed_nodes();
+        self.step(&times, &loads, &online, &alive, arrays, &mut report);
+
+        // 4. Status send-out to ranks that were already removed at cycle
         //    start. Drop, rejoin, and admission transitions send their
         //    own statuses inside step() (the pre-transition root owes
         //    them), so the generic send is suppressed on those cycles.
@@ -653,6 +817,26 @@ impl<'a, T: HostMeters> DynMpi<'a, T> {
             !report.dropped.is_empty() || report.rejoined.is_some() || report.admitted.is_some();
         if !transition && !self.is_removed && self.active.rel() == Some(0) {
             self.send_statuses(&pre_removed, &loads);
+        }
+
+        // 5. Fail-stop path: keep buddy checkpoints tracking the
+        //    distribution — refresh after every transition (the snapshot
+        //    row sets must equal the new distribution's) and on the
+        //    configured interval when stable and unsuspicious.
+        if self.cfg.failure_detection && !self.is_removed {
+            self.cycles_since_ckpt = self.cycles_since_ckpt.saturating_add(1);
+            let interval = self.cfg.checkpoint_interval_cycles;
+            let due = interval > 0
+                && self.cycles_since_ckpt >= interval
+                && matches!(self.mode, Mode::Stable)
+                && !self
+                    .active
+                    .members()
+                    .iter()
+                    .any(|&m| self.silent_streak[m] > 0);
+            if transition || report.redistributed || due {
+                self.refresh_ckpt(arrays);
+            }
         }
         report
     }
@@ -671,9 +855,26 @@ impl<'a, T: HostMeters> DynMpi<'a, T> {
         times: &[f64],
         loads: &[u32],
         online: &[bool],
+        alive: &[bool],
         arrays: &mut [&mut dyn RedistArray],
         report: &mut CycleReport,
     ) {
+        // Freeze the adaptation machine while any control sample is a
+        // sentinel or any suspect streak is open: every transition runs a
+        // collective that would hang on a dead member, and sentinel
+        // "times" must never enter the measurement accumulators. The
+        // condition is a pure function of broadcast data, so all ranks
+        // freeze and thaw together.
+        if self.cfg.failure_detection
+            && (times.iter().any(|&x| x < 0.0)
+                || self
+                    .active
+                    .members()
+                    .iter()
+                    .any(|&m| self.silent_streak[m] > 0))
+        {
+            return;
+        }
         match self.mode {
             Mode::Stable => {
                 let exhausted = self
@@ -707,10 +908,10 @@ impl<'a, T: HostMeters> DynMpi<'a, T> {
                     };
                 } else {
                     if self.cfg.allow_rejoin {
-                        self.maybe_rejoin(loads, arrays, report);
+                        self.maybe_rejoin(loads, alive, arrays, report);
                     }
                     if report.rejoined.is_none() && self.seed < self.wsize {
-                        self.maybe_begin_arrival(online);
+                        self.maybe_begin_arrival(online, alive);
                     }
                 }
             }
@@ -761,7 +962,7 @@ impl<'a, T: HostMeters> DynMpi<'a, T> {
                 if let Some(t) = self.timer.as_mut() {
                     t.end_cycle();
                 }
-                if !online[node - self.seed] {
+                if !online[node - self.seed] || !alive[node] {
                     // The newcomer vanished mid-window: abandon the
                     // evaluation (a fresh window starts if it returns).
                     self.timer = None;
@@ -990,16 +1191,21 @@ impl<'a, T: HostMeters> DynMpi<'a, T> {
     fn maybe_rejoin(
         &mut self,
         loads: &[u32],
+        alive: &[bool],
         arrays: &mut [&mut dyn RedistArray],
         report: &mut CycleReport,
     ) {
         // Only seed-world ranks rejoin through the clear-streak path;
         // non-seed ranks (pending or previously admitted arrivals) go
-        // through the expansion decision instead.
-        let candidate = self
-            .removed_nodes()
-            .into_iter()
-            .find(|&n| n < self.seed && self.clear_streak[n] >= self.cfg.rejoin_after_cycles);
+        // through the expansion decision instead. A dead node's monitor
+        // reads unloaded, so its clear streak builds — the liveness
+        // flags (and the permanent `dead` bits) keep it out.
+        let candidate = self.removed_nodes().into_iter().find(|&n| {
+            n < self.seed
+                && alive[n]
+                && !self.dead[n]
+                && self.clear_streak[n] >= self.cfg.rejoin_after_cycles
+        });
         let Some(node) = candidate else { return };
 
         let pre_removed = self.removed_nodes();
@@ -1069,15 +1275,16 @@ impl<'a, T: HostMeters> DynMpi<'a, T> {
     /// decision. Gated to every `arrival_retry_cycles`-th cycle — a
     /// deterministic retry schedule, identical on every rank, so a
     /// rejected newcomer is reconsidered without per-node state.
-    fn maybe_begin_arrival(&mut self, online: &[bool]) {
+    fn maybe_begin_arrival(&mut self, online: &[bool], alive: &[bool]) {
         if !self
             .cycle
             .is_multiple_of(u64::from(self.cfg.arrival_retry_cycles))
         {
             return;
         }
-        let candidate =
-            (self.seed..self.wsize).find(|&n| online[n - self.seed] && !self.active.contains(n));
+        let candidate = (self.seed..self.wsize).find(|&n| {
+            online[n - self.seed] && alive[n] && !self.dead[n] && !self.active.contains(n)
+        });
         let Some(node) = candidate else { return };
         self.note(RuntimeEvent::NodeArrived {
             cycle: self.cycle,
@@ -1218,6 +1425,232 @@ impl<'a, T: HostMeters> DynMpi<'a, T> {
         self.active = new_group;
         self.last_loads = loads.to_vec();
         self.reset_ctrl_pipeline();
+    }
+
+    // ---------------- crash recovery (fail-stop path) --------------------
+
+    /// Refreshes the buddy checkpoint over the current active group,
+    /// stamping the application progress the snapshot encodes.
+    fn refresh_ckpt(&mut self, arrays: &mut [&mut dyn RedistArray]) {
+        self.ckpt.refresh(
+            self.t,
+            self.wrank,
+            &self.active,
+            &self.dist,
+            arrays,
+            self.app_progress,
+            Some(self.cfg.peer_timeout_seconds),
+        );
+        self.cycles_since_ckpt = 0;
+    }
+
+    /// A confirmed death: every survivor rolls its own rows back to the
+    /// checkpoint, the dead node's ring buddy materializes its mirror
+    /// and stands in for it in the recovery redistribution, the group
+    /// shrinks, and the application is told to rewind its loop to the
+    /// checkpointed step ([`Self::take_rollback`]). All decisions here
+    /// are pure functions of broadcast data, so every survivor executes
+    /// the identical recovery.
+    fn recover_from_death(
+        &mut self,
+        dead_node: usize,
+        loads: &[u32],
+        arrays: &mut [&mut dyn RedistArray],
+        report: &mut CycleReport,
+    ) {
+        let traced = obs::enabled();
+        if traced {
+            obs::span_begin("runtime", "crash_recovery", self.t.now_ns());
+        }
+        let pre_removed = self.removed_nodes();
+        let was_root = self.active.rel() == Some(0);
+        let old_group = self.active.clone();
+        let dead_rel = old_group
+            .rel_of(dead_node)
+            .expect("confirmed node must be active");
+        // The ring buddy: the dead node's successor holds its mirror.
+        let holder = old_group.world_rank((dead_rel + 1) % old_group.size());
+        let survivors: Vec<usize> = old_group
+            .members()
+            .iter()
+            .copied()
+            .filter(|&m| m != dead_node)
+            .collect();
+
+        // Which generation is restorable is the holder's mirror stamp:
+        // a refresh that ran after the (still-masked) death kept the
+        // holder's mirror one generation behind everyone's latest own
+        // snapshot. Only the holder knows, so it broadcasts the stamp and
+        // every survivor rolls back to that generation.
+        let rb = if self.wrank == holder {
+            assert_eq!(
+                self.ckpt.holds_mirror_of(),
+                Some(dead_node),
+                "holder's mirror is not of the dead node (unrecoverable)"
+            );
+            let rb = self
+                .ckpt
+                .mirror_app_cycle()
+                .expect("holder without a mirror");
+            for &s in &survivors {
+                if s != holder {
+                    self.t
+                        .send_bytes(s, TAG_CKPT_META, rb.to_le_bytes().to_vec());
+                }
+            }
+            rb
+        } else {
+            let bytes = self.t.recv_bytes(holder, TAG_CKPT_META);
+            u64::from_le_bytes(bytes.try_into().expect("an app-cycle stamp"))
+        };
+
+        // Roll back to that generation: my own rows from my snapshot, the
+        // dead node's rows from its buddy's mirror. The generation's
+        // membership and distribution are what the recovery
+        // redistribution moves *from*.
+        let (gen_members, old_dist) = self.ckpt.restore_generation(rb, arrays);
+        assert_eq!(
+            gen_members,
+            old_group.members(),
+            "membership changed across the stale-mirror window (unrecoverable)"
+        );
+        if self.wrank == holder {
+            self.ckpt.materialize_mirror(arrays);
+        }
+        // Identical on every survivor (the holder's actual count equals
+        // this by the refresh invariant).
+        let restored_rows = old_dist.rows_of(dead_rel).len() * arrays.len();
+        let new_group = Group::new(survivors.clone(), self.wrank);
+        let node_loads: Vec<NodeLoad> = survivors
+            .iter()
+            .map(|&m| self.node_load(m, loads[m]))
+            .collect();
+        let w = self.effective_weights();
+        let new_dist = match self.cfg.balancer {
+            BalancerKind::RelativePower => relative_power(&w, &node_loads, 0),
+            BalancerKind::SuccessiveBalancing => successive_balance_with_floor(
+                &w,
+                &node_loads,
+                &self.comm_model_for(new_group.size()),
+                0,
+                self.cfg.balance_floor,
+            ),
+        };
+        let oc = redist::execute_recovery(
+            self.t,
+            self.wrank,
+            &old_group,
+            &old_dist,
+            &new_group,
+            &new_dist,
+            &self.accesses,
+            arrays,
+            dead_node,
+            holder,
+        );
+        self.redist_seconds_total += oc.seconds;
+        self.sched_cache.get_mut().invalidate();
+
+        self.dead[dead_node] = true;
+        self.silent_streak[dead_node] = 0;
+        self.known_members = survivors;
+        self.known_counts = new_dist.counts();
+        self.dist = new_dist;
+        self.is_removed = !new_group.contains(self.wrank);
+        self.active = new_group;
+        self.last_loads = loads.to_vec();
+        self.post_accum = vec![0.0; self.wsize];
+        self.post_count = 0;
+        self.clear_streak = vec![0; self.wsize];
+        self.timer = None;
+        self.mode = Mode::Stable;
+        self.reset_ctrl_pipeline();
+
+        // Rewind the application: progress returns to the restored
+        // generation's step; the survivors replay the lost steps from
+        // restored data.
+        self.app_progress = rb;
+        self.rollback_to = Some(rb);
+        self.note(RuntimeEvent::NodeRecovered {
+            cycle: self.cycle,
+            node: dead_node,
+            rollback_to: self.app_progress,
+            restored_rows,
+        });
+        report.recovered = Some(dead_node);
+
+        // Fresh checkpoints over the surviving group — the old mirrors
+        // reference the pre-crash membership and distribution.
+        self.refresh_ckpt(arrays);
+        if was_root {
+            self.send_statuses(&pre_removed, loads);
+        }
+        if traced {
+            obs::span_end_args(
+                self.t.now_ns(),
+                vec![
+                    ("cycle".to_string(), Json::UInt(self.cycle)),
+                    ("dead".to_string(), Json::UInt(dead_node as u64)),
+                    ("holder".to_string(), Json::UInt(holder as u64)),
+                    ("rollback_to".to_string(), Json::UInt(self.app_progress)),
+                ],
+            );
+        }
+    }
+
+    /// Permanent withdrawal of an isolated rank: its control receives
+    /// went silent for the full confirmation window, so from its
+    /// perspective the rest of the computation is gone (it is
+    /// partitioned, or the root died — out of scope). It stops
+    /// participating rather than blocking forever; the survivors confirm
+    /// it dead through the same silence and recover without it.
+    fn self_evict(&mut self) {
+        if obs::enabled() {
+            obs::instant(
+                "runtime",
+                "self-evict",
+                self.t.now_ns(),
+                vec![("cycle".to_string(), Json::UInt(self.cycle))],
+            );
+        }
+        self.evicted = true;
+        self.is_removed = true;
+    }
+
+    /// After a crash recovery the application must rewind its outer loop:
+    /// returns the step index to resume from (= completed steps at the
+    /// checkpoint), once per recovery. The canonical loop:
+    ///
+    /// ```text
+    /// let mut step = 0;
+    /// while step < steps {
+    ///     rt.begin_cycle(); /* compute step `step` */ rt.end_cycle(..);
+    ///     step = match rt.take_rollback() { Some(back) => back as usize,
+    ///                                       None => step + 1 };
+    /// }
+    /// ```
+    pub fn take_rollback(&mut self) -> Option<u64> {
+        self.rollback_to.take()
+    }
+
+    /// The pending rollback step, without consuming it.
+    pub fn rolled_back_to(&self) -> Option<u64> {
+        self.rollback_to
+    }
+
+    /// Did this rank withdraw after concluding it was isolated?
+    pub fn is_evicted(&self) -> bool {
+        self.evicted
+    }
+
+    /// World nodes confirmed dead by the failure detector.
+    pub fn dead_nodes(&self) -> Vec<usize> {
+        (0..self.wsize).filter(|&n| self.dead[n]).collect()
+    }
+
+    /// Refresh generation of the buddy checkpoint (0 = none taken).
+    pub fn checkpoint_epoch(&self) -> u64 {
+        self.ckpt.epoch()
     }
 
     // ---------------- helpers -------------------------------------------
@@ -1402,7 +1835,31 @@ impl<'a, T: HostMeters> DynMpi<'a, T> {
 
     fn removed_end_cycle(&mut self, arrays: &mut [&mut dyn RedistArray], report: &mut CycleReport) {
         let root = self.known_members[0];
-        let bytes = self.t.recv_bytes(root, TAG_STATUS);
+        let bytes = if self.cfg.failure_detection {
+            // Same self-eviction rule as the active blob receive: retry
+            // on a bare timeout (the root legitimately drifts while
+            // confirming a death), withdraw for good only on death
+            // evidence — the root's monitor unreadable from here.
+            let got = loop {
+                match self
+                    .t
+                    .recv_bytes_timeout(root, TAG_STATUS, self.cfg.peer_timeout_seconds)
+                {
+                    Ok(b) => break Some(b),
+                    Err(_) if self.t.dmpi_ps(root) == 0 => break None,
+                    Err(_) => continue,
+                }
+            };
+            match got {
+                Some(b) => b,
+                None => {
+                    self.self_evict();
+                    return;
+                }
+            }
+        } else {
+            self.t.recv_bytes(root, TAG_STATUS)
+        };
         let header_len = {
             let nm = u64::from_le_bytes(bytes[8..16].try_into().unwrap()) as usize;
             8 * (3 + 2 * nm)
@@ -1494,8 +1951,44 @@ impl<'a, T: HostMeters> DynMpi<'a, T> {
             self.t.send_bytes(*dst, tag, payload);
         }
         for (src, from_src) in &sched.ghost_recvs[array] {
-            let payload = self.t.recv_bytes(*src, tag);
-            arr.unpack_rows(from_src, &payload);
+            if self.cfg.failure_detection {
+                // A dead neighbor must not hang the exchange — but a
+                // merely *slow* neighbor must not corrupt it either: its
+                // payload is coming, and abandoning it would leave this
+                // and (because the message stays queued) every later
+                // exchange one cycle stale. So a timeout alone only
+                // re-arms the wait; the exchange gives the ghost rows up
+                // as stale *only* on the same evidence the detector
+                // treats as death — the peer's monitor reading dead. The
+                // detector then confirms within cycles and recovery rolls
+                // everything back past the stale reads.
+                let payload = loop {
+                    match self
+                        .t
+                        .recv_bytes_timeout(*src, tag, self.cfg.peer_timeout_seconds)
+                    {
+                        Ok(p) => break Some(p),
+                        Err(_) if self.t.dmpi_ps(*src) == 0 => break None,
+                        Err(_) => continue,
+                    }
+                };
+                match payload {
+                    Some(p) => arr.unpack_rows(from_src, &p),
+                    None => {
+                        if obs::enabled() {
+                            obs::instant(
+                                "runtime",
+                                "ghost-timeout",
+                                self.t.now_ns(),
+                                vec![("src".to_string(), Json::UInt(*src as u64))],
+                            );
+                        }
+                    }
+                }
+            } else {
+                let payload = self.t.recv_bytes(*src, tag);
+                arr.unpack_rows(from_src, &payload);
+            }
         }
     }
 
@@ -1506,6 +1999,11 @@ impl<'a, T: HostMeters> DynMpi<'a, T> {
     /// root forwards the result to every removed rank. All world ranks
     /// must call this the same number of times.
     pub fn allreduce_sum(&self, data: &[f64]) -> Vec<f64> {
+        if self.evicted {
+            // An isolated rank has no group to reduce over; its results
+            // are no longer part of the surviving computation.
+            return vec![0.0; data.len()];
+        }
         if self.is_removed {
             let root = self.known_members[0];
             return from_bytes(&self.t.recv_bytes(root, TAG_GLOBAL));
@@ -1521,6 +2019,9 @@ impl<'a, T: HostMeters> DynMpi<'a, T> {
 
     /// Max-allreduce with the same removed-aware semantics.
     pub fn allreduce_max(&self, data: &[f64]) -> Vec<f64> {
+        if self.evicted {
+            return vec![0.0; data.len()];
+        }
         if self.is_removed {
             let root = self.known_members[0];
             return from_bytes(&self.t.recv_bytes(root, TAG_GLOBAL));
@@ -2215,5 +2716,347 @@ mod tests {
             rt.register_dense("A", 4);
             rt.register_dense("A", 4);
         });
+    }
+
+    /// Like [`FakeLoad`] but with fail-stop switches for the detector and
+    /// recovery paths. A `downed` node's monitor reads raw 0, its own
+    /// sends are dropped, and timeout-guarded receives touching it (from
+    /// it, or issued by it) fail immediately — the thread-world analogue
+    /// of a dead NIC. A `stalled` node's timeout-guarded receives *from*
+    /// it fail too, but its monitor stays alive: the overloaded-not-dead
+    /// case the detector must never confirm.
+    struct FakeCrash<'x> {
+        inner: &'x ThreadTransport,
+        loads: Arc<Vec<AtomicU32>>,
+        downed: Arc<Vec<AtomicBool>>,
+        stalled: Arc<Vec<AtomicBool>>,
+    }
+
+    impl FakeCrash<'_> {
+        fn down(&self, r: usize) -> bool {
+            self.downed[r].load(Ordering::SeqCst)
+        }
+    }
+
+    impl Transport for FakeCrash<'_> {
+        fn rank(&self) -> usize {
+            self.inner.rank()
+        }
+        fn size(&self) -> usize {
+            self.inner.size()
+        }
+        fn send_bytes(&self, dst: usize, tag: u64, payload: Vec<u8>) {
+            if !self.down(self.rank()) {
+                self.inner.send_bytes(dst, tag, payload);
+            }
+        }
+        fn recv_bytes(&self, src: usize, tag: u64) -> Vec<u8> {
+            self.inner.recv_bytes(src, tag)
+        }
+        fn recv_bytes_any(&self, tag: u64) -> (usize, Vec<u8>) {
+            self.inner.recv_bytes_any(tag)
+        }
+        fn recv_bytes_timeout(
+            &self,
+            src: usize,
+            tag: u64,
+            _timeout_seconds: f64,
+        ) -> Result<Vec<u8>, dynmpi_comm::PeerTimeout> {
+            // Poll until either a matching message is delivered or the
+            // peer's fault switch flips — the fault switch plays the role
+            // of the elapsed wall-clock timeout, so tests are free of
+            // real-time races: a receive from a faulty peer *always*
+            // times out, a receive from a healthy one *never* does.
+            loop {
+                if self.down(src)
+                    || self.down(self.rank())
+                    || self.stalled[src].load(Ordering::SeqCst)
+                {
+                    return Err(dynmpi_comm::PeerTimeout {
+                        src: Some(src),
+                        tag,
+                    });
+                }
+                if let Some(p) = self.inner.try_recv_bytes(src, tag) {
+                    return Ok(p);
+                }
+                std::thread::yield_now();
+            }
+        }
+        fn wtime(&self) -> f64 {
+            self.inner.wtime()
+        }
+    }
+
+    impl HostMeters for FakeCrash<'_> {
+        fn dmpi_ps(&self, r: usize) -> u32 {
+            // A remote reading cannot cross a dead NIC on *either* end:
+            // the target's (crashed node reads silent everywhere) or the
+            // reader's (a partitioned rank sees everyone else as silent).
+            if self.down(r) || (self.down(self.rank()) && r != self.rank()) {
+                0
+            } else {
+                self.loads[r].load(Ordering::Relaxed) + 1
+            }
+        }
+        fn proc_cpu_seconds(&self) -> f64 {
+            self.inner.wtime()
+        }
+        fn proc_tick_seconds(&self) -> f64 {
+            0.0
+        }
+    }
+
+    fn crash_cfg() -> DynMpiConfig {
+        DynMpiConfig {
+            failure_detection: true,
+            failure_confirm_cycles: 2,
+            checkpoint_interval_cycles: 3,
+            drop_policy: DropPolicy::Never,
+            ..Default::default()
+        }
+    }
+
+    /// One set of fault switches shared by every rank thread (a fault is
+    /// a property of the cluster, not of one rank's view of it).
+    #[allow(clippy::type_complexity)]
+    fn fault_switches(
+        n: usize,
+    ) -> (
+        Arc<Vec<AtomicU32>>,
+        Arc<Vec<AtomicBool>>,
+        Arc<Vec<AtomicBool>>,
+    ) {
+        (
+            Arc::new((0..n).map(|_| AtomicU32::new(0)).collect()),
+            Arc::new((0..n).map(|_| AtomicBool::new(false)).collect()),
+            Arc::new((0..n).map(|_| AtomicBool::new(false)).collect()),
+        )
+    }
+
+    /// The canonical rollback loop: computes `steps` increments on col 0
+    /// of every owned row, crashing rank `crash_rank` before its step
+    /// `crash_step` when given. Returns (runtime, matrix, rollbacks).
+    #[allow(clippy::type_complexity)]
+    fn drive_with_rollback<'x>(
+        t: &'x FakeCrash<'x>,
+        nrows: usize,
+        steps: u64,
+        crash: Option<(usize, u64)>,
+    ) -> Option<(DynMpi<'x, FakeCrash<'x>>, DenseMatrix<f64>, Vec<u64>)> {
+        let mut rt = DynMpi::init(t, nrows, crash_cfg());
+        let a = rt.register_dense("A", nrows);
+        let ph = rt.init_phase(0, nrows, CommPattern::NearestNeighbor);
+        rt.add_access(ph, a, AccessMode::ReadWrite, Drsd::with_halo(1));
+        let mut m = DenseMatrix::<f64>::new(nrows, 4);
+        {
+            let mut arrays: Vec<&mut dyn RedistArray> = vec![&mut m];
+            rt.setup(&mut arrays);
+        }
+        m.fill_rows(&rt.local_rows(a), fill_pattern);
+        let mut rollbacks = Vec::new();
+        let mut step = 0u64;
+        while step < steps {
+            if let Some((cr, cs)) = crash {
+                if t.rank() == cr && step == cs {
+                    // Fail-stop: flip the NIC switch and never speak again.
+                    t.downed[cr].store(true, Ordering::SeqCst);
+                    return None;
+                }
+            }
+            rt.begin_cycle();
+            for i in rt.my_rows(ph).iter() {
+                m.row_mut(i)[0] += 1.0;
+            }
+            rt.charge_rows(ph, |_| 10.0);
+            let mut arrays: Vec<&mut dyn RedistArray> = vec![&mut m];
+            rt.end_cycle(&mut arrays);
+            step = match rt.take_rollback() {
+                Some(back) => {
+                    rollbacks.push(back);
+                    back
+                }
+                None => step + 1,
+            };
+        }
+        Some((rt, m, rollbacks))
+    }
+
+    /// Tentpole end-to-end at the unit level: a silent node is suspected,
+    /// confirmed after the sustain window, its rows are restored from the
+    /// buddy mirror, the survivors roll back and replay — and every row
+    /// ends with exactly `steps` increments, as in a crash-free run.
+    #[test]
+    fn crash_is_confirmed_and_recovered_from_buddy() {
+        let steps = 16u64;
+        let (loads, downed, stalled) = fault_switches(4);
+        let outs = run_threads(4, move |tt| {
+            let t = FakeCrash {
+                inner: tt,
+                loads: Arc::clone(&loads),
+                downed: Arc::clone(&downed),
+                stalled: Arc::clone(&stalled),
+            };
+            let (rt, m, rollbacks) = drive_with_rollback(&t, 40, steps, Some((2, 6)))?;
+            // Every surviving row carries the full increment count plus
+            // the untouched fill pattern in the other columns.
+            for i in rt.my_rows(0).iter() {
+                assert_eq!(m.row(i)[0], fill_pattern(i, 0) + steps as f64, "row {i}");
+                for j in 1..4 {
+                    assert_eq!(m.row(i)[j], fill_pattern(i, j), "row {i} col {j}");
+                }
+            }
+            let kinds: Vec<&str> = rt.events().iter().map(|e| e.kind()).collect();
+            Some((
+                rt.active_members().to_vec(),
+                rt.dead_nodes(),
+                rollbacks,
+                rt.my_rows(0).len(),
+                kinds.contains(&"node-suspected") && kinds.contains(&"node-confirmed-dead"),
+                kinds.contains(&"node-recovered"),
+            ))
+        });
+        assert!(outs[2].is_none(), "rank 2 crashed");
+        let survivors: Vec<_> = outs.into_iter().flatten().collect();
+        assert_eq!(survivors.len(), 3);
+        let mut owned = 0;
+        for (members, dead, rollbacks, mine, detected, recovered) in &survivors {
+            assert_eq!(members, &vec![0, 1, 3]);
+            assert_eq!(dead, &vec![2]);
+            assert_eq!(rollbacks.len(), 1, "exactly one rollback");
+            assert!(*detected && *recovered);
+            owned += mine;
+        }
+        // Survivors own the whole space, dead rows restored from the buddy.
+        assert_eq!(owned, 40);
+        // All survivors rolled back to the same checkpointed step.
+        assert!(survivors.windows(2).all(|w| w[0].2 == w[1].2));
+    }
+
+    /// Property guard: a node whose control samples time out while its
+    /// monitor still answers (pure overload) must never build a suspect
+    /// streak, let alone be confirmed dead.
+    #[test]
+    fn overloaded_stall_is_never_confirmed() {
+        let steps = 14u64;
+        let (loads, downed, stalled) = fault_switches(3);
+        let outs = run_threads(3, move |tt| {
+            let stalled = Arc::clone(&stalled);
+            let t = FakeCrash {
+                inner: tt,
+                loads: Arc::clone(&loads),
+                downed: Arc::clone(&downed),
+                stalled: Arc::clone(&stalled),
+            };
+            let mut rt = DynMpi::init(&t, 30, crash_cfg());
+            let a = rt.register_dense("A", 30);
+            let ph = rt.init_phase(0, 30, CommPattern::NearestNeighbor);
+            rt.add_access(ph, a, AccessMode::ReadWrite, Drsd::with_halo(1));
+            let mut m = DenseMatrix::<f64>::new(30, 4);
+            {
+                let mut arrays: Vec<&mut dyn RedistArray> = vec![&mut m];
+                rt.setup(&mut arrays);
+            }
+            m.fill_rows(&rt.local_rows(a), fill_pattern);
+            for step in 0..steps {
+                // Rank 1's samples stall for far longer than the sustain
+                // window, then clear.
+                if t.rank() == 1 && step == 3 {
+                    stalled[1].store(true, Ordering::SeqCst);
+                }
+                if t.rank() == 1 && step == 10 {
+                    stalled[1].store(false, Ordering::SeqCst);
+                }
+                rt.begin_cycle();
+                rt.charge_rows(ph, |_| 10.0);
+                let mut arrays: Vec<&mut dyn RedistArray> = vec![&mut m];
+                rt.end_cycle(&mut arrays);
+                assert!(rt.take_rollback().is_none(), "no recovery under overload");
+            }
+            check_owned(&rt, &m, a);
+            let failure_kinds = rt
+                .events()
+                .iter()
+                .filter(|e| {
+                    matches!(
+                        e,
+                        RuntimeEvent::NodeSuspected { .. }
+                            | RuntimeEvent::NodeConfirmedDead { .. }
+                            | RuntimeEvent::NodeRecovered { .. }
+                    )
+                })
+                .count();
+            (failure_kinds, rt.num_active(), rt.participating())
+        });
+        for (failures, na, p) in outs {
+            assert_eq!(failures, 0, "stall must never escalate");
+            assert_eq!(na, 3);
+            assert!(p);
+        }
+    }
+
+    /// The other side of a partition: the cut-off rank's own control
+    /// receives go silent, so after the sustain window it withdraws
+    /// permanently instead of blocking forever, while the survivors
+    /// confirm it dead and recover its rows.
+    #[test]
+    fn partitioned_rank_self_evicts_and_survivors_recover() {
+        let steps = 16u64;
+        let (loads, downed, stalled) = fault_switches(4);
+        let outs = run_threads(4, move |tt| {
+            let downed = Arc::clone(&downed);
+            let t = FakeCrash {
+                inner: tt,
+                loads: Arc::clone(&loads),
+                downed: Arc::clone(&downed),
+                stalled: Arc::clone(&stalled),
+            };
+            let mut rt = DynMpi::init(&t, 40, crash_cfg());
+            let a = rt.register_dense("A", 40);
+            let ph = rt.init_phase(0, 40, CommPattern::NearestNeighbor);
+            rt.add_access(ph, a, AccessMode::ReadWrite, Drsd::with_halo(1));
+            let mut m = DenseMatrix::<f64>::new(40, 4);
+            {
+                let mut arrays: Vec<&mut dyn RedistArray> = vec![&mut m];
+                rt.setup(&mut arrays);
+            }
+            m.fill_rows(&rt.local_rows(a), fill_pattern);
+            let mut step = 0u64;
+            while step < steps {
+                // The partition: rank 1 keeps running, but its NIC dies.
+                if t.rank() == 1 && step == 6 {
+                    downed[1].store(true, Ordering::SeqCst);
+                }
+                rt.begin_cycle();
+                rt.charge_rows(ph, |_| 10.0);
+                let mut arrays: Vec<&mut dyn RedistArray> = vec![&mut m];
+                rt.end_cycle(&mut arrays);
+                step = match rt.take_rollback() {
+                    Some(back) => back,
+                    None => step + 1,
+                };
+            }
+            (
+                rt.is_evicted(),
+                rt.participating(),
+                rt.active_members().to_vec(),
+                rt.my_rows(0).len(),
+            )
+        });
+        let (evicted, participating, members, mine) = &outs[1];
+        assert!(*evicted, "partitioned rank withdraws");
+        assert!(!participating);
+        assert_eq!(*mine, 0);
+        let _ = members;
+        let mut owned = 0;
+        for (r, (evicted, participating, members, mine)) in outs.iter().enumerate() {
+            if r == 1 {
+                continue;
+            }
+            assert!(!evicted && *participating, "rank {r}");
+            assert_eq!(members, &vec![0, 2, 3]);
+            owned += mine;
+        }
+        assert_eq!(owned, 40, "survivors own everything");
     }
 }

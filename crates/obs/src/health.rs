@@ -206,6 +206,9 @@ const DECISION_KINDS: &[&str] = &[
     "node-arrived",
     "expand-evaluated",
     "node-admitted",
+    "node-suspected",
+    "node-confirmed-dead",
+    "node-recovered",
 ];
 
 #[derive(Default)]
@@ -225,6 +228,13 @@ struct MonitorInner {
     predictions: BTreeMap<u64, (u64, f64)>,
     /// Cycle → nodes the runtime dropped (from `nodes-dropped`).
     drops: BTreeMap<u64, Vec<usize>>,
+    /// Cycle → node the failure detector confirmed dead (from
+    /// `node-confirmed-dead`) — removed like a drop, permanently.
+    deaths: BTreeMap<u64, usize>,
+    /// (cycle, kind) → node returning to the group (`node-rejoined` /
+    /// `node-admitted`) — clears the node's removal so its health is
+    /// tracked (and alertable) again.
+    returns: BTreeMap<(u64, String), usize>,
     /// Per-rank high watermark: max event end seen (live progress only —
     /// report *content* never depends on it).
     watermark: Vec<u64>,
@@ -430,19 +440,39 @@ impl HealthMonitor {
         let mut streaks = vec![vec![0u32; self.rules.len()]; nodes];
         let mut windows: Vec<WindowReport> = Vec::with_capacity(last_widx as usize + 1);
 
-        // Removal timeline: cycle → dropped nodes, applied at the dropping
-        // decision's timestamp.
-        let mut drop_events: Vec<(u64, &Vec<usize>)> = m
-            .drops
-            .iter()
-            .filter_map(|(cycle, nodes)| {
-                m.decisions
-                    .get(&(*cycle, "nodes-dropped".to_string()))
-                    .map(|ts| (*ts, nodes))
-            })
-            .collect();
-        drop_events.sort();
-        let mut drop_idx = 0;
+        // Removal timeline, applied at each decision's timestamp: drops
+        // and confirmed deaths take a node *out* (its silence is the
+        // runtime's own doing — or already acted upon — so the alert
+        // rules must not keep firing on it); rejoins and admissions bring
+        // it *back* under the rules. Ties keep out-before-back order
+        // (stable sort over build order), which only matters for the
+        // degenerate same-timestamp case.
+        enum Removal<'a> {
+            Out(&'a [usize]),
+            Dead(usize),
+            Back(usize),
+        }
+        let mut removal_events: Vec<(u64, Removal)> = Vec::new();
+        for (cycle, nodes) in &m.drops {
+            if let Some(ts) = m.decisions.get(&(*cycle, "nodes-dropped".to_string())) {
+                removal_events.push((*ts, Removal::Out(nodes)));
+            }
+        }
+        for (cycle, node) in &m.deaths {
+            if let Some(ts) = m
+                .decisions
+                .get(&(*cycle, "node-confirmed-dead".to_string()))
+            {
+                removal_events.push((*ts, Removal::Dead(*node)));
+            }
+        }
+        for ((cycle, kind), node) in &m.returns {
+            if let Some(ts) = m.decisions.get(&(*cycle, kind.clone())) {
+                removal_events.push((*ts, Removal::Back(*node)));
+            }
+        }
+        removal_events.sort_by_key(|(ts, _)| *ts);
+        let mut removal_idx = 0;
 
         for widx in 0..=last_widx {
             let t_start = widx * w;
@@ -454,9 +484,17 @@ impl HealthMonitor {
             while pred_iter.peek().is_some_and(|(ts, _)| *ts < t_end) {
                 current_pred = Some(pred_iter.next().unwrap().1);
             }
-            while drop_idx < drop_events.len() && drop_events[drop_idx].0 < t_end {
-                removed.extend(drop_events[drop_idx].1.iter().copied());
-                drop_idx += 1;
+            while removal_idx < removal_events.len() && removal_events[removal_idx].0 < t_end {
+                match &removal_events[removal_idx].1 {
+                    Removal::Out(ns) => removed.extend(ns.iter().copied()),
+                    Removal::Dead(n) => {
+                        removed.insert(*n);
+                    }
+                    Removal::Back(n) => {
+                        removed.remove(n);
+                    }
+                }
+                removal_idx += 1;
             }
 
             // Effective flop rates while computing, and the cluster median.
@@ -700,6 +738,18 @@ impl EventSink for HealthMonitor {
                                     .map(|v| v as usize)
                                     .collect();
                                 m.drops.entry(cycle).or_insert(vec);
+                            }
+                        }
+                        if kind == "node-confirmed-dead" {
+                            if let Some(node) = arg_u64(args, "node") {
+                                m.deaths.entry(cycle).or_insert(node as usize);
+                            }
+                        }
+                        if kind == "node-rejoined" || kind == "node-admitted" {
+                            if let Some(node) = arg_u64(args, "node") {
+                                m.returns
+                                    .entry((cycle, kind.to_string()))
+                                    .or_insert(node as usize);
                             }
                         }
                     }

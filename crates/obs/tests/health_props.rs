@@ -242,3 +242,130 @@ fn sustain_streaks_reset_on_recovery() {
         .collect();
     assert_eq!(fired, vec![1, 4]);
 }
+
+// ---------------------------------------------------------------------------
+// Removal timeline regressions (fail-stop extension)
+// ---------------------------------------------------------------------------
+
+/// A `charge_rows` span marking `rank` active across `[ts, ts+dur)`.
+fn activity(rank: usize, ts: u64, dur: u64) -> TraceEvent {
+    TraceEvent::Complete {
+        cat: "runtime",
+        name: "charge_rows".to_string(),
+        rank,
+        ts_ns: ts,
+        dur_ns: dur,
+        args: vec![
+            ("rows".to_string(), Json::UInt(1)),
+            ("cpu_ns".to_string(), Json::UInt(dur)),
+            ("work_uflop".to_string(), Json::UInt(100)),
+        ],
+    }
+}
+
+/// A replicated runtime decision instant, as a survivor rank mirrors it.
+fn decision(rank: usize, kind: &str, ts: u64, cycle: u64, node: u64) -> TraceEvent {
+    TraceEvent::Instant {
+        cat: "runtime",
+        name: kind.to_string(),
+        rank,
+        ts_ns: ts,
+        args: vec![
+            ("cycle".to_string(), Json::UInt(cycle)),
+            ("node".to_string(), Json::UInt(node)),
+        ],
+    }
+}
+
+/// Regression: once the runtime has confirmed a node dead, its ensuing
+/// silence is the runtime's own decision doing its job — the silence rule
+/// must NOT keep escalating it to `SuspectDead`, and the report must mark
+/// the node removed. (Before the fix, confirmed deaths never entered the
+/// removal timeline: a partitioned node whose self-evicted rank straggled
+/// a few late events kept tripping the silence rule post-confirmation.)
+#[test]
+fn confirmed_dead_node_is_removed_and_stops_alerting() {
+    let w = 100u64;
+    let monitor = HealthMonitor::new(w);
+    // Ranks 0 and 1: active every window through window 9.
+    for widx in 0..10 {
+        monitor.on_event(&activity(0, widx * w + 10, 50));
+        monitor.on_event(&activity(1, widx * w + 10, 50));
+    }
+    // Rank 2: active through window 2, then goes quiet; one straggling
+    // late event (the evicted rank's tail) keeps its activity horizon
+    // open, which is what made the silence rule count windows 3..8.
+    for widx in 0..3 {
+        monitor.on_event(&activity(2, widx * w + 10, 50));
+    }
+    monitor.on_event(&activity(2, 9 * w + 10, 5));
+    // The survivors confirm the death in window 3.
+    monitor.on_event(&decision(0, "node-confirmed-dead", 3 * w + 20, 7, 2));
+
+    let report = monitor.report();
+    assert!(
+        !report
+            .alerts()
+            .iter()
+            .any(|a| a.node == 2 && a.ts_ns > 4 * w),
+        "confirmed-dead node kept alerting: {:?}",
+        report.alerts()
+    );
+    // Windows past the confirmation mark the node removed.
+    assert!(report.windows[5].nodes[2].removed);
+    assert!(!report.windows[2].nodes[2].removed);
+    // The confirmation itself is on the decisions timeline.
+    assert!(report
+        .decisions()
+        .iter()
+        .any(|d| d.kind == "node-confirmed-dead" && d.cycle == 7));
+}
+
+/// Regression: a rejoin (or admission) clears the node's removal — its
+/// health is tracked, and alertable, again. (Before the fix the removal
+/// set was never cleared, so a node that returned and later went silent
+/// could never be flagged.)
+#[test]
+fn rejoined_node_is_tracked_again() {
+    let w = 100u64;
+    let monitor = HealthMonitor::new(w);
+    for widx in 0..16 {
+        monitor.on_event(&activity(0, widx * w + 10, 50));
+        monitor.on_event(&activity(1, widx * w + 10, 50));
+    }
+    // Rank 2: dropped in window 2, rejoins in window 6, active again in
+    // windows 6..9, silent from 10 on with a straggling tail event.
+    for widx in 0..3 {
+        monitor.on_event(&activity(2, widx * w + 10, 50));
+    }
+    monitor.on_event(&TraceEvent::Instant {
+        cat: "runtime",
+        name: "nodes-dropped".to_string(),
+        rank: 0,
+        ts_ns: 2 * w + 20,
+        args: vec![
+            ("cycle".to_string(), Json::UInt(4)),
+            ("nodes".to_string(), Json::Arr(vec![Json::UInt(2)])),
+        ],
+    });
+    monitor.on_event(&decision(0, "node-rejoined", 6 * w + 20, 11, 2));
+    for widx in 6..10 {
+        monitor.on_event(&activity(2, widx * w + 30, 50));
+    }
+    monitor.on_event(&activity(2, 15 * w + 10, 5));
+
+    let report = monitor.report();
+    // Removed while dropped, tracked again after the rejoin.
+    assert!(report.windows[4].nodes[2].removed);
+    assert!(!report.windows[8].nodes[2].removed);
+    // The post-rejoin silence (windows 10..14) escalates again: the node
+    // is back under the rules.
+    assert!(
+        report
+            .alerts()
+            .iter()
+            .any(|a| a.node == 2 && a.ts_ns > 10 * w),
+        "rejoined node's silence was never flagged: {:?}",
+        report.alerts()
+    );
+}

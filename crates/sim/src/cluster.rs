@@ -4,13 +4,13 @@ use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
 use crate::cpu::CpuSched;
-use crate::ctx::SimCtx;
+use crate::ctx::{CrashedRank, SimCtx};
 use crate::engine::{EngineState, NodeState, Shared, Status};
 use crate::monitor::BlockHistory;
 use crate::network::Network;
 use crate::params::{NetParams, NodeSpec, OsParams};
 use crate::report::{ProcReport, SimOutcome, SimReport};
-use crate::script::LoadScript;
+use crate::script::{CrashKind, LoadScript};
 use crate::shard::{MonBoard, OutMsg, WindowSync};
 use crate::time::{SimDur, SimTime};
 use crate::timeline::NcpTimeline;
@@ -165,6 +165,7 @@ impl Cluster {
                 };
                 let mut sched = CpuSched::new(spec, self.os);
                 sched.set_salt(0x5eed_0000_0000_0000 ^ (i as u64).wrapping_mul(0x9e37_79b9));
+                let crash = self.script.crash_of(i);
                 NodeState {
                     sched,
                     timeline,
@@ -172,6 +173,8 @@ impl Cluster {
                     cycle_events: cycles,
                     blocks: BlockHistory::new(),
                     online_at,
+                    crash_at: crash.map(|c| c.at),
+                    partitioned: crash.is_some_and(|c| c.kind == CrashKind::Partition),
                 }
             })
             .collect()
@@ -192,10 +195,13 @@ impl Cluster {
     /// plus the run report. Deterministic: same inputs → same virtual
     /// timings, bit for bit — including across shard counts.
     ///
-    /// Panics (with the original payload) if any rank panics.
+    /// Panics (with the original payload) if any rank panics. A rank
+    /// killed by a scripted fail-stop crash is *not* a panic: its result
+    /// slot is filled with `R::default()` (which is why `R: Default`) and
+    /// its [`ProcReport::crashed`] flag is set.
     pub fn run_spmd<R, F>(&self, f: F) -> SimOutcome<R>
     where
-        R: Send,
+        R: Send + Default,
         F: Fn(&SimCtx) -> R + Send + Sync,
     {
         let seed = self.nodes.len();
@@ -278,6 +284,10 @@ impl Cluster {
                                 ctx.finish();
                                 Ok(v)
                             }
+                            // A scripted fail-stop death: the engine
+                            // already retired the rank (no `finish()`);
+                            // the run continues with the survivors.
+                            Err(e) if e.downcast_ref::<CrashedRank>().is_some() => Ok(R::default()),
                             Err(e) => {
                                 // Poison every shard (and through the first
                                 // one's wsync, the coordinator) so the
@@ -343,6 +353,7 @@ impl Cluster {
                         blocked_fraction: st.nodes[p.node]
                             .blocks
                             .blocked_fraction(SimTime::ZERO, p.finish_time),
+                        crashed: matches!(p.status, Status::Crashed),
                     }
                 })
                 .collect(),
@@ -408,21 +419,27 @@ fn coordinate(shareds: &[Arc<Shared>], owner: &[usize], latency: SimDur) {
         if tmin == SimTime::MAX {
             // Live ranks, no events anywhere, nothing in flight: the same
             // deadlock a single-shard engine diagnoses in dispatch_next.
-            let mut stuck = Vec::new();
+            // Per-rank wait details come from the owning shard (its entry
+            // is the live one); other shards' copies of the same pid are
+            // never dispatched and stay `Scheduled`.
+            let mut details: Vec<(usize, String)> = Vec::new();
             let mut clock = SimTime::ZERO;
             for sh in shareds {
                 let st = sh.state.lock();
                 clock = clock.max(st.clock);
-                for (pid, p) in st.procs.iter().enumerate() {
-                    if owner[pid] == st.shard && matches!(p.status, Status::BlockedRecv(_)) {
-                        stuck.push(pid);
-                    }
-                }
+                details.extend(
+                    st.stuck_recv_details()
+                        .into_iter()
+                        .filter(|&(pid, _)| owner[pid] == st.shard),
+                );
             }
-            stuck.sort_unstable();
+            details.sort_by_key(|&(pid, _)| pid);
+            let stuck: Vec<usize> = details.iter().map(|&(pid, _)| pid).collect();
+            let clauses: Vec<&str> = details.iter().map(|(_, d)| d.as_str()).collect();
             let msg = format!(
                 "simulation deadlock at {clock}: no pending events, ranks {stuck:?} \
-                 blocked at recv"
+                 blocked at recv ({})",
+                clauses.join("; ")
             );
             for sh in shareds {
                 sh.poison(stuck.first().copied().unwrap_or(0), msg.clone());
@@ -790,6 +807,135 @@ mod tests {
         // Seed→seed keeps the historical timing; the slow NIC only
         // stretches the RX serialization on the arriving node.
         assert!(out.results[1] < out.results[2]);
+    }
+
+    #[test]
+    fn failstop_crash_kills_rank_and_silences_monitors() {
+        let script = LoadScript::dedicated().node_crash(SimTime::from_secs(1), 1);
+        let c = Cluster::homogeneous(2, NodeSpec::with_speed(1e6)).with_script(script);
+        let out = c.run_spmd(|ctx| {
+            if ctx.rank() == 1 {
+                // Would run 10 s; dies at the t = 1 s op boundary.
+                for _ in 0..100 {
+                    ctx.advance(1e5);
+                }
+                return (99, 99);
+            }
+            ctx.sleep(SimDur::from_secs(3));
+            // Dead node: daemon silent, receive times out instead of hanging.
+            let ps = ctx.dmpi_ps(1);
+            let to = ctx.recv_timeout(Some(1), 7, SimDur::from_secs(1));
+            assert_eq!(
+                to,
+                Err(crate::RecvTimeout {
+                    src: Some(1),
+                    tag: 7
+                })
+            );
+            (ps, 1)
+        });
+        assert_eq!(out.results[0], (0, 1));
+        assert_eq!(out.results[1], (0, 0), "crashed rank yields the default");
+        assert!(out.report.procs[1].crashed);
+        assert!(!out.report.procs[0].crashed);
+        assert_eq!(out.report.procs[1].finish_time, SimTime::from_secs(1));
+        // Survivor finished at 3 s sleep + 1 s timeout (+ ε): makespan ≈ 4 s.
+        assert!(out.report.finish_time >= SimTime::from_secs(4));
+    }
+
+    #[test]
+    fn recv_timeout_delivers_when_message_beats_deadline() {
+        let c = Cluster::homogeneous(2, NodeSpec::default());
+        let out = c.run_spmd(|ctx| {
+            if ctx.rank() == 0 {
+                ctx.sleep(SimDur::from_millis(5));
+                ctx.send(1, 3, vec![42]);
+                0
+            } else {
+                let (src, m) = ctx
+                    .recv_timeout(None, 3, SimDur::from_secs(1))
+                    .expect("message in flight beats the deadline");
+                assert_eq!((src, m[0]), (0, 42));
+                1
+            }
+        });
+        assert_eq!(out.results, vec![0, 1]);
+    }
+
+    #[test]
+    fn partitioned_node_keeps_running_but_drops_traffic() {
+        let script = LoadScript::dedicated().node_partition(SimTime::from_millis(100), 1);
+        let c = Cluster::homogeneous(2, NodeSpec::with_speed(1e6)).with_script(script);
+        let out = c.run_spmd(|ctx| {
+            if ctx.rank() == 1 {
+                ctx.sleep(SimDur::from_secs(1));
+                // Past the partition: local execution continues, sends are
+                // dropped on the NIC.
+                ctx.send(0, 5, vec![1]);
+                ctx.advance(1e6);
+                (0, ctx.now().as_secs_f64() as u64)
+            } else {
+                ctx.sleep(SimDur::from_secs(2));
+                let ps = ctx.dmpi_ps(1);
+                let got = ctx.recv_timeout(Some(1), 5, SimDur::from_secs(1));
+                assert!(got.is_err(), "partitioned traffic must be dropped");
+                (ps, 0)
+            }
+        });
+        // Partitioned rank ran to completion (sleep 1 s + 1 s of work).
+        assert_eq!(out.results[1].1, 2);
+        assert!(!out.report.procs[1].crashed);
+        // Remote monitor reads of the partitioned node are silent.
+        assert_eq!(out.results[0].0, 0);
+    }
+
+    /// The tentpole determinism requirement: the replay contract holds
+    /// through a crash — same results and virtual-time report for every
+    /// shard count and both CPU advance modes.
+    #[test]
+    fn crash_is_bit_identical_across_shards_and_modes() {
+        let run = |shards: usize, stepped: bool| {
+            let script = LoadScript::dedicated()
+                .at_time(2, SimTime::from_millis(40), 1)
+                .node_crash(SimTime::from_millis(70), 1);
+            let c = Cluster::homogeneous(4, NodeSpec::with_speed(1e7))
+                .with_script(script)
+                .with_shards(shards)
+                .with_stepped(stepped);
+            let out = c.run_spmd(|ctx| {
+                let r = ctx.rank();
+                let n = ctx.nprocs();
+                let mut acc = 0u64;
+                for i in 0..12 {
+                    ctx.advance(5e4);
+                    // All-to-root heartbeats with timeouts: survivors keep
+                    // making progress once rank 1's node dies.
+                    if r == 0 {
+                        for p in 1..n {
+                            if let Ok((src, m)) =
+                                ctx.recv_timeout(Some(p), 2, SimDur::from_millis(40))
+                            {
+                                acc += src as u64 + u64::from(m[0]);
+                            }
+                        }
+                    } else {
+                        ctx.send(0, 2, vec![i as u8]);
+                    }
+                    acc += u64::from(ctx.dmpi_ps((r + 1) % n));
+                }
+                (ctx.now(), ctx.cpu_time_exact(), acc)
+            });
+            (out.results, out.report.virtual_outputs())
+        };
+        let base = run(1, false);
+        assert_eq!(base, run(2, false), "--shards 2 diverged through a crash");
+        assert_eq!(base, run(4, false), "--shards 4 diverged through a crash");
+        assert_eq!(base, run(1, true), "stepped mode diverged through a crash");
+        assert_eq!(
+            base,
+            run(3, true),
+            "stepped sharded diverged through a crash"
+        );
     }
 
     #[test]

@@ -26,6 +26,23 @@ use crate::shard::OutMsg;
 use crate::sync::MutexGuard;
 use crate::time::{SimDur, SimTime};
 
+/// Error returned by [`SimCtx::recv_timeout`]: no matching message became
+/// deliverable within the timeout window. Carries the receive's match
+/// criteria so callers can report *which* peer went silent.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecvTimeout {
+    /// The source the receive was directed at (`None` = any source).
+    pub src: Option<usize>,
+    /// The tag the receive was matching.
+    pub tag: u64,
+}
+
+/// Unwind payload of a rank killed by a scripted fail-stop crash. The
+/// cluster runner downcasts panic payloads to this marker to tell a
+/// simulated death (expected: record and continue) from a real panic
+/// (poison the whole run).
+pub(crate) struct CrashedRank;
+
 /// Handle held by one simulated rank.
 pub struct SimCtx {
     shared: Arc<Shared>,
@@ -40,6 +57,40 @@ impl SimCtx {
             pid,
             nprocs,
         }
+    }
+
+    /// Is this rank's node fail-stop-dead at the current clock? Checked at
+    /// *operation boundaries* only — entry of compute/sleep/send/cycle ops
+    /// and each turn of a receive loop — never inside an `advance`, so the
+    /// fast and stepped engines charge bit-identical CPU before the death.
+    fn crash_due(&self, st: &EngineState) -> bool {
+        let node = st.procs[self.pid].node;
+        st.failstop_at(node).is_some_and(|c| st.clock >= c)
+    }
+
+    /// Kills this rank at the current clock: marks it [`Status::Crashed`]
+    /// (dead for dispatch, reported separately from `Finished`), hands the
+    /// turn onward, and unwinds with the [`CrashedRank`] marker the cluster
+    /// runner catches. The `sim/crashed` trace instant is what lets the
+    /// health monitor treat the node's ensuing silence as permanent.
+    fn die_crashed(&self, mut st: MutexGuard<'_, EngineState>) -> ! {
+        let clock = st.clock;
+        if obs::enabled() {
+            let node = st.procs[self.pid].node;
+            obs::instant(
+                "sim",
+                "crashed",
+                clock.0,
+                vec![("node".to_string(), obs::Json::UInt(node as u64))],
+            );
+        }
+        st.procs[self.pid].status = Status::Crashed;
+        st.procs[self.pid].finish_time = clock;
+        st.live -= 1;
+        st.dispatch_or_quiesce();
+        self.shared.cv.notify_all();
+        drop(st);
+        std::panic::resume_unwind(Box::new(CrashedRank));
     }
 
     /// This rank's id (also its process id in the engine).
@@ -95,6 +146,17 @@ impl SimCtx {
             return monitor::dmpi_ps_reading(&st.nodes[node].timeline, st.clock);
         }
         let sample = monitor::monitor_sample_time(st.clock, st.net.params().latency);
+        if st.nic_dead_at(node, sample) {
+            // The daemon's report cannot cross a dead NIC: a crashed or
+            // partitioned node reads as silent remotely (its own rank, if
+            // still running, sees itself normally above).
+            return 0;
+        }
+        if st.nic_dead_at(st.procs[self.pid].node, sample) {
+            // Symmetric: a partitioned *reader* cannot receive anyone's
+            // report either — every remote node looks silent to it.
+            return 0;
+        }
         match &st.board {
             Some(board) => monitor::dmpi_ps_reading_at(&board.nodes[node].lock().timeline, sample),
             None => monitor::dmpi_ps_reading_at(&st.nodes[node].timeline, sample),
@@ -127,6 +189,9 @@ impl SimCtx {
             );
         }
         let sample = monitor::monitor_sample_time(st.clock, st.net.params().latency);
+        if st.nic_dead_at(node, sample) {
+            return 0;
+        }
         match &st.board {
             Some(board) => {
                 let m = board.nodes[node].lock();
@@ -163,6 +228,9 @@ impl SimCtx {
             return;
         }
         let mut st = self.shared.state.lock();
+        if self.crash_due(&st) {
+            self.die_crashed(st);
+        }
         let node = st.procs[self.pid].node;
         let need = st.nodes[node].sched.work_to_ns(work);
         if !st.stepped {
@@ -237,6 +305,9 @@ impl SimCtx {
             return;
         }
         let mut st = self.shared.state.lock();
+        if self.crash_due(&st) {
+            self.die_crashed(st);
+        }
         let t = st.clock + dur;
         self.advance_to(&mut st, t);
     }
@@ -250,6 +321,9 @@ impl SimCtx {
         let len = payload.len();
         let cpu = {
             let st = self.shared.state.lock();
+            if self.crash_due(&st) {
+                self.die_crashed(st);
+            }
             let p = st.net.params();
             p.send_cpu_base + p.send_cpu_per_byte * len as f64
         };
@@ -357,6 +431,24 @@ impl SimCtx {
         self.recv_matching(None, tag)
     }
 
+    /// Receives like [`Self::recv`]/[`Self::recv_any`] but gives up after
+    /// `timeout` of virtual time: if no matching message is deliverable by
+    /// `entry + timeout`, returns `Err(`[`RecvTimeout`]`)` instead of
+    /// blocking forever — the primitive failure detection is built on. A
+    /// message arriving *exactly* at the deadline is delivered (the
+    /// mailbox is checked before the deadline fires), so the deadline is
+    /// exclusive of message wins and identical in every engine mode. The
+    /// timeout path charges no CPU; the success path charges the usual
+    /// receive cost.
+    pub fn recv_timeout(
+        &self,
+        src: Option<usize>,
+        tag: u64,
+        timeout: SimDur,
+    ) -> Result<(usize, Vec<u8>), RecvTimeout> {
+        self.recv_inner(src, tag, Some(timeout))
+    }
+
     /// Non-blocking probe: is a matching message already deliverable?
     /// Exact in every mode: a message with arrival ≤ now was sent in a
     /// window that closed at or before that arrival, so a sharded engine
@@ -369,12 +461,30 @@ impl SimCtx {
     }
 
     fn recv_matching(&self, src: Option<usize>, tag: u64) -> (usize, Vec<u8>) {
+        match self.recv_inner(src, tag, None) {
+            Ok(r) => r,
+            Err(_) => unreachable!("recv without a deadline cannot time out"),
+        }
+    }
+
+    fn recv_inner(
+        &self,
+        src: Option<usize>,
+        tag: u64,
+        timeout: Option<SimDur>,
+    ) -> Result<(usize, Vec<u8>), RecvTimeout> {
         let wait = RecvWait { src, tag };
         let mut st = self.shared.state.lock();
+        let deadline = timeout.map(|d| st.clock + d);
         // Virtual time this call first blocked, if it did: lets the pop
         // split the wait into late-sender vs. network shares locally.
         let mut wait_start: Option<u64> = None;
         loop {
+            // Each loop turn is an operation boundary: a rank woken at its
+            // node's crash time dies here instead of popping the message.
+            if self.crash_due(&st) {
+                self.die_crashed(st);
+            }
             let now = st.clock;
             if let Some(env) = st.procs[self.pid].mailbox.pop_ready(wait, now) {
                 let len = env.payload.len();
@@ -422,7 +532,33 @@ impl SimCtx {
                 let cpu = p.recv_cpu_base + p.recv_cpu_per_byte * len as f64;
                 drop(st);
                 self.advance(cpu);
-                return (env.src, env.payload);
+                return Ok((env.src, env.payload));
+            }
+            if let Some(d) = deadline {
+                if now >= d {
+                    if obs::enabled() {
+                        obs::instant(
+                            "comm",
+                            "recv-timeout",
+                            now.0,
+                            vec![
+                                (
+                                    "src".to_string(),
+                                    match src {
+                                        Some(s) => obs::Json::UInt(s as u64),
+                                        None => obs::Json::Str("any".to_string()),
+                                    },
+                                ),
+                                ("tag".to_string(), obs::Json::UInt(tag)),
+                                (
+                                    "waited_ns".to_string(),
+                                    obs::Json::UInt(now.0 - wait_start.unwrap_or(now.0)),
+                                ),
+                            ],
+                        );
+                    }
+                    return Err(RecvTimeout { src, tag });
+                }
             }
             // Not deliverable yet: block (this is what `vmstat` misses).
             wait_start.get_or_insert(now.0);
@@ -443,6 +579,16 @@ impl SimCtx {
             if let Some(arrival) = st.procs[self.pid].mailbox.pending_arrival(wait) {
                 st.push_event(arrival, self.pid);
             }
+            if let Some(d) = deadline {
+                st.push_event(d, self.pid);
+            }
+            // A rank blocked on a receive that will never match still has
+            // to die at its node's crash time: queue that wake-up too (the
+            // loop head turns it into the death). Duplicate pushes across
+            // blocks are harmless — stale epochs are pruned.
+            if let Some(c) = st.failstop_at(node) {
+                st.push_event(c, self.pid);
+            }
             self.yield_turn(&mut st);
             let wake = st.clock;
             obs::span_end(wake.0);
@@ -460,6 +606,9 @@ impl SimCtx {
     /// any cycle-triggered load-script events for this node.
     pub fn phase_cycle_completed(&self) {
         let mut st = self.shared.state.lock();
+        if self.crash_due(&st) {
+            self.die_crashed(st);
+        }
         let clock = st.clock;
         let node = st.procs[self.pid].node;
         let mut fired = false;

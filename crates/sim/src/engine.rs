@@ -104,6 +104,10 @@ pub(crate) enum Status {
     BlockedRecv(RecvWait),
     /// Program returned.
     Finished,
+    /// Killed by a scripted fail-stop crash: stopped executing at the
+    /// crash time, never finishes. Dead for dispatch like `Finished`, but
+    /// reported separately.
+    Crashed,
 }
 
 /// Per-process bookkeeping.
@@ -159,6 +163,17 @@ pub(crate) struct NodeState {
     /// `SimTime::ZERO` for seed nodes, `at + cold_start` for scripted
     /// arrivals. Before this instant `dmpi_ps` reads 0 (no daemon yet).
     pub online_at: SimTime,
+    /// Scripted crash time: from this instant the node's NIC drops every
+    /// frame (in-flight and future, both directions) and remote monitor
+    /// reads of the node return 0. Static per-node data — identical in
+    /// every shard's full-size `nodes` vector, so cross-shard drop
+    /// decisions never depend on another shard's execution frontier.
+    pub crash_at: Option<SimTime>,
+    /// `true` for a scripted network *partition*: the NIC and remote
+    /// monitors die at `crash_at` but the node's ranks keep executing
+    /// (and can observe their own receive timeouts). `false` = fail-stop:
+    /// the ranks also halt at the crash time.
+    pub partitioned: bool,
 }
 
 pub(crate) struct EngineState {
@@ -293,7 +308,25 @@ impl EngineState {
 
     fn event_live(&self, ev: &Event) -> bool {
         ev.epoch == self.procs[ev.pid].epoch
-            && !matches!(self.procs[ev.pid].status, Status::Finished)
+            && !matches!(
+                self.procs[ev.pid].status,
+                Status::Finished | Status::Crashed
+            )
+    }
+
+    /// Is `node`'s NIC dead (crashed or partitioned) at virtual time `t`?
+    /// Pure static data: safe to evaluate for any `t` from any shard.
+    pub fn nic_dead_at(&self, node: usize, t: SimTime) -> bool {
+        self.nodes[node].crash_at.is_some_and(|c| t >= c)
+    }
+
+    /// The fail-stop halt time of `node`'s ranks, if any. Partitioned
+    /// nodes keep executing, so they have no halt time.
+    pub fn failstop_at(&self, node: usize) -> Option<SimTime> {
+        match self.nodes[node].partitioned {
+            true => None,
+            false => self.nodes[node].crash_at,
+        }
     }
 
     /// Drops dead queue heads — events from an older wake generation, or
@@ -318,13 +351,55 @@ impl EngineState {
     /// is blocked on a matching receive, queues a wake-up at the arrival.
     /// Used by both the eager single-shard send path and the coordinator's
     /// window barrier — one code path, one behavior.
+    ///
+    /// Cross-NIC frames touching a dead NIC — the sender's or the
+    /// receiver's node crashed/partitioned at or before the arrival — are
+    /// dropped here, after the network already charged tx/rx (a dead NIC's
+    /// frames still occupied the wire; charging uniformly keeps fast,
+    /// stepped and every shard count bit-identical). Same-node delivery
+    /// never crosses a NIC, so a partitioned node still talks to itself.
     pub fn deliver(&mut self, dst: usize, env: Envelope) {
+        let src_node = self.procs[env.src].node;
+        let dst_node = self.procs[dst].node;
+        if src_node != dst_node
+            && (self.nic_dead_at(src_node, env.arrival) || self.nic_dead_at(dst_node, env.arrival))
+        {
+            return;
+        }
         let wake = matches!(self.procs[dst].status, Status::BlockedRecv(w) if w.matches(&env));
         let arrival = env.arrival;
         self.procs[dst].mailbox.push(env);
         if wake {
             self.push_event(arrival, dst);
         }
+    }
+
+    /// One `rank N waiting tag=.. src=.., mailbox depth D` clause per
+    /// stuck (blocked-at-recv) rank owned by this engine — the first
+    /// thing needed when a crash test hangs. Used by both the single-shard
+    /// deadlock report below and the coordinator's sharded diagnosis.
+    pub fn stuck_recv_details(&self) -> Vec<(usize, String)> {
+        self.procs
+            .iter()
+            .enumerate()
+            .filter_map(|(pid, p)| match p.status {
+                Status::BlockedRecv(w) => {
+                    let src = match w.src {
+                        Some(s) => s.to_string(),
+                        None => "any".to_string(),
+                    };
+                    Some((
+                        pid,
+                        format!(
+                            "rank {pid} waiting tag={} src={src}, mailbox depth {}",
+                            w.tag,
+                            p.mailbox.len()
+                        ),
+                    ))
+                }
+                _ => None,
+            })
+            .collect()
     }
 
     /// Pops the next live event **before `window_end`**, advances the
@@ -337,17 +412,14 @@ impl EngineState {
         loop {
             let Some(ev) = self.queue.peek().copied() else {
                 if self.window_end == SimTime::MAX && self.live > 0 {
-                    let stuck: Vec<usize> = self
-                        .procs
-                        .iter()
-                        .enumerate()
-                        .filter(|(_, p)| matches!(p.status, Status::BlockedRecv(_)))
-                        .map(|(i, _)| i)
-                        .collect();
+                    let details = self.stuck_recv_details();
+                    let stuck: Vec<usize> = details.iter().map(|&(pid, _)| pid).collect();
+                    let clauses: Vec<&str> = details.iter().map(|(_, d)| d.as_str()).collect();
                     self.panic_msg = Some(format!(
                         "simulation deadlock at {}: no pending events, ranks {stuck:?} \
-                         blocked at recv",
-                        self.clock
+                         blocked at recv ({})",
+                        self.clock,
+                        clauses.join("; ")
                     ));
                 }
                 self.current = None;
@@ -448,6 +520,8 @@ mod tests {
                 cycle_events: Vec::new(),
                 blocks: BlockHistory::new(),
                 online_at: SimTime::ZERO,
+                crash_at: None,
+                partitioned: false,
             })
             .collect();
         let proc_nodes: Vec<usize> = (0..nprocs).collect();
@@ -552,6 +626,81 @@ mod tests {
         let msg = st.panic_msg.expect("deadlock should be flagged");
         assert!(msg.contains("deadlock"), "{msg}");
         assert!(msg.contains("[0]"), "{msg}");
+        // The diagnosis names the pending recv and the mailbox depth.
+        assert!(msg.contains("tag=1"), "{msg}");
+        assert!(msg.contains("src=0"), "{msg}");
+        assert!(msg.contains("mailbox depth 0"), "{msg}");
+    }
+
+    #[test]
+    fn stuck_recv_details_report_wait_and_depth() {
+        let mut st = state(2);
+        st.procs[1].status = Status::BlockedRecv(RecvWait { src: None, tag: 9 });
+        st.procs[1].mailbox.push(Envelope {
+            src: 0,
+            tag: 3, // non-matching tag: deepens the mailbox, not the wait
+            sent: SimTime::ZERO,
+            arrival: SimTime::ZERO,
+            seq: 1,
+            rx_queued: SimDur::ZERO,
+            payload: vec![],
+        });
+        let details = st.stuck_recv_details();
+        assert_eq!(details.len(), 1);
+        assert_eq!(details[0].0, 1);
+        assert!(details[0].1.contains("tag=9"), "{}", details[0].1);
+        assert!(details[0].1.contains("src=any"), "{}", details[0].1);
+        assert!(details[0].1.contains("mailbox depth 1"), "{}", details[0].1);
+    }
+
+    #[test]
+    fn dead_nic_drops_cross_node_frames_both_directions() {
+        let mut st = state(3);
+        st.queue.clear();
+        st.nodes[1].crash_at = Some(SimTime::from_millis(5));
+        let env = |src: usize, arrival_ms: u64| Envelope {
+            src,
+            tag: 0,
+            sent: SimTime::ZERO,
+            arrival: SimTime::from_millis(arrival_ms),
+            seq: 1,
+            rx_queued: SimDur::ZERO,
+            payload: vec![],
+        };
+        // Before the crash: delivered.
+        st.deliver(1, env(0, 4));
+        assert_eq!(st.procs[1].mailbox.len(), 1);
+        // At/after the crash: frames to and from the dead NIC are dropped.
+        st.deliver(1, env(0, 5));
+        assert_eq!(st.procs[1].mailbox.len(), 1);
+        st.deliver(2, env(1, 7));
+        assert_eq!(st.procs[2].mailbox.len(), 0);
+        // Frames between two live NICs still flow.
+        st.deliver(2, env(0, 7));
+        assert_eq!(st.procs[2].mailbox.len(), 1);
+    }
+
+    #[test]
+    fn crashed_status_kills_queued_events() {
+        let mut st = state(2);
+        st.procs[1].status = Status::Crashed;
+        st.live = 1;
+        assert!(st.dispatch_next());
+        assert_eq!(st.current, Some(0), "crashed rank's event must be dead");
+    }
+
+    #[test]
+    fn failstop_vs_partition_halt_semantics() {
+        let mut st = state(2);
+        st.nodes[0].crash_at = Some(SimTime::from_secs(1));
+        st.nodes[1].crash_at = Some(SimTime::from_secs(2));
+        st.nodes[1].partitioned = true;
+        // Fail-stop node: ranks halt at the crash time.
+        assert_eq!(st.failstop_at(0), Some(SimTime::from_secs(1)));
+        // Partitioned node: NIC dead, ranks keep running.
+        assert_eq!(st.failstop_at(1), None);
+        assert!(st.nic_dead_at(1, SimTime::from_secs(2)));
+        assert!(!st.nic_dead_at(1, SimTime::from_millis(1999)));
     }
 
     #[test]

@@ -54,11 +54,12 @@ mod timeline;
 
 pub use cluster::Cluster;
 pub use cpu::{CpuSched, Segment, Step};
+pub use ctx::RecvTimeout;
 pub use ctx::SimCtx;
 pub use monitor::{dmpi_ps_reading, vmstat_reading, BlockHistory};
 pub use network::Network;
 pub use params::{NetParams, NodeSpec, OsParams};
 pub use report::{ProcReport, SimOutcome, SimReport};
-pub use script::{LoadEvent, LoadScript, NodeArrival, Trigger};
+pub use script::{CrashKind, LoadEvent, LoadScript, NodeArrival, NodeCrash, Trigger};
 pub use time::{SimDur, SimTime};
 pub use timeline::NcpTimeline;

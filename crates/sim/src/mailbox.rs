@@ -43,8 +43,8 @@ impl Mailbox {
         Mailbox::default()
     }
 
-    /// Undelivered envelopes across all queues (used by the oracle tests).
-    #[cfg_attr(not(test), allow(dead_code))]
+    /// Undelivered envelopes across all queues (the "mailbox depth" of
+    /// the deadlock diagnosis; also used by the oracle tests).
     pub fn len(&self) -> usize {
         self.len
     }

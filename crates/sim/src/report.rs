@@ -16,6 +16,10 @@ pub struct ProcReport {
     pub bytes_recvd: u64,
     /// Fraction of the rank's lifetime spent blocked at receives.
     pub blocked_fraction: f64,
+    /// True when the rank was killed by a scripted fail-stop crash:
+    /// `finish_time` is then its death time and its result slot holds the
+    /// default value.
+    pub crashed: bool,
 }
 
 /// Whole-run statistics.
@@ -92,6 +96,7 @@ mod tests {
                     bytes_sent: 8,
                     bytes_recvd: 8,
                     blocked_fraction: 0.0,
+                    crashed: false,
                 },
                 ProcReport {
                     node: 1,
@@ -102,6 +107,7 @@ mod tests {
                     bytes_sent: 0,
                     bytes_recvd: 0,
                     blocked_fraction: 0.5,
+                    crashed: false,
                 },
             ],
             net_messages: 1,

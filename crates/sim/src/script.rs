@@ -51,11 +51,40 @@ impl NodeArrival {
     }
 }
 
+/// How a scripted crash manifests (both kill the node's NIC; the kinds
+/// differ in what happens to the local process).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CrashKind {
+    /// The node halts: its ranks stop executing at the crash time and its
+    /// monitors go silent.
+    FailStop,
+    /// The node is cut off the network but keeps running: its ranks
+    /// continue locally (and can observe their own timeouts), but no
+    /// message crosses its NIC and remote monitor reads go silent.
+    Partition,
+}
+
+/// A scripted fail-stop or partition fault on a virtual node.
+///
+/// Crash triggers are *absolute virtual times* (never phase cycles): the
+/// sharded engine must decide "is this NIC dead at arrival `t`?" for
+/// envelopes crossing shard boundaries before the crashing shard has
+/// executed up to `t`, which only a statically known crash time allows —
+/// the same reason arrivals are time-based. To crash *during* a
+/// redistribution, aim the time inside the redistribution window.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NodeCrash {
+    pub at: SimTime,
+    pub node: usize,
+    pub kind: CrashKind,
+}
+
 /// A full experiment load schedule.
 #[derive(Clone, Debug, Default)]
 pub struct LoadScript {
     events: Vec<LoadEvent>,
     arrivals: Vec<NodeArrival>,
+    crashes: Vec<NodeCrash>,
 }
 
 impl LoadScript {
@@ -114,6 +143,49 @@ impl LoadScript {
             nic_bandwidth: Some(nic_bandwidth),
         });
         self
+    }
+
+    /// Schedules a fail-stop crash: node `node` halts at virtual time
+    /// `at`. Its ranks stop executing at the next operation boundary, all
+    /// in-flight and future messages from/to the node are dropped, and
+    /// remote monitor reads of it return 0.
+    pub fn node_crash(mut self, at: SimTime, node: usize) -> Self {
+        assert!(
+            !self.crashes.iter().any(|c| c.node == node),
+            "node {node} already has a scripted crash"
+        );
+        self.crashes.push(NodeCrash {
+            at,
+            node,
+            kind: CrashKind::FailStop,
+        });
+        self
+    }
+
+    /// Schedules a network partition: node `node` is cut off the network
+    /// at `at` but its ranks keep running locally. Survivors observe
+    /// exactly the same silence as a fail-stop crash.
+    pub fn node_partition(mut self, at: SimTime, node: usize) -> Self {
+        assert!(
+            !self.crashes.iter().any(|c| c.node == node),
+            "node {node} already has a scripted crash"
+        );
+        self.crashes.push(NodeCrash {
+            at,
+            node,
+            kind: CrashKind::Partition,
+        });
+        self
+    }
+
+    /// Scripted crashes, in insertion order.
+    pub fn crashes(&self) -> &[NodeCrash] {
+        &self.crashes
+    }
+
+    /// The scripted crash of `node`, if any.
+    pub fn crash_of(&self, node: usize) -> Option<NodeCrash> {
+        self.crashes.iter().find(|c| c.node == node).copied()
     }
 
     /// All events, in insertion order.
@@ -212,6 +284,34 @@ mod tests {
         assert_eq!(s.arrivals()[1].nic_bandwidth, Some(6.25e6));
         // Arrivals alone keep the script "dedicated": no competing load.
         assert!(s.is_dedicated());
+    }
+
+    #[test]
+    fn crashes_record_kind_and_lookup() {
+        let s = LoadScript::dedicated()
+            .node_crash(SimTime::from_secs(2), 1)
+            .node_partition(SimTime::from_secs(4), 3);
+        assert_eq!(s.crashes().len(), 2);
+        assert_eq!(
+            s.crash_of(1),
+            Some(NodeCrash {
+                at: SimTime::from_secs(2),
+                node: 1,
+                kind: CrashKind::FailStop,
+            })
+        );
+        assert_eq!(s.crash_of(3).unwrap().kind, CrashKind::Partition);
+        assert_eq!(s.crash_of(0), None);
+        // Crashes alone keep the script "dedicated": no competing load.
+        assert!(s.is_dedicated());
+    }
+
+    #[test]
+    #[should_panic(expected = "already has a scripted crash")]
+    fn duplicate_crash_rejected() {
+        let _ = LoadScript::dedicated()
+            .node_crash(SimTime::from_secs(1), 0)
+            .node_partition(SimTime::from_secs(2), 0);
     }
 
     #[test]

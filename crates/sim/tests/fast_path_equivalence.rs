@@ -15,7 +15,7 @@ use dynmpi_testkit::{check_n, Rng};
 /// bit for bit. Returns the fast-mode single-shard outcome.
 fn assert_equivalent<R, F>(mk: impl Fn() -> Cluster, f: F) -> SimOutcome<R>
 where
-    R: Send + PartialEq + std::fmt::Debug,
+    R: Send + PartialEq + std::fmt::Debug + Default,
     F: Fn(&dynmpi_sim::SimCtx) -> R + Send + Sync + Copy,
 {
     let stepped = mk().with_stepped(true).run_spmd(f);

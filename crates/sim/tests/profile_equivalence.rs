@@ -25,7 +25,7 @@ fn sched_span_count(events: &[TraceEvent]) -> usize {
 /// the analyzed profile plus the raw sched span count.
 fn profiled<R, F>(mk: &impl Fn() -> Cluster, stepped: bool, f: F) -> (ProfileReport, usize)
 where
-    R: Send,
+    R: Send + Default,
     F: Fn(&SimCtx) -> R + Send + Sync + Copy,
 {
     let rec = Recorder::new();

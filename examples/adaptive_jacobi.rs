@@ -121,5 +121,20 @@ fn describe(e: &dynmpi::RuntimeEvent) -> String {
             if *admitted { "admit" } else { "reject" }
         ),
         NodeAdmitted { node, .. } => format!("node {node} admitted into the computation"),
+        NodeSuspected {
+            node,
+            silent_cycles,
+            ..
+        } => format!("node {node} suspected dead ({silent_cycles} silent cycles)"),
+        NodeConfirmedDead { node, .. } => format!("node {node} confirmed dead"),
+        NodeRecovered {
+            node,
+            rollback_to,
+            restored_rows,
+            ..
+        } => format!(
+            "node {node}'s {restored_rows} rows restored from its buddy — \
+             replaying from cycle {rollback_to}"
+        ),
     }
 }
