@@ -25,7 +25,9 @@
 //! (virtual timestamps; `PATH.metrics.json` gets the metrics snapshots),
 //! and `--health-out PATH`/`--watch`/`--prom-out PATH` for the online
 //! health monitor's snapshot JSONL, live dashboard, and
-//! Prometheus-format metrics (DESIGN.md §11).
+//! Prometheus-format metrics (DESIGN.md §11), and `--explain-out PATH`
+//! for the decision-audit report — decision cards with counterfactuals
+//! and crash flight records (DESIGN.md §15).
 //! Pass `--threads N` to size the configuration-sweep worker pool
 //! (default: available parallelism; output is byte-identical at any
 //! value — `fig3_alloc` ignores it and stays serial because it measures
@@ -42,7 +44,7 @@ use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, OnceLock};
 
-use dynmpi_obs::{HealthMonitor, Json, Recorder};
+use dynmpi_obs::{ExplainEngine, HealthMonitor, Json, ProfileReport, Recorder};
 
 /// Verbosity of the bench logger, in increasing order.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
@@ -137,17 +139,21 @@ macro_rules! log_trace {
 /// `--watch` (live health dashboard on stderr while the instrumented run
 /// executes), `--health-window MS` (monitor window width), an optional
 /// `--prom-out PATH` (metrics registry in Prometheus text exposition
-/// format), an optional `--only KEY` (restrict the sweep to matching
-/// configurations, where supported), and `--threads N` (worker count for
-/// the parallel configuration sweep; defaults to the machine's available
-/// parallelism). Every simulated configuration is an independent
-/// deterministic run, so output is byte-identical at any thread count.
+/// format), an optional `--explain-out PATH` (decision cards and crash
+/// flight records, JSONL; the text rendering prints to stdout —
+/// DESIGN.md §15), an optional `--only KEY` (restrict the sweep to
+/// matching configurations, where supported), and `--threads N` (worker
+/// count for the parallel configuration sweep; defaults to the machine's
+/// available parallelism). Every simulated configuration is an
+/// independent deterministic run, so output is byte-identical at any
+/// thread count.
 pub struct BenchArgs {
     pub quick: bool,
     pub out_dir: String,
     pub trace_out: Option<String>,
     pub profile_out: Option<String>,
     pub health_out: Option<String>,
+    pub explain_out: Option<String>,
     pub watch: bool,
     /// Health-monitor window width in virtual milliseconds.
     pub health_window_ms: u64,
@@ -167,6 +173,7 @@ impl BenchArgs {
         let mut trace_out = None;
         let mut profile_out = None;
         let mut health_out = None;
+        let mut explain_out = None;
         let mut watch = false;
         let mut health_window_ms = dynmpi_obs::health::DEFAULT_WINDOW_NS / 1_000_000;
         let mut prom_out = None;
@@ -187,6 +194,7 @@ impl BenchArgs {
                 "--trace-out" => trace_out = Some(value("--trace-out", &mut args)),
                 "--profile-out" => profile_out = Some(value("--profile-out", &mut args)),
                 "--health-out" => health_out = Some(value("--health-out", &mut args)),
+                "--explain-out" => explain_out = Some(value("--explain-out", &mut args)),
                 "--watch" => watch = true,
                 "--health-window" => {
                     let v = value("--health-window", &mut args);
@@ -218,7 +226,8 @@ impl BenchArgs {
                 "--help" | "-h" => {
                     eprintln!(
                         "usage: [--quick] [--out DIR] [--trace-out PATH] \
-                         [--profile-out PATH] [--health-out PATH] [--watch] \
+                         [--profile-out PATH] [--health-out PATH] \
+                         [--explain-out PATH] [--watch] \
                          [--health-window MS] [--prom-out PATH] [--only KEY] \
                          [--threads N] [--shards N]"
                     );
@@ -236,6 +245,7 @@ impl BenchArgs {
             trace_out,
             profile_out,
             health_out,
+            explain_out,
             watch,
             health_window_ms,
             prom_out,
@@ -250,6 +260,7 @@ impl BenchArgs {
         self.trace_out.is_some()
             || self.profile_out.is_some()
             || self.health_out.is_some()
+            || self.explain_out.is_some()
             || self.prom_out.is_some()
             || self.watch
     }
@@ -293,26 +304,74 @@ impl BenchArgs {
 pub struct Instrumentation {
     recorder: Option<Recorder>,
     monitor: Option<Arc<HealthMonitor>>,
+    explain: Option<Arc<ExplainEngine>>,
     watch_stop: Option<Arc<AtomicBool>>,
     watch_thread: Option<std::thread::JoinHandle<()>>,
     trace_out: Option<String>,
     profile_out: Option<String>,
     health_out: Option<String>,
+    explain_out: Option<String>,
     prom_out: Option<String>,
     watch: bool,
 }
 
+/// Probes an `--*-out` destination at startup: creates its parent
+/// directories and opens it for writing, so a typo'd or unwritable path
+/// fails immediately with a clear message instead of panicking after the
+/// sweep has run for minutes.
+fn validate_out_path(flag: &str, path: &str) {
+    if let Some(parent) = Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            if let Err(e) = std::fs::create_dir_all(parent) {
+                eprintln!(
+                    "{flag} {path}: cannot create directory {}: {e}",
+                    parent.display()
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    if let Err(e) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+    {
+        eprintln!("{flag} {path}: not writable: {e}");
+        std::process::exit(2);
+    }
+}
+
 impl Instrumentation {
     fn new(args: &BenchArgs) -> Self {
+        for (flag, path) in [
+            ("--trace-out", &args.trace_out),
+            ("--profile-out", &args.profile_out),
+            ("--health-out", &args.health_out),
+            ("--explain-out", &args.explain_out),
+            ("--prom-out", &args.prom_out),
+        ] {
+            if let Some(p) = path {
+                validate_out_path(flag, p);
+            }
+        }
         let recorder = args.wants_recorder().then(Recorder::new);
+        let window_ns = args.health_window_ms * 1_000_000;
         let wants_monitor = args.health_out.is_some() || args.watch;
         let monitor = match (&recorder, wants_monitor) {
             (Some(rec), true) => {
-                let mon = Arc::new(HealthMonitor::new(args.health_window_ms * 1_000_000));
+                let mon = Arc::new(HealthMonitor::new(window_ns));
                 // Subscribe before any rank scope is installed: scopes
                 // capture the sink list at install time.
                 rec.subscribe(mon.clone());
                 Some(mon)
+            }
+            _ => None,
+        };
+        let explain = match (&recorder, args.explain_out.is_some()) {
+            (Some(rec), true) => {
+                let engine = Arc::new(ExplainEngine::new(window_ns));
+                rec.subscribe(engine.clone());
+                Some(engine)
             }
             _ => None,
         };
@@ -324,9 +383,17 @@ impl Instrumentation {
                 while !stop2.load(Ordering::Relaxed) {
                     let frame = mon.report().render_dashboard();
                     let (hi, lo) = mon.progress();
-                    // Clear + home, then the frame: cheap in-place redraw.
+                    // In-place redraw: home the cursor, print the frame
+                    // erasing each line's tail, clear whatever an earlier
+                    // (taller) frame left below, reset attributes.
+                    // Deliberately no alternate screen and no cursor
+                    // hiding — if the process dies mid-frame (panic
+                    // elsewhere, Ctrl-C), the TTY is already in a sane
+                    // state and the last frame stays readable above the
+                    // shell prompt.
                     eprintln!(
-                        "\x1b[2J\x1b[H{frame}streamed: fastest rank {:.3}s, slowest {:.3}s",
+                        "\x1b[H{}streamed: fastest rank {:.3}s, slowest {:.3}s\x1b[K\x1b[0J\x1b[0m",
+                        frame.replace('\n', "\x1b[K\n"),
                         hi as f64 / 1e9,
                         lo as f64 / 1e9
                     );
@@ -341,11 +408,13 @@ impl Instrumentation {
         Instrumentation {
             recorder,
             monitor,
+            explain,
             watch_stop,
             watch_thread,
             trace_out: args.trace_out.clone(),
             profile_out: args.profile_out.clone(),
             health_out: args.health_out.clone(),
+            explain_out: args.explain_out.clone(),
             prom_out: args.prom_out.clone(),
             watch: args.watch,
         }
@@ -367,8 +436,16 @@ impl Instrumentation {
         self.monitor.as_ref()
     }
 
+    /// The decision-audit engine, when `--explain-out` asked for one.
+    /// Harnesses use it to attach post-run facts (e.g. the fig9 crash
+    /// harness reports whether the final checksum survived intact) before
+    /// calling [`finish`](Instrumentation::finish).
+    pub fn explain(&self) -> Option<&Arc<ExplainEngine>> {
+        self.explain.as_ref()
+    }
+
     /// Stops the watch thread and writes every requested output: trace,
-    /// profile, health JSONL, and Prometheus metrics text.
+    /// profile, health JSONL, explain JSONL, and Prometheus metrics text.
     pub fn finish(mut self) {
         if let Some(stop) = self.watch_stop.take() {
             stop.store(true, Ordering::Relaxed);
@@ -380,8 +457,12 @@ impl Instrumentation {
         if let Some(path) = &self.trace_out {
             write_trace(rec, path);
         }
+        // One analysis pass serves both --profile-out and the explain
+        // report's critical-path blame table.
+        let profile =
+            (self.profile_out.is_some() || self.explain_out.is_some()).then(|| rec.profile());
         if let Some(path) = &self.profile_out {
-            write_profile(rec, path);
+            write_profile_report(profile.as_ref().expect("computed above"), path);
         }
         if let Some(mon) = &self.monitor {
             let report = mon.report();
@@ -390,24 +471,41 @@ impl Instrumentation {
                 eprint!("{}", report.render_dashboard());
             }
             if let Some(path) = &self.health_out {
-                if let Some(parent) = Path::new(path).parent() {
-                    if !parent.as_os_str().is_empty() {
-                        let _ = std::fs::create_dir_all(parent);
-                    }
-                }
                 std::fs::write(path, report.to_jsonl()).expect("write health file");
                 log_info!("wrote {path}");
             }
         }
+        if let (Some(engine), Some(path)) = (&self.explain, &self.explain_out) {
+            let report = engine.report();
+            let blame = profile.as_ref().map_or(&[][..], |p| p.blame.as_slice());
+            std::fs::write(path, report.to_jsonl(blame)).expect("write explain file");
+            print!("{}", report.render_text(blame));
+            log_info!("wrote {path}");
+        }
         if let Some(path) = &self.prom_out {
-            if let Some(parent) = Path::new(path).parent() {
-                if !parent.as_os_str().is_empty() {
-                    let _ = std::fs::create_dir_all(parent);
-                }
-            }
             let text = dynmpi_obs::prometheus_text(&rec.merged_metrics());
             std::fs::write(path, text).expect("write prometheus file");
             log_info!("wrote {path}");
+        }
+    }
+}
+
+impl Drop for Instrumentation {
+    fn drop(&mut self) {
+        // `finish` drains these on the normal path; reaching here with a
+        // live watch thread means the run is unwinding (a panic skipped
+        // `finish`). Stop the redraw loop, leave a final readable frame,
+        // and reset terminal attributes so the panic message that follows
+        // lands on a sane TTY.
+        if let Some(stop) = self.watch_stop.take() {
+            stop.store(true, Ordering::Relaxed);
+        }
+        if let Some(handle) = self.watch_thread.take() {
+            let _ = handle.join();
+            if let Some(mon) = &self.monitor {
+                eprint!("\x1b[0m{}", mon.report().render_dashboard());
+            }
+            let _ = std::io::stderr().flush();
         }
     }
 }
@@ -451,12 +549,15 @@ pub fn write_trace(recorder: &dynmpi_obs::Recorder, trace_path: &str) {
 /// prints the text rendering (attribution table, top critical-path
 /// segments, redistribution audits) to stdout.
 pub fn write_profile(recorder: &dynmpi_obs::Recorder, profile_path: &str) {
+    write_profile_report(&recorder.profile(), profile_path);
+}
+
+fn write_profile_report(report: &ProfileReport, profile_path: &str) {
     if let Some(parent) = Path::new(profile_path).parent() {
         if !parent.as_os_str().is_empty() {
             let _ = std::fs::create_dir_all(parent);
         }
     }
-    let report = recorder.profile();
     std::fs::write(profile_path, report.to_json().to_string()).expect("write profile file");
     print!("{}", report.render_text());
     log_info!("wrote {profile_path}");

@@ -106,14 +106,18 @@ fn fig4_quick_profile_is_complete() {
 }
 
 /// Runs quick fig4 `jacobi/8` fully instrumented (`--trace-out`,
-/// `--profile-out`, `--health-out`) at the given shard count, returning
-/// `(trace, profile, health, rows_jsonl)`.
-fn fig4_sharded_run(out_dir: &std::path::Path, shards: &str) -> (String, String, String, String) {
+/// `--profile-out`, `--health-out`, `--explain-out`) at the given shard
+/// count, returning `(trace, profile, health, rows_jsonl, explain)`.
+fn fig4_sharded_run(
+    out_dir: &std::path::Path,
+    shards: &str,
+) -> (String, String, String, String, String) {
     let dir = out_dir.join(format!("shards-{shards}"));
     std::fs::create_dir_all(&dir).unwrap();
     let trace = dir.join("trace.json");
     let profile = dir.join("profile.json");
     let health = dir.join("health.jsonl");
+    let explain = dir.join("explain.jsonl");
     let output = Command::new(env!("CARGO_BIN_EXE_fig4_overall"))
         .arg("--quick")
         .arg("--only")
@@ -128,6 +132,8 @@ fn fig4_sharded_run(out_dir: &std::path::Path, shards: &str) -> (String, String,
         .arg(&profile)
         .arg("--health-out")
         .arg(&health)
+        .arg("--explain-out")
+        .arg(&explain)
         .output()
         .expect("failed to launch fig4_overall");
     assert!(
@@ -140,21 +146,25 @@ fn fig4_sharded_run(out_dir: &std::path::Path, shards: &str) -> (String, String,
         std::fs::read_to_string(&profile).unwrap(),
         std::fs::read_to_string(&health).unwrap(),
         std::fs::read_to_string(dir.join("fig4_overall.jsonl")).unwrap(),
+        std::fs::read_to_string(&explain).unwrap(),
     )
 }
 
 /// The sharded arm of the smoke job: partitioning the simulation across
 /// engine shards is a pure wall-clock knob, so every observable artifact
-/// — the raw trace, the profile report, the health snapshot stream, and
-/// the result rows — must be byte-identical between `--shards 1` and
-/// `--shards 2`.
+/// — the raw trace, the profile report, the health snapshot stream, the
+/// explain report, and the result rows — must be byte-identical between
+/// `--shards 1` and `--shards 2`. The explain report must also tell the
+/// fig4 story end to end: straggler alert on the loaded node →
+/// load-change → redistribution, one causal chain on one card, with a
+/// counterfactual makespan and a realized-vs-predicted delta.
 #[test]
 fn fig4_quick_sharded_artifacts_byte_identical() {
     let out_dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/profile-smoke");
     std::fs::create_dir_all(&out_dir).unwrap();
 
-    let (trace_1, profile_1, health_1, rows_1) = fig4_sharded_run(&out_dir, "1");
-    let (trace_2, profile_2, health_2, rows_2) = fig4_sharded_run(&out_dir, "2");
+    let (trace_1, profile_1, health_1, rows_1, explain_1) = fig4_sharded_run(&out_dir, "1");
+    let (trace_2, profile_2, health_2, rows_2, explain_2) = fig4_sharded_run(&out_dir, "2");
     assert!(!trace_1.trim().is_empty(), "sharded-arm trace is empty");
     assert_eq!(trace_1, trace_2, "trace differs between --shards 1 and 2");
     assert_eq!(
@@ -169,19 +179,81 @@ fn fig4_quick_sharded_artifacts_byte_identical() {
         rows_1, rows_2,
         "result rows differ between --shards 1 and 2"
     );
+    assert_eq!(
+        explain_1, explain_2,
+        "explain report differs between --shards 1 and 2"
+    );
+
+    // Header: schema tag plus a non-empty critical-path blame table.
+    let header = Json::parse(explain_1.lines().next().expect("explain is empty"))
+        .expect("explain header must be JSON");
+    assert_eq!(header.get("explain").and_then(Json::as_str), Some("v1"));
+    assert!(
+        !header
+            .get("blame")
+            .and_then(Json::as_arr)
+            .expect("header without blame table")
+            .is_empty(),
+        "blame table is empty"
+    );
+
+    // The redistribution decision card carries the full causal chain.
+    let card = explain_1
+        .lines()
+        .skip(1)
+        .map(|l| Json::parse(l).expect("explain line must be JSON"))
+        .find(|c| c.get("kind").and_then(Json::as_str) == Some("redistributed"))
+        .expect("no redistributed decision card");
+    let card_ts = u64_field(&card, "ts_ns");
+    let chain = card.get("chain").and_then(Json::as_arr).unwrap();
+    let link_ts = |pred: &dyn Fn(&Json) -> bool| -> u64 {
+        chain
+            .iter()
+            .find(|l| pred(l))
+            .map(|l| u64_field(l, "ts_ns"))
+            .unwrap_or_else(|| panic!("missing chain link in {card}"))
+    };
+    let alert_ts = link_ts(&|l: &Json| {
+        l.get("type").and_then(Json::as_str) == Some("alert")
+            && l.get("rule").and_then(Json::as_str) == Some("straggler")
+            && l.get("node").and_then(Json::as_u64) == Some(7)
+    });
+    let load_change_ts =
+        link_ts(&|l: &Json| l.get("kind").and_then(Json::as_str) == Some("load-change"));
+    assert!(
+        alert_ts < card_ts && load_change_ts < card_ts,
+        "chain links do not precede the decision: alert {alert_ts}, \
+         load-change {load_change_ts}, decision {card_ts}"
+    );
+    assert!(
+        card.get("counterfactual_ns")
+            .and_then(Json::as_u64)
+            .is_some(),
+        "redistributed card without counterfactual: {card}"
+    );
+    let outcome = card.get("outcome").expect("card without outcome");
+    assert!(
+        outcome
+            .get("delta_vs_predicted_ns")
+            .and_then(Json::as_f64)
+            .is_some(),
+        "redistributed card without realized-vs-predicted delta: {card}"
+    );
 }
 
-/// Runs quick fig8 (node arrival) with `--health-out` under the given
-/// thread count and engine mode, returning `(rows_jsonl, health_jsonl)`.
+/// Runs quick fig8 (node arrival) with `--health-out`/`--explain-out`
+/// under the given thread count and engine mode, returning
+/// `(rows_jsonl, health_jsonl, explain_jsonl)`.
 fn fig8_run(
     out_dir: &std::path::Path,
     tag: &str,
     threads: &str,
     stepped: bool,
-) -> (String, String) {
+) -> (String, String, String) {
     let dir = out_dir.join(format!("fig8-{tag}"));
     std::fs::create_dir_all(&dir).unwrap();
     let health = dir.join("health.jsonl");
+    let explain = dir.join("explain.jsonl");
     let mut cmd = Command::new(env!("CARGO_BIN_EXE_fig8_node_arrival"));
     cmd.arg("--quick")
         .arg("--out")
@@ -189,7 +261,9 @@ fn fig8_run(
         .arg("--threads")
         .arg(threads)
         .arg("--health-out")
-        .arg(&health);
+        .arg(&health)
+        .arg("--explain-out")
+        .arg(&explain);
     if stepped {
         cmd.env("DYNMPI_SIM_STEPPED", "1");
     }
@@ -202,21 +276,24 @@ fn fig8_run(
     (
         std::fs::read_to_string(dir.join("fig8_node_arrival.jsonl")).unwrap(),
         std::fs::read_to_string(&health).unwrap(),
+        std::fs::read_to_string(&explain).unwrap(),
     )
 }
 
 /// The fig8 arm of the smoke job: every scenario's arrival must be
-/// absorbed (admitted, with rows transferred to the newcomer), and both
-/// the result rows and the health snapshot stream must be byte-identical
-/// across `--threads 1` vs `8` and across fast vs. stepped engine modes.
+/// absorbed (admitted, with rows transferred to the newcomer), and the
+/// result rows, health snapshot stream, and explain report must be
+/// byte-identical across `--threads 1` vs `8` and across fast vs.
+/// stepped engine modes. The explain report must card the instrumented
+/// run's expansion decision as an admit with both branch predictions.
 #[test]
 fn fig8_quick_arrival_absorbed_deterministically() {
     let out_dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/profile-smoke");
     std::fs::create_dir_all(&out_dir).unwrap();
 
-    let (rows_t1, health_t1) = fig8_run(&out_dir, "t1", "1", false);
-    let (rows_t8, health_t8) = fig8_run(&out_dir, "t8", "8", false);
-    let (rows_st, health_st) = fig8_run(&out_dir, "stepped", "4", true);
+    let (rows_t1, health_t1, explain_t1) = fig8_run(&out_dir, "t1", "1", false);
+    let (rows_t8, health_t8, explain_t8) = fig8_run(&out_dir, "t8", "8", false);
+    let (rows_st, health_st, explain_st) = fig8_run(&out_dir, "stepped", "4", true);
     assert_eq!(
         rows_t1, rows_t8,
         "fig8 rows differ between --threads 1 and 8"
@@ -229,6 +306,34 @@ fn fig8_quick_arrival_absorbed_deterministically() {
     assert_eq!(
         health_t1, health_st,
         "fig8 health snapshots differ between engine modes"
+    );
+    assert_eq!(
+        explain_t1, explain_t8,
+        "fig8 explain report differs between --threads 1 and 8"
+    );
+    assert_eq!(
+        explain_t1, explain_st,
+        "fig8 explain report differs between engine modes"
+    );
+
+    let admit = explain_t1
+        .lines()
+        .skip(1)
+        .map(|l| Json::parse(l).expect("explain line must be JSON"))
+        .find(|c| c.get("kind").and_then(Json::as_str) == Some("expand-evaluated"))
+        .expect("no expand-evaluated decision card");
+    assert_eq!(
+        admit.get("taken").and_then(Json::as_str),
+        Some("admit"),
+        "expansion was not taken as admit: {admit}"
+    );
+    assert!(
+        admit.get("predicted_ns").and_then(Json::as_u64).is_some()
+            && admit
+                .get("counterfactual_ns")
+                .and_then(Json::as_u64)
+                .is_some(),
+        "expand card lacks branch predictions: {admit}"
     );
 
     let mut scenarios = Vec::new();
@@ -262,19 +367,21 @@ fn fig8_quick_arrival_absorbed_deterministically() {
 }
 
 /// Runs quick fig9 (node crash) fully observed (`--trace-out`,
-/// `--health-out`) under the given thread count, shard count, and engine
-/// mode, returning `(rows_jsonl, health_jsonl, trace_json)`.
+/// `--health-out`, `--explain-out`) under the given thread count, shard
+/// count, and engine mode, returning
+/// `(rows_jsonl, health_jsonl, trace_json, explain_jsonl)`.
 fn fig9_run(
     out_dir: &std::path::Path,
     tag: &str,
     threads: &str,
     shards: &str,
     stepped: bool,
-) -> (String, String, String) {
+) -> (String, String, String, String) {
     let dir = out_dir.join(format!("fig9-{tag}"));
     std::fs::create_dir_all(&dir).unwrap();
     let health = dir.join("health.jsonl");
     let trace = dir.join("trace.json");
+    let explain = dir.join("explain.jsonl");
     let mut cmd = Command::new(env!("CARGO_BIN_EXE_fig9_node_crash"));
     cmd.arg("--quick")
         .arg("--out")
@@ -286,7 +393,9 @@ fn fig9_run(
         .arg("--health-out")
         .arg(&health)
         .arg("--trace-out")
-        .arg(&trace);
+        .arg(&trace)
+        .arg("--explain-out")
+        .arg(&explain);
     if stepped {
         cmd.env("DYNMPI_SIM_STEPPED", "1");
     }
@@ -300,27 +409,36 @@ fn fig9_run(
         std::fs::read_to_string(dir.join("fig9_node_crash.jsonl")).unwrap(),
         std::fs::read_to_string(&health).unwrap(),
         std::fs::read_to_string(&trace).unwrap(),
+        std::fs::read_to_string(&explain).unwrap(),
     )
 }
 
 /// The fig9 arm of the smoke job: after an injected mid-run crash the
 /// survivors must confirm the death, restore from the buddy checkpoint,
 /// and finish with the crash-free checksum — and the rows, health
-/// snapshots, and raw trace must be byte-identical across `--threads 1`
-/// vs `8`, `--shards 1` vs `2`, and fast vs. stepped engine modes.
+/// snapshots, raw trace, and explain report must be byte-identical
+/// across `--threads 1` vs `8`, `--shards 1` vs `2`, and fast vs.
+/// stepped engine modes. Each confirmed death must produce a flight
+/// record with detection latency, replay cost, and the intact checksum.
 #[test]
 fn fig9_quick_crash_recovers_deterministically() {
     let out_dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/profile-smoke");
     std::fs::create_dir_all(&out_dir).unwrap();
 
-    let (rows_t1, health_t1, trace_t1) = fig9_run(&out_dir, "t1", "1", "1", false);
-    let (rows_t8, health_t8, trace_t8) = fig9_run(&out_dir, "t8", "8", "1", false);
-    let (rows_s2, health_s2, trace_s2) = fig9_run(&out_dir, "s2", "4", "2", false);
-    let (rows_st, health_st, trace_st) = fig9_run(&out_dir, "stepped", "4", "1", true);
-    for (name, rows, health, trace) in [
-        ("--threads 8", &rows_t8, &health_t8, &trace_t8),
-        ("--shards 2", &rows_s2, &health_s2, &trace_s2),
-        ("stepped engine", &rows_st, &health_st, &trace_st),
+    let (rows_t1, health_t1, trace_t1, explain_t1) = fig9_run(&out_dir, "t1", "1", "1", false);
+    let (rows_t8, health_t8, trace_t8, explain_t8) = fig9_run(&out_dir, "t8", "8", "1", false);
+    let (rows_s2, health_s2, trace_s2, explain_s2) = fig9_run(&out_dir, "s2", "4", "2", false);
+    let (rows_st, health_st, trace_st, explain_st) = fig9_run(&out_dir, "stepped", "4", "1", true);
+    for (name, rows, health, trace, explain) in [
+        ("--threads 8", &rows_t8, &health_t8, &trace_t8, &explain_t8),
+        ("--shards 2", &rows_s2, &health_s2, &trace_s2, &explain_s2),
+        (
+            "stepped engine",
+            &rows_st,
+            &health_st,
+            &trace_st,
+            &explain_st,
+        ),
     ] {
         assert_eq!(&rows_t1, rows, "fig9 rows differ under {name}");
         assert_eq!(
@@ -328,9 +446,41 @@ fn fig9_quick_crash_recovers_deterministically() {
             "fig9 health snapshots differ under {name}"
         );
         assert_eq!(&trace_t1, trace, "fig9 trace differs under {name}");
+        assert_eq!(
+            &explain_t1, explain,
+            "fig9 explain report differs under {name}"
+        );
     }
 
     assert!(!trace_t1.trim().is_empty(), "fig9 trace is empty");
+
+    // Every confirmed death in the instrumented run has a flight record:
+    // detection latency, replay cost, buddy restore, intact checksum.
+    let flights: Vec<Json> = explain_t1
+        .lines()
+        .skip(1)
+        .map(|l| Json::parse(l).expect("explain line must be JSON"))
+        .filter(|c| c.get("card").and_then(Json::as_str) == Some("flight-record"))
+        .collect();
+    assert!(
+        !flights.is_empty(),
+        "no crash flight record in the explain report"
+    );
+    for f in &flights {
+        assert!(
+            u64_field(f, "detection_ns") > 0,
+            "flight record without detection latency: {f}"
+        );
+        assert!(
+            u64_field(f, "replay_cycles") > 0 && u64_field(f, "restored_rows") > 0,
+            "flight record without replay cost: {f}"
+        );
+        assert_eq!(
+            f.get("checksum_intact").and_then(Json::as_bool),
+            Some(true),
+            "flight record does not report the checksum intact: {f}"
+        );
+    }
     let mut fracs = Vec::new();
     for (lineno, line) in rows_t1.lines().enumerate() {
         let row = Json::parse(line)
@@ -353,10 +503,17 @@ fn fig9_quick_crash_recovers_deterministically() {
     assert_eq!(fracs, [0.3, 0.6], "unexpected fig9 crash sweep");
 }
 
-/// Runs quick fig4 `jacobi/8` with `--health-out` under the given thread
-/// count and engine mode, returning the snapshot JSONL.
-fn health_run(out_dir: &std::path::Path, tag: &str, threads: &str, stepped: bool) -> String {
+/// Runs quick fig4 `jacobi/8` with `--health-out`/`--explain-out` under
+/// the given thread count and engine mode, returning
+/// `(health_jsonl, explain_jsonl)`.
+fn health_run(
+    out_dir: &std::path::Path,
+    tag: &str,
+    threads: &str,
+    stepped: bool,
+) -> (String, String) {
     let path = out_dir.join(format!("health-{tag}.jsonl"));
+    let explain = out_dir.join(format!("explain-{tag}.jsonl"));
     let mut cmd = Command::new(env!("CARGO_BIN_EXE_fig4_overall"));
     cmd.arg("--quick")
         .arg("--only")
@@ -366,7 +523,9 @@ fn health_run(out_dir: &std::path::Path, tag: &str, threads: &str, stepped: bool
         .arg("--threads")
         .arg(threads)
         .arg("--health-out")
-        .arg(&path);
+        .arg(&path)
+        .arg("--explain-out")
+        .arg(&explain);
     if stepped {
         cmd.env("DYNMPI_SIM_STEPPED", "1");
     }
@@ -376,24 +535,36 @@ fn health_run(out_dir: &std::path::Path, tag: &str, threads: &str, stepped: bool
         "fig4_overall ({tag}) failed:\n{}",
         String::from_utf8_lossy(&output.stderr)
     );
-    std::fs::read_to_string(&path).unwrap()
+    (
+        std::fs::read_to_string(&path).unwrap(),
+        std::fs::read_to_string(&explain).unwrap(),
+    )
 }
 
 /// The `--health-out` arm of the smoke job: the competing-process
 /// scenario must classify the loaded node (node 7 of jacobi/8) as a
 /// `Straggler` before the runtime's redistribution on the same timeline,
-/// and the snapshot stream must be byte-identical across `--threads 1`
-/// vs `8` and across fast vs. stepped engine modes.
+/// and both the snapshot stream and the explain report must be
+/// byte-identical across `--threads 1` vs `8` and across fast vs.
+/// stepped engine modes.
 #[test]
 fn fig4_quick_health_flags_straggler_deterministically() {
     let out_dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/profile-smoke");
     std::fs::create_dir_all(&out_dir).unwrap();
 
-    let t1 = health_run(&out_dir, "t1", "1", false);
-    let t8 = health_run(&out_dir, "t8", "8", false);
-    let stepped = health_run(&out_dir, "stepped", "4", true);
+    let (t1, explain_t1) = health_run(&out_dir, "t1", "1", false);
+    let (t8, explain_t8) = health_run(&out_dir, "t8", "8", false);
+    let (stepped, explain_st) = health_run(&out_dir, "stepped", "4", true);
     assert_eq!(t1, t8, "health snapshots differ between --threads 1 and 8");
     assert_eq!(t1, stepped, "health snapshots differ between engine modes");
+    assert_eq!(
+        explain_t1, explain_t8,
+        "explain report differs between --threads 1 and 8"
+    );
+    assert_eq!(
+        explain_t1, explain_st,
+        "explain report differs between engine modes"
+    );
 
     let mut straggler_ts: Option<u64> = None;
     let mut redist_ts: Option<u64> = None;

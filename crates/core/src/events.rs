@@ -9,6 +9,17 @@ use dynmpi_obs::Json;
 
 use crate::timing::TimingMode;
 
+/// Seconds → exact nanoseconds for trace attributes. Decision quantities
+/// are all small non-negative cycle times, far below u64 range.
+fn secs_to_ns(seconds: f64) -> u64 {
+    (seconds.max(0.0) * 1e9).round() as u64
+}
+
+/// Dimensionless ratio (margin, fraction) → exact parts-per-million.
+fn to_ppm(ratio: f64) -> u64 {
+    (ratio.max(0.0) * 1e6).round() as u64
+}
+
 /// One adaptation event, stamped with the phase cycle it occurred in.
 #[derive(Clone, Debug, PartialEq)]
 pub enum RuntimeEvent {
@@ -32,6 +43,10 @@ pub enum RuntimeEvent {
         cycle: u64,
         predicted_unloaded: f64,
         measured_max: f64,
+        /// `drop_margin` the rule was evaluated with.
+        margin: f64,
+        /// Loaded members (world ranks) that a drop would remove.
+        loaded: Vec<usize>,
         dropped: bool,
     },
     /// Loaded nodes were physically removed.
@@ -50,11 +65,20 @@ pub enum RuntimeEvent {
         predicted_with: f64,
         measured_max: f64,
         redist_cost: f64,
+        /// `expand_margin` the rule was evaluated with.
+        margin: f64,
+        /// Cycles the redistribution cost must amortize over.
+        horizon_cycles: u32,
         admitted: bool,
     },
     /// An arriving node was admitted into the computation and will
     /// receive rows in the accompanying redistribution.
-    NodeAdmitted { cycle: u64, node: usize },
+    NodeAdmitted {
+        cycle: u64,
+        node: usize,
+        /// Rows the newcomer receives in the admission redistribution.
+        rows: usize,
+    },
     /// The failure detector saw a silent control cycle from a node whose
     /// monitor also reads dead — the Suspect half of Suspect→Confirmed.
     NodeSuspected {
@@ -65,7 +89,12 @@ pub enum RuntimeEvent {
     /// The detector's sustain rule fired: the node is Confirmed dead on
     /// every survivor (identically — the decision replays from broadcast
     /// control data). Recovery follows.
-    NodeConfirmedDead { cycle: u64, node: usize },
+    NodeConfirmedDead {
+        cycle: u64,
+        node: usize,
+        /// Consecutive silent control cycles that tripped the sustain rule.
+        silent_cycles: u32,
+    },
     /// Crash recovery completed: survivors rolled back to the checkpoint
     /// cycle, the dead node's rows were restored from its buddy, and the
     /// group was rebalanced.
@@ -74,6 +103,8 @@ pub enum RuntimeEvent {
         node: usize,
         rollback_to: u64,
         restored_rows: usize,
+        /// World rank of the buddy that held the dead node's checkpoint.
+        holder: usize,
     },
 }
 
@@ -101,6 +132,12 @@ impl RuntimeEvent {
     /// decision-specific quantities analyzers need (redistribution cost
     /// and volume, drop predictions, load vectors). Keys are stable —
     /// they are part of the exported trace schema (DESIGN.md §10).
+    ///
+    /// Decision events additionally carry their time-valued inputs as
+    /// exact-u64 nanoseconds (`*_ns`) and their margins as exact-u64
+    /// parts-per-million (`*_ppm`), so downstream sinks (the explain
+    /// engine, DESIGN.md §15) can reproduce the decision byte-identically
+    /// without re-parsing floats.
     pub fn trace_args(&self) -> Vec<(String, Json)> {
         let mut args = vec![("cycle".to_string(), Json::UInt(self.cycle()))];
         let mut push = |k: &str, v: Json| args.push((k.to_string(), v));
@@ -121,6 +158,7 @@ impl RuntimeEvent {
                 ..
             } => {
                 push("seconds", Json::Num(*seconds));
+                push("seconds_ns", Json::UInt(secs_to_ns(*seconds)));
                 push("rows_moved", Json::UInt(*rows_moved as u64));
                 push(
                     "counts",
@@ -129,15 +167,28 @@ impl RuntimeEvent {
             }
             RuntimeEvent::RedistributionSkipped { moved_fraction, .. } => {
                 push("moved_fraction", Json::Num(*moved_fraction));
+                push("moved_fraction_ppm", Json::UInt(to_ppm(*moved_fraction)));
             }
             RuntimeEvent::DropEvaluated {
                 predicted_unloaded,
                 measured_max,
+                margin,
+                loaded,
                 dropped,
                 ..
             } => {
                 push("predicted_unloaded", Json::Num(*predicted_unloaded));
+                push(
+                    "predicted_unloaded_ns",
+                    Json::UInt(secs_to_ns(*predicted_unloaded)),
+                );
                 push("measured_max", Json::Num(*measured_max));
+                push("measured_max_ns", Json::UInt(secs_to_ns(*measured_max)));
+                push("margin_ppm", Json::UInt(to_ppm(*margin)));
+                push(
+                    "loaded",
+                    Json::Arr(loaded.iter().map(|&n| Json::UInt(n as u64)).collect()),
+                );
                 push("dropped", Json::Bool(*dropped));
             }
             RuntimeEvent::NodesDropped { nodes, .. } => {
@@ -154,18 +205,33 @@ impl RuntimeEvent {
                 predicted_with,
                 measured_max,
                 redist_cost,
+                margin,
+                horizon_cycles,
                 admitted,
                 ..
             } => {
                 push("node", Json::UInt(*node as u64));
                 push("predicted_with", Json::Num(*predicted_with));
+                push("predicted_with_ns", Json::UInt(secs_to_ns(*predicted_with)));
                 push("measured_max", Json::Num(*measured_max));
+                push("measured_max_ns", Json::UInt(secs_to_ns(*measured_max)));
                 push("redist_cost", Json::Num(*redist_cost));
+                push("redist_cost_ns", Json::UInt(secs_to_ns(*redist_cost)));
+                push("margin_ppm", Json::UInt(to_ppm(*margin)));
+                push("horizon_cycles", Json::UInt(u64::from(*horizon_cycles)));
                 push("admitted", Json::Bool(*admitted));
             }
-            RuntimeEvent::NodeAdmitted { node, .. }
-            | RuntimeEvent::NodeConfirmedDead { node, .. } => {
+            RuntimeEvent::NodeAdmitted { node, rows, .. } => {
                 push("node", Json::UInt(*node as u64));
+                push("rows", Json::UInt(*rows as u64));
+            }
+            RuntimeEvent::NodeConfirmedDead {
+                node,
+                silent_cycles,
+                ..
+            } => {
+                push("node", Json::UInt(*node as u64));
+                push("silent_cycles", Json::UInt(u64::from(*silent_cycles)));
             }
             RuntimeEvent::NodeSuspected {
                 node,
@@ -179,11 +245,13 @@ impl RuntimeEvent {
                 node,
                 rollback_to,
                 restored_rows,
+                holder,
                 ..
             } => {
                 push("node", Json::UInt(*node as u64));
                 push("rollback_to", Json::UInt(*rollback_to));
                 push("restored_rows", Json::UInt(*restored_rows as u64));
+                push("holder", Json::UInt(*holder as u64));
             }
         }
         args
@@ -227,6 +295,8 @@ mod tests {
             cycle: 30,
             predicted_unloaded: 1.0,
             measured_max: 2.0,
+            margin: 1.0,
+            loaded: vec![1],
             dropped: true,
         };
         assert_eq!(d.cycle(), 30);
@@ -248,17 +318,34 @@ mod tests {
             .any(|(k, v)| k == "seconds" && v.as_f64() == Some(0.5)));
         assert!(args
             .iter()
+            .any(|(k, v)| k == "seconds_ns" && *v == Json::UInt(500_000_000)));
+        assert!(args
+            .iter()
             .any(|(k, v)| k == "rows_moved" && v.as_u64() == Some(100)));
         let d = RuntimeEvent::DropEvaluated {
             cycle: 30,
             predicted_unloaded: 1.0,
             measured_max: 2.0,
+            margin: 1.05,
+            loaded: vec![1, 3],
             dropped: true,
         };
-        assert!(d
-            .trace_args()
+        let args = d.trace_args();
+        assert!(args
             .iter()
             .any(|(k, v)| k == "dropped" && *v == Json::Bool(true)));
+        assert!(args
+            .iter()
+            .any(|(k, v)| k == "predicted_unloaded_ns" && *v == Json::UInt(1_000_000_000)));
+        assert!(args
+            .iter()
+            .any(|(k, v)| k == "measured_max_ns" && *v == Json::UInt(2_000_000_000)));
+        assert!(args
+            .iter()
+            .any(|(k, v)| k == "margin_ppm" && *v == Json::UInt(1_050_000)));
+        assert!(args
+            .iter()
+            .any(|(k, v)| k == "loaded" && *v == Json::Arr(vec![Json::UInt(1), Json::UInt(3)])));
     }
 
     #[test]
@@ -276,6 +363,8 @@ mod tests {
             predicted_with: 0.8,
             measured_max: 1.0,
             redist_cost: 0.1,
+            margin: 1.0,
+            horizon_cycles: 50,
             admitted: true,
         };
         assert_eq!(e.kind(), "expand-evaluated");
@@ -285,13 +374,30 @@ mod tests {
             .any(|(k, v)| k == "predicted_with" && v.as_f64() == Some(0.8)));
         assert!(args
             .iter()
+            .any(|(k, v)| k == "predicted_with_ns" && *v == Json::UInt(800_000_000)));
+        assert!(args
+            .iter()
             .any(|(k, v)| k == "redist_cost" && v.as_f64() == Some(0.1)));
         assert!(args
             .iter()
+            .any(|(k, v)| k == "redist_cost_ns" && *v == Json::UInt(100_000_000)));
+        assert!(args
+            .iter()
+            .any(|(k, v)| k == "horizon_cycles" && v.as_u64() == Some(50)));
+        assert!(args
+            .iter()
             .any(|(k, v)| k == "admitted" && *v == Json::Bool(true)));
-        let n = RuntimeEvent::NodeAdmitted { cycle: 12, node: 4 };
+        let n = RuntimeEvent::NodeAdmitted {
+            cycle: 12,
+            node: 4,
+            rows: 120,
+        };
         assert_eq!(n.kind(), "node-admitted");
         assert_eq!(n.cycle(), 12);
+        assert!(n
+            .trace_args()
+            .iter()
+            .any(|(k, v)| k == "rows" && v.as_u64() == Some(120)));
     }
 
     #[test]
@@ -307,17 +413,25 @@ mod tests {
             .trace_args()
             .iter()
             .any(|(k, v)| k == "silent_cycles" && v.as_u64() == Some(2)));
-        let c = RuntimeEvent::NodeConfirmedDead { cycle: 11, node: 2 };
+        let c = RuntimeEvent::NodeConfirmedDead {
+            cycle: 11,
+            node: 2,
+            silent_cycles: 3,
+        };
         assert_eq!(c.kind(), "node-confirmed-dead");
-        assert!(c
-            .trace_args()
+        let args = c.trace_args();
+        assert!(args
             .iter()
             .any(|(k, v)| k == "node" && v.as_u64() == Some(2)));
+        assert!(args
+            .iter()
+            .any(|(k, v)| k == "silent_cycles" && v.as_u64() == Some(3)));
         let r = RuntimeEvent::NodeRecovered {
             cycle: 11,
             node: 2,
             rollback_to: 8,
             restored_rows: 40,
+            holder: 3,
         };
         assert_eq!(r.kind(), "node-recovered");
         let args = r.trace_args();
@@ -327,5 +441,8 @@ mod tests {
         assert!(args
             .iter()
             .any(|(k, v)| k == "restored_rows" && v.as_u64() == Some(40)));
+        assert!(args
+            .iter()
+            .any(|(k, v)| k == "holder" && v.as_u64() == Some(3)));
     }
 }

@@ -800,6 +800,7 @@ impl<'a, T: HostMeters> DynMpi<'a, T> {
             self.note(RuntimeEvent::NodeConfirmedDead {
                 cycle: self.cycle,
                 node: d,
+                silent_cycles: self.silent_streak[d],
             });
             self.recover_from_death(d, &loads, arrays, &mut report);
             return report;
@@ -1123,6 +1124,8 @@ impl<'a, T: HostMeters> DynMpi<'a, T> {
             cycle: self.cycle,
             predicted_unloaded: pred,
             measured_max,
+            margin: self.cfg.drop_margin,
+            loaded: loaded.clone(),
             dropped: drop,
         });
         if !drop {
@@ -1381,6 +1384,8 @@ impl<'a, T: HostMeters> DynMpi<'a, T> {
             predicted_with: pred_with,
             measured_max,
             redist_cost: cost,
+            margin: self.cfg.expand_margin,
+            horizon_cycles: self.cfg.expand_horizon_cycles,
             admitted,
         });
         if !admitted {
@@ -1419,6 +1424,7 @@ impl<'a, T: HostMeters> DynMpi<'a, T> {
         self.note(RuntimeEvent::NodeAdmitted {
             cycle: self.cycle,
             node,
+            rows: new_rows,
         });
         report.admitted = Some(node);
         self.dist = new_dist;
@@ -1576,6 +1582,7 @@ impl<'a, T: HostMeters> DynMpi<'a, T> {
             node: dead_node,
             rollback_to: self.app_progress,
             restored_rows,
+            holder,
         });
         report.recovered = Some(dead_node);
 
@@ -1913,9 +1920,11 @@ impl<'a, T: HostMeters> DynMpi<'a, T> {
             self.dist = new_dist;
             self.reset_ctrl_pipeline();
             if self.wrank >= self.seed {
+                let rel = self.active.rel().expect("joiner is in the new group");
                 self.note(RuntimeEvent::NodeAdmitted {
                     cycle: self.cycle,
                     node: self.wrank,
+                    rows: self.dist.rows_of(rel).len(),
                 });
                 report.admitted = Some(self.wrank);
             } else {

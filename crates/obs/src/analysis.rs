@@ -56,6 +56,7 @@ const RUNTIME_OVERHEAD_SPANS: &[&str] = &[
     "balance",
     "drop_eval",
     "arrival_eval",
+    "crash_recovery",
 ];
 
 /// Measured-imbalance window length (cycles) on each side of a
@@ -260,6 +261,29 @@ impl CycleAudit {
     }
 }
 
+/// One row of the critical-path blame table: exact nanoseconds of the
+/// cross-rank critical path charged to a `(node, cause)` bucket. The
+/// causes reuse the [`Buckets`] vocabulary plus `transfer` (the path rode
+/// a message, blamed on the sending node). Entries sum exactly to the
+/// critical-path length, so the table answers "who, doing what, set the
+/// makespan".
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BlameEntry {
+    pub node: usize,
+    pub cause: &'static str,
+    pub ns: u64,
+}
+
+impl BlameEntry {
+    fn to_json(self) -> Json {
+        Json::obj([
+            ("node", Json::UInt(self.node as u64)),
+            ("cause", Json::str(self.cause)),
+            ("ns", Json::UInt(self.ns)),
+        ])
+    }
+}
+
 /// The full analysis result: per-rank attribution, critical path, audits.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct ProfileReport {
@@ -271,6 +295,8 @@ pub struct ProfileReport {
     pub critical_path: Vec<CritSegment>,
     /// One audit per redistribution, in cycle order.
     pub cycles: Vec<CycleAudit>,
+    /// Critical-path blame, largest share first (ties by node, cause).
+    pub blame: Vec<BlameEntry>,
 }
 
 impl ProfileReport {
@@ -295,6 +321,11 @@ impl ProfileReport {
         segs.sort_by_key(|s| std::cmp::Reverse(s.dur_ns()));
         segs.truncate(n);
         segs
+    }
+
+    /// The `n` largest blame entries (the top-culprit table).
+    pub fn top_blame(&self, n: usize) -> &[BlameEntry] {
+        &self.blame[..n.min(self.blame.len())]
     }
 
     /// JSON document (schema documented in DESIGN.md §10).
@@ -327,6 +358,10 @@ impl ProfileReport {
             (
                 "cycles",
                 Json::Arr(self.cycles.iter().map(CycleAudit::to_json).collect()),
+            ),
+            (
+                "blame",
+                Json::Arr(self.blame.iter().map(|b| b.to_json()).collect()),
             ),
         ])
     }
@@ -400,6 +435,19 @@ impl ProfileReport {
                         secs(s.end_ns),
                     );
                 }
+            }
+        }
+        if !self.blame.is_empty() {
+            let _ = writeln!(out, "-- critical-path blame (top culprits) --");
+            for b in self.top_blame(8) {
+                let _ = writeln!(
+                    out,
+                    "  node {:>3}  {:<12} {:>10.6}s  ({:.1}% of path)",
+                    b.node,
+                    b.cause,
+                    secs(b.ns),
+                    pct(b.ns, self.critical_path_ns()),
+                );
             }
         }
         if !self.cycles.is_empty() {
@@ -640,13 +688,103 @@ pub fn analyze(events: &[TraceEvent]) -> ProfileReport {
     let ranks = attribute(&lanes, &sends);
     let critical_path = critical_path(&lanes, &sends, makespan);
     let cycles = cycle_audits(&lanes, &redists, &balances);
+    let blame = blame(&lanes, &sends, &critical_path);
 
     ProfileReport {
         makespan_ns: makespan,
         ranks,
         critical_path,
         cycles,
+        blame,
     }
+}
+
+/// Overlap of `[a_start, a_end)` with `[b_start, b_end)` in ns.
+fn overlap(a_start: u64, a_end: u64, b_start: u64, b_end: u64) -> u64 {
+    a_end.min(b_end).saturating_sub(a_start.max(b_start))
+}
+
+/// Fold the critical path into the `(node, cause)` blame table. Work
+/// segments are re-classified against the owning rank's lane exactly like
+/// [`attribute`] classifies whole spans — redist/runtime context first,
+/// then compute vs. interference (a partial leaf overlap splits its CPU
+/// by the same u128 cumulative-prefix rule as the health monitor's
+/// `split_attr`, so shares are exact and order-independent), blocked
+/// waits by the late/network boundary at the matching send's timestamp.
+/// Transfer segments are blamed on the sending node as `transfer`.
+/// Uncovered path time stays `other`. Entries sum exactly to the
+/// critical-path length.
+fn blame(
+    lanes: &BTreeMap<usize, Lane>,
+    sends: &HashMap<(usize, u64), SendRec>,
+    path: &[CritSegment],
+) -> Vec<BlameEntry> {
+    let mut table: BTreeMap<(usize, &'static str), u64> = BTreeMap::new();
+    let mut add = |node: usize, cause: &'static str, ns: u64| {
+        if ns > 0 {
+            *table.entry((node, cause)).or_insert(0) += ns;
+        }
+    };
+    for seg in path {
+        match seg.kind {
+            SegKind::Transfer { src, .. } => add(src, "transfer", seg.dur_ns()),
+            SegKind::Work { rank } => {
+                let lane = &lanes[&rank];
+                let mut covered = 0u64;
+                for s in &lane.sched {
+                    let ov = overlap(s.start, s.end, seg.start_ns, seg.end_ns);
+                    if ov == 0 {
+                        continue;
+                    }
+                    covered += ov;
+                    if contained(&lane.redist_ctx, s.start, s.end) {
+                        add(rank, "redist", ov);
+                    } else if contained(&lane.runtime_ctx, s.start, s.end) {
+                        add(rank, "runtime", ov);
+                    } else {
+                        let dur = s.end - s.start;
+                        let (lo, hi) = (seg.start_ns.max(s.start), seg.end_ns.min(s.end));
+                        let prefix = |t: u64| -> u64 {
+                            ((s.cpu as u128 * (t - s.start) as u128) / dur as u128) as u64
+                        };
+                        let cpu_share = prefix(hi) - prefix(lo);
+                        add(rank, "compute", cpu_share);
+                        add(rank, "interference", ov - cpu_share);
+                    }
+                }
+                for w in &lane.blocked {
+                    let ov = overlap(w.start, w.end, seg.start_ns, seg.end_ns);
+                    if ov == 0 {
+                        continue;
+                    }
+                    covered += ov;
+                    if contained(&lane.redist_ctx, w.start, w.end) {
+                        add(rank, "redist", ov);
+                    } else if contained(&lane.runtime_ctx, w.start, w.end) {
+                        add(rank, "runtime", ov);
+                    } else {
+                        match w.link.and_then(|k| sends.get(&k)) {
+                            Some(send) => {
+                                let boundary = send.ts.clamp(w.start, w.end);
+                                let (lo, hi) = (seg.start_ns.max(w.start), seg.end_ns.min(w.end));
+                                let late = overlap(lo, hi, w.start, boundary);
+                                add(rank, "late-wait", late);
+                                add(rank, "network", ov - late);
+                            }
+                            None => add(rank, "late-wait", ov),
+                        }
+                    }
+                }
+                add(rank, "other", seg.dur_ns().saturating_sub(covered));
+            }
+        }
+    }
+    let mut out: Vec<BlameEntry> = table
+        .into_iter()
+        .map(|((node, cause), ns)| BlameEntry { node, cause, ns })
+        .collect();
+    out.sort_by_key(|b| (std::cmp::Reverse(b.ns), b.node, b.cause));
+    out
 }
 
 fn attribute(
@@ -1045,6 +1183,33 @@ mod tests {
         let text = report.render_text();
         assert!(text.contains("critical path"));
         assert!(text.contains("rank"));
+    }
+
+    #[test]
+    fn blame_tiles_critical_path_and_names_culprits() {
+        let report = analyze(&two_rank_trace());
+        let total: u64 = report.blame.iter().map(|b| b.ns).sum();
+        assert_eq!(total, report.critical_path_ns());
+        // The path rides rank 1's compute (55 cpu of the 110ns segment,
+        // rest interference), the 40ns transfer blamed on the sender, and
+        // rank 0's tail compute.
+        assert!(report
+            .blame
+            .iter()
+            .any(|b| b.node == 1 && b.cause == "transfer" && b.ns == 40));
+        assert!(report
+            .blame
+            .iter()
+            .any(|b| b.node == 1 && b.cause == "interference" && b.ns == 55));
+        assert!(report
+            .blame
+            .iter()
+            .any(|b| b.node == 0 && b.cause == "compute" && b.ns == 50));
+        // Sorted descending; top_blame truncates.
+        assert!(report.blame.windows(2).all(|w| w[0].ns >= w[1].ns));
+        assert_eq!(report.top_blame(2).len(), 2);
+        let text = report.render_text();
+        assert!(text.contains("critical-path blame"));
     }
 
     #[test]

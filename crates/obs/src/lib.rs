@@ -22,6 +22,7 @@
 //! explicit timestamps, which is what keeps traces deterministic.
 
 pub mod analysis;
+pub mod explain;
 pub mod export;
 pub mod health;
 pub mod json;
@@ -35,8 +36,9 @@ use std::sync::{Arc, Mutex, MutexGuard};
 pub use trace::TraceEvent;
 
 pub use analysis::{
-    analyze, Buckets, CritSegment, CycleAudit, ProfileReport, RankAttribution, SegKind,
+    analyze, BlameEntry, Buckets, CritSegment, CycleAudit, ProfileReport, RankAttribution, SegKind,
 };
+pub use explain::{ChainLink, DecisionCard, ExplainEngine, ExplainReport, FlightRecord, Outcome};
 pub use export::{parse_chrome_trace, parse_jsonl, ParsedEvent};
 pub use health::{
     default_rules, Alert, AlertRule, HealthMonitor, HealthReport, HealthState, NodeHealth,

@@ -332,31 +332,83 @@ fn prom_name(name: &str) -> String {
         .collect()
 }
 
+/// Unit a metric's samples are expressed in, as far as the exposition
+/// layer can tell from its registry name.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum PromUnit {
+    None,
+    Bytes,
+    /// Registry stores nanoseconds; exposition converts to base seconds.
+    Seconds,
+}
+
+/// Exposition name for a registry metric, per the Prometheus naming
+/// conventions: sanitized, with the unit moved to the canonical suffix
+/// position — `sim.bytes_sent` → `sim_sent_bytes`, `lat.ns` →
+/// `lat_seconds` (values converted from nanoseconds to base seconds).
+/// Returns the renamed base name and the detected unit.
+fn exposition_name(name: &str) -> (String, PromUnit) {
+    let n = prom_name(name);
+    if let Some(stripped) = n.strip_suffix("_ns") {
+        return (format!("{stripped}_seconds"), PromUnit::Seconds);
+    }
+    if n.ends_with("_bytes") {
+        return (n, PromUnit::Bytes);
+    }
+    if let Some(pos) = n.find("_bytes_") {
+        // Move the embedded unit token to the suffix position.
+        let mut moved = String::with_capacity(n.len());
+        moved.push_str(&n[..pos]);
+        moved.push_str(&n[pos + "_bytes".len()..]);
+        moved.push_str("_bytes");
+        return (moved, PromUnit::Bytes);
+    }
+    (n, PromUnit::None)
+}
+
 /// Render a [`Snapshot`] in the Prometheus text exposition format
-/// (version 0.0.4): `# TYPE` lines, counters and gauges as plain samples,
-/// histograms as **cumulative** `_bucket{le="..."}` series plus the
-/// `+Inf` bucket, `_sum`, and `_count`. Deterministic: snapshot maps are
-/// `BTreeMap`s, so output order is the sorted metric name order.
+/// (version 0.0.4): `# HELP` and `# TYPE` lines per metric family,
+/// unit-suffixed names (`_seconds`, `_bytes` — a clean rename, no alias
+/// series) with counters additionally suffixed `_total`, nanosecond
+/// metrics converted to base seconds, and histograms as **cumulative**
+/// `_bucket{le="..."}` series plus the `+Inf` bucket, `_sum`, and
+/// `_count`. Deterministic: snapshot maps are `BTreeMap`s, so output
+/// order is the sorted registry name order.
 pub fn prometheus_text(snap: &Snapshot) -> String {
     use std::fmt::Write as _;
+    let secs = |ns: u64| ns as f64 / 1e9;
     let mut out = String::new();
     for (name, v) in &snap.counters {
-        let n = prom_name(name);
-        let _ = writeln!(out, "# TYPE {n} counter");
-        let _ = writeln!(out, "{n} {v}");
+        let (n, unit) = exposition_name(name);
+        let _ = writeln!(out, "# HELP {n}_total Dyn-MPI metric `{name}`.");
+        let _ = writeln!(out, "# TYPE {n}_total counter");
+        if unit == PromUnit::Seconds {
+            let _ = writeln!(out, "{n}_total {}", secs(*v));
+        } else {
+            let _ = writeln!(out, "{n}_total {v}");
+        }
     }
     for (name, v) in &snap.gauges {
-        let n = prom_name(name);
+        let (n, unit) = exposition_name(name);
+        let _ = writeln!(out, "# HELP {n} Dyn-MPI metric `{name}`.");
         let _ = writeln!(out, "# TYPE {n} gauge");
-        let _ = writeln!(out, "{n} {v}");
+        if unit == PromUnit::Seconds {
+            let _ = writeln!(out, "{n} {}", v / 1e9);
+        } else {
+            let _ = writeln!(out, "{n} {v}");
+        }
     }
     for (name, h) in &snap.hists {
-        let n = prom_name(name);
+        let (n, unit) = exposition_name(name);
+        let _ = writeln!(out, "# HELP {n} Dyn-MPI metric `{name}`.");
         let _ = writeln!(out, "# TYPE {n} histogram");
         let mut cum = 0u64;
         for (i, &c) in h.counts.iter().enumerate() {
             cum = cum.wrapping_add(c);
             match h.bounds.get(i) {
+                Some(&b) if unit == PromUnit::Seconds => {
+                    let _ = writeln!(out, "{n}_bucket{{le=\"{}\"}} {cum}", secs(b));
+                }
                 Some(&b) => {
                     let _ = writeln!(out, "{n}_bucket{{le=\"{b}\"}} {cum}");
                 }
@@ -365,7 +417,11 @@ pub fn prometheus_text(snap: &Snapshot) -> String {
                 }
             }
         }
-        let _ = writeln!(out, "{n}_sum {}", h.sum);
+        if unit == PromUnit::Seconds {
+            let _ = writeln!(out, "{n}_sum {}", secs(h.sum));
+        } else {
+            let _ = writeln!(out, "{n}_sum {}", h.sum);
+        }
         let _ = writeln!(out, "{n}_count {}", h.count);
     }
     out
@@ -472,20 +528,53 @@ mod tests {
     fn prometheus_text_renders_all_kinds() {
         let r = Registry::new();
         r.counter("sim.msgs_sent").add(42);
+        r.counter("sim.bytes_sent").add(1024);
         r.gauge("queue-depth").set(3.5);
         let h = r.histogram("lat.ns", &[10, 100]);
         h.record(5);
         h.record(50);
         h.record(5000);
         let text = prometheus_text(&r.snapshot());
-        assert!(text.contains("# TYPE sim_msgs_sent counter\nsim_msgs_sent 42\n"));
+        // Counters carry HELP/TYPE and a `_total` suffix.
+        assert!(text.contains("# HELP sim_msgs_sent_total Dyn-MPI metric `sim.msgs_sent`.\n"));
+        assert!(text.contains("# TYPE sim_msgs_sent_total counter\nsim_msgs_sent_total 42\n"));
+        // Embedded unit tokens move to the canonical suffix position.
+        assert!(text.contains("# TYPE sim_sent_bytes_total counter\nsim_sent_bytes_total 1024\n"));
+        assert!(!text.contains("sim_bytes_sent")); // clean rename, no alias
         assert!(text.contains("# TYPE queue_depth gauge\nqueue_depth 3.5\n"));
-        // Buckets are cumulative, ending in +Inf == count.
-        assert!(text.contains("lat_ns_bucket{le=\"10\"} 1\n"));
-        assert!(text.contains("lat_ns_bucket{le=\"100\"} 2\n"));
-        assert!(text.contains("lat_ns_bucket{le=\"+Inf\"} 3\n"));
-        assert!(text.contains("lat_ns_sum 5055\n"));
-        assert!(text.contains("lat_ns_count 3\n"));
+        // Nanosecond histograms expose as `_seconds`, bounds and sum
+        // converted; buckets are cumulative, ending in +Inf == count.
+        assert!(text.contains("# TYPE lat_seconds histogram\n"));
+        assert!(text.contains("lat_seconds_bucket{le=\"0.00000001\"} 1\n"));
+        assert!(text.contains("lat_seconds_bucket{le=\"0.0000001\"} 2\n"));
+        assert!(text.contains("lat_seconds_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("lat_seconds_sum 0.000005055\n"));
+        assert!(text.contains("lat_seconds_count 3\n"));
+        assert!(!text.contains("lat_ns"));
+    }
+
+    #[test]
+    fn exposition_names_move_units_to_suffix() {
+        assert_eq!(
+            exposition_name("sim.bytes_sent"),
+            ("sim_sent_bytes".to_string(), PromUnit::Bytes)
+        );
+        assert_eq!(
+            exposition_name("comm.msg_bytes_recvd"),
+            ("comm_msg_recvd_bytes".to_string(), PromUnit::Bytes)
+        );
+        assert_eq!(
+            exposition_name("redist.bytes_sent"),
+            ("redist_sent_bytes".to_string(), PromUnit::Bytes)
+        );
+        assert_eq!(
+            exposition_name("lat.ns"),
+            ("lat_seconds".to_string(), PromUnit::Seconds)
+        );
+        assert_eq!(
+            exposition_name("sim.sched.quanta"),
+            ("sim_sched_quanta".to_string(), PromUnit::None)
+        );
     }
 
     #[test]
